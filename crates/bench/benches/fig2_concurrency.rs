@@ -1,0 +1,65 @@
+//! Benchmarks regenerating Fig. 2: one direct-stress measurement point of
+//! the MySQL dome (2a) and one steady-state point of the scale-out
+//! comparison (2b).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dcm_core::experiment::{steady_state_throughput, SteadyStateOptions};
+use dcm_core::training::{db_stress_point, SweepOptions};
+use dcm_ntier::topology::SoftConfig;
+use dcm_sim::time::SimDuration;
+
+fn quick_sweep_options() -> SweepOptions {
+    SweepOptions {
+        warmup: SimDuration::from_secs(2),
+        measure: SimDuration::from_secs(8),
+        seed: 1,
+        deterministic: false,
+    }
+}
+
+fn bench_fig2a_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a");
+    for concurrency in [20u32, 36, 160] {
+        group.bench_function(format!("stress_n{concurrency}"), |b| {
+            b.iter(|| {
+                let p = db_stress_point(black_box(concurrency), &quick_sweep_options());
+                black_box(p.throughput)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig2b_point(c: &mut Criterion) {
+    let options = SteadyStateOptions {
+        warmup: SimDuration::from_secs(2),
+        measure: SimDuration::from_secs(8),
+        think_time_secs: 3.0,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("fig2b");
+    for (label, counts) in [("1_1_1", (1u32, 1u32, 1u32)), ("1_2_1", (1, 2, 1))] {
+        group.bench_function(format!("steady_state_{label}_300u"), |b| {
+            b.iter(|| {
+                let r = steady_state_throughput(counts, SoftConfig::DEFAULT, 300, &options);
+                black_box(r.throughput)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig2a_point, bench_fig2b_point
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks regenerating Fig. 4: steady-state validation measurements of
+//! the optimal vs default soft allocations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dcm_core::experiment::{steady_state_throughput, SteadyStateOptions};
+use dcm_ntier::topology::SoftConfig;
+use dcm_sim::time::SimDuration;
+
+fn options() -> SteadyStateOptions {
+    SteadyStateOptions {
+        warmup: SimDuration::from_secs(2),
+        measure: SimDuration::from_secs(8),
+        think_time_secs: 3.0,
+        seed: 1,
+    }
+}
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a");
+    for threads in [20u32, 100] {
+        group.bench_function(format!("threads_{threads}_300u"), |b| {
+            b.iter(|| {
+                let r = steady_state_throughput(
+                    (1, 1, 1),
+                    SoftConfig::new(1000, threads, 80),
+                    300,
+                    &options(),
+                );
+                black_box(r.throughput)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b");
+    for conns in [18u32, 80] {
+        group.bench_function(format!("conns_{conns}_300u"), |b| {
+            b.iter(|| {
+                let r = steady_state_throughput(
+                    (1, 2, 1),
+                    SoftConfig::new(1000, 100, conns),
+                    300,
+                    &options(),
+                );
+                black_box(r.throughput)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig4a, bench_fig4b
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks regenerating Fig. 5: short trace-driven runs of both
+//! controllers (the full 700 s runs live in the `repro` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dcm_core::controller::{Dcm, DcmConfig, DcmModels, Ec2AutoScale};
+use dcm_core::experiment::{run_trace_experiment, TraceExperimentConfig};
+use dcm_core::policy::ScalingConfig;
+use dcm_model::concurrency::ConcurrencyModel;
+use dcm_ntier::law::reference;
+use dcm_sim::time::SimTime;
+use dcm_workload::traces;
+
+fn models() -> DcmModels {
+    let app = reference::tomcat();
+    let db = reference::mysql();
+    DcmModels {
+        app: ConcurrencyModel::new(app.s0(), app.alpha(), app.beta(), 1.0, 1),
+        db: ConcurrencyModel::new(db.s0(), db.alpha(), db.beta(), 1.0, 1),
+    }
+}
+
+fn short_config() -> TraceExperimentConfig {
+    let mut config = TraceExperimentConfig::figure5(traces::large_variation());
+    config.horizon = SimTime::from_secs(120);
+    config
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_120s");
+    group.bench_function("ec2_autoscale", |b| {
+        b.iter(|| {
+            let run = run_trace_experiment(&short_config(), |bus| {
+                Ec2AutoScale::new(bus, ScalingConfig::default())
+            });
+            black_box(run.counters.completed)
+        })
+    });
+    group.bench_function("dcm", |b| {
+        let m = models();
+        b.iter(|| {
+            let run = run_trace_experiment(&short_config(), |bus| {
+                Dcm::new(bus, DcmConfig::default(), m)
+            });
+            black_box(run.counters.completed)
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Microbenchmarks of the substrate crates: event engine, CPU scheduler,
+//! pools, broker, RNG, statistics, and the model fitter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dcm_bus::{Broker, GroupConsumer, Retention};
+use dcm_model::concurrency::{fit_throughput_curve, ConcurrencyModel, FitOptions};
+use dcm_ntier::cpu::CpuScheduler;
+use dcm_ntier::ids::RequestId;
+use dcm_ntier::law::reference;
+use dcm_ntier::pool::Pool;
+use dcm_sim::engine::Engine;
+use dcm_sim::rng::SimRng;
+use dcm_sim::stats::{OnlineStats, P2Quantile};
+use dcm_sim::time::SimTime;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_schedule_run_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            for i in 0..10_000u64 {
+                engine.schedule_at(SimTime::from_nanos(i), |w: &mut u64, _| *w += 1);
+            }
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+}
+
+fn bench_cpu_scheduler(c: &mut Criterion) {
+    c.bench_function("cpu_saturated_1k_completions", |b| {
+        let law = reference::mysql();
+        b.iter(|| {
+            let mut cpu = CpuScheduler::new(law);
+            let mut now = SimTime::ZERO;
+            for i in 0..36u64 {
+                cpu.add_burst(now, RequestId::new(i), law.s0());
+            }
+            for next_id in 36u64..1036 {
+                let (at, _) = cpu.next_completion(now).expect("busy cpu");
+                now = at;
+                let done = cpu.pop_completed(now).expect("due");
+                black_box(done);
+                cpu.add_burst(now, RequestId::new(next_id), law.s0());
+            }
+        })
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    c.bench_function("pool_acquire_release_handoff", |b| {
+        b.iter(|| {
+            let mut pool = Pool::new(16);
+            for i in 0..64u64 {
+                pool.try_acquire(RequestId::new(i));
+            }
+            for _ in 0..48 {
+                black_box(pool.release());
+            }
+            black_box(pool.in_use())
+        })
+    });
+}
+
+fn bench_broker(c: &mut Criterion) {
+    c.bench_function("broker_produce_consume_1k", |b| {
+        b.iter(|| {
+            let mut broker: Broker<u64> = Broker::new();
+            broker
+                .create_topic("t", 4, Retention::UNBOUNDED)
+                .expect("fresh topic");
+            for i in 0..1000u64 {
+                broker
+                    .produce("t", i, Some(format!("k{}", i % 16)), i)
+                    .expect("topic exists");
+            }
+            let mut consumer = GroupConsumer::new("g", "t", &broker).expect("topic exists");
+            let batch = consumer.poll(&broker, 2000).expect("topic exists");
+            black_box(batch.len())
+        })
+    });
+}
+
+fn bench_rng_and_stats(c: &mut Criterion) {
+    c.bench_function("rng_100k_doubles", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(1);
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("stats_online_p2_100k", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(2);
+            let mut stats = OnlineStats::new();
+            let mut p95 = P2Quantile::new(0.95);
+            for _ in 0..100_000 {
+                let x = rng.next_f64();
+                stats.record(x);
+                p95.record(x);
+            }
+            black_box((stats.mean(), p95.estimate()))
+        })
+    });
+}
+
+fn bench_model_fit(c: &mut Criterion) {
+    c.bench_function("lm_fit_throughput_curve_120pts", |b| {
+        let truth = ConcurrencyModel::new(0.0284, 0.016, 7.0e-5, 1.0, 1);
+        let data: Vec<(f64, f64)> = (1..=120)
+            .map(|n| (f64::from(n), truth.predict_throughput(f64::from(n))))
+            .collect();
+        b.iter(|| {
+            let report =
+                fit_throughput_curve(black_box(&data), 1, FitOptions::default()).expect("fits");
+            black_box(report.model.optimal_concurrency())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine, bench_cpu_scheduler, bench_pool, bench_broker,
+              bench_rng_and_stats, bench_model_fit
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Benchmarks regenerating Table I: one training sweep point and the
+//! least-squares fit over a full sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dcm_core::training::{
+    fit_sweep_robust, measure_steady_state, SweepOptions, SweepPoint,
+};
+use dcm_ntier::topology::SoftConfig;
+use dcm_sim::time::SimDuration;
+
+fn quick_options() -> SweepOptions {
+    SweepOptions {
+        warmup: SimDuration::from_secs(2),
+        measure: SimDuration::from_secs(8),
+        seed: 1,
+        deterministic: false,
+    }
+}
+
+fn bench_training_point(c: &mut Criterion) {
+    c.bench_function("table1_app_sweep_point_20u", |b| {
+        b.iter(|| {
+            let p = measure_steady_state((1, 1, 1), SoftConfig::DEFAULT, 1, 20, &quick_options());
+            black_box(p.throughput)
+        })
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    // Synthetic sweep shaped like a real one, so the bench isolates the
+    // fitter cost.
+    let truth = dcm_model::concurrency::ConcurrencyModel::new(0.05, 0.012, 1.1e-4, 1.0, 1);
+    let points: Vec<SweepPoint> = (1..=60)
+        .map(|n| SweepPoint {
+            offered: n,
+            concurrency: f64::from(n),
+            throughput: truth.predict_throughput(f64::from(n)),
+        })
+        .collect();
+    c.bench_function("table1_robust_fit_60pts", |b| {
+        b.iter(|| {
+            let report = fit_sweep_robust(black_box(&points), 1, 0.25).expect("fits");
+            black_box(report.model.optimal_concurrency())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_training_point, bench_fit
+}
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! `repro` — regenerate every table and figure of the DCM paper.
+//!
+//! ```text
+//! cargo run -p dcm-bench --release --bin repro -- all
+//! cargo run -p dcm-bench --release --bin repro -- fig5 --quick
+//! cargo run -p dcm-bench --release --bin repro -- table1 --csv results/
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcm_bench::experiments::{ablation, fig2, fig4, fig5, gamma, table1, Fidelity};
+use dcm_bench::format::TextTable;
+
+struct Cli {
+    command: String,
+    fidelity: Fidelity,
+    csv_dir: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    seeds: usize,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut fidelity = Fidelity::Full;
+    let mut csv_dir = None;
+    let mut trace = None;
+    let mut seeds = 1usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--csv" => {
+                let dir = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--trace" => {
+                let file = args.next().ok_or("--trace needs a CSV file")?;
+                trace = Some(PathBuf::from(file));
+            }
+            "--seeds" => {
+                let n = args.next().ok_or("--seeds needs a count")?;
+                seeds = n.parse().map_err(|_| format!("bad seed count `{n}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Cli {
+        command,
+        fidelity,
+        csv_dir,
+        trace,
+        seeds,
+    })
+}
+
+fn usage() -> String {
+    "usage: repro <command> [--quick] [--csv DIR]\n\
+     commands:\n\
+     \x20 fig2a       MySQL throughput vs request-processing concurrency\n\
+     \x20 fig2b       1/1/1 vs 1/2/1 under the default soft allocation\n\
+     \x20 table1      model training parameters and prediction results\n\
+     \x20 fig4a       Tomcat thread-pool validation (1/1/1)\n\
+     \x20 fig4b       DB connection-pool validation (1/2/1)\n\
+     \x20 fig5        DCM vs EC2-AutoScale under the Large-Variation trace\n\
+     \x20 ablation    DCM actuation ablation (threads/conns/both/neither)\n\
+     \x20 sensitivity DCM robustness to mis-estimated N*\n\
+     \x20 extensions  reactive vs predictive vs online-refit DCM\n\
+     \x20 gamma       bottleneck-tier scaling efficiency (Eq. 4)\n\
+     \x20 export-trace write the built-in Large-Variation trace as CSV\n\
+     \x20 faults      behaviour under VM boot failures\n\
+     \x20 all         everything above, in order\n\
+     flags:\n\
+     \x20 --quick       short windows / coarse sweeps\n\
+     \x20 --csv DIR     also write every table as CSV into DIR\n\
+     \x20 --trace FILE  drive fig5 with an external `seconds,users` CSV trace\n\
+     \x20 --seeds N     replicate fig5 across N seeds, report mean ± 95% CI"
+        .to_string()
+}
+
+struct Output {
+    csv_dir: Option<PathBuf>,
+}
+
+impl Output {
+    fn section(&self, title: &str) {
+        println!("\n=== {title} ===\n");
+    }
+
+    fn table(&self, name: &str, table: &TextTable) {
+        print!("{}", table.render());
+        if let Some(dir) = &self.csv_dir {
+            if let Err(err) = fs::create_dir_all(dir)
+                .and_then(|()| fs::write(dir.join(format!("{name}.csv")), table.to_csv()))
+            {
+                eprintln!("warning: could not write {name}.csv: {err}");
+            }
+        }
+    }
+
+    fn findings(&self, findings: &[String]) {
+        for f in findings {
+            println!("  * {f}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = Output {
+        csv_dir: cli.csv_dir.clone(),
+    };
+    let f = cli.fidelity;
+    let run_all = cli.command == "all";
+    let wants = |name: &str| run_all || cli.command == name;
+    let mut matched = false;
+
+    // Table I first when needed: fig4/fig5/ablation reuse the trained
+    // models.
+    let needs_models = [
+        "table1", "fig4a", "fig4b", "fig5", "ablation", "sensitivity", "extensions", "faults",
+    ]
+        .iter()
+        .any(|&c| wants(c));
+    let trained = if needs_models {
+        match table1::run_table1(f) {
+            Ok(t) => Some(t),
+            Err(err) => {
+                eprintln!("model training failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    if wants("fig2a") {
+        matched = true;
+        out.section("Fig. 2(a): MySQL throughput vs request-processing concurrency");
+        let result = fig2::run_fig2a(f);
+        out.table("fig2a", &result.table());
+        out.findings(&result.findings());
+    }
+    if wants("fig2b") {
+        matched = true;
+        out.section("Fig. 2(b): scaling out 1/1/1 -> 1/2/1 with default soft resources");
+        let result = fig2::run_fig2b(f);
+        out.table("fig2b", &result.table());
+        out.findings(&result.findings());
+    }
+    if wants("table1") {
+        matched = true;
+        let t1 = trained.as_ref().expect("trained above");
+        out.section("Table I: model training parameters and prediction results");
+        out.table("table1", &t1.table());
+        out.findings(&t1.findings());
+    }
+    if wants("fig4a") {
+        matched = true;
+        let t1 = trained.as_ref().expect("trained above");
+        let n_star = t1.app.report.model.optimal_concurrency();
+        out.section("Fig. 4(a): Tomcat thread-pool validation (1/1/1)");
+        let result = fig4::run_fig4a(f, n_star);
+        out.table("fig4a", &result.table());
+        out.findings(&result.findings());
+    }
+    if wants("fig4b") {
+        matched = true;
+        let t1 = trained.as_ref().expect("trained above");
+        let per_server = (t1.db.report.model.optimal_concurrency() / 2).max(1);
+        out.section("Fig. 4(b): DB connection-pool validation (1/2/1)");
+        let result = fig4::run_fig4b(f, per_server);
+        out.table("fig4b", &result.table());
+        out.findings(&result.findings());
+    }
+
+    let models = trained.as_ref().map(|t1| dcm_core::controller::DcmModels {
+        app: t1.app.report.model,
+        db: t1.db.report.model,
+    });
+
+    if wants("fig5") {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("Fig. 5: DCM vs EC2-AutoScale under the Large-Variation trace");
+        let external = match &cli.trace {
+            Some(path) => match fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    dcm_workload::traces::WorkloadTrace::from_csv(&text)
+                        .map_err(|e| e.to_string())
+                }) {
+                Ok(trace) => {
+                    println!("(driving with external trace {})\n", path.display());
+                    Some(trace)
+                }
+                Err(err) => {
+                    eprintln!("could not load trace {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        if cli.seeds > 1 {
+            let seeds: Vec<u64> = (0..cli.seeds as u64).map(|i| 42 + i * 1000).collect();
+            let replicated = fig5::run_fig5_replicated(f, models, &seeds);
+            out.table("fig5_replicated", &replicated.table());
+            println!("({} seeds: {:?})", cli.seeds, replicated.seeds);
+        }
+        let result = match external {
+            Some(trace) => fig5::run_fig5_on_trace(f, models, trace),
+            None => fig5::run_fig5(f, models),
+        };
+        out.table("fig5_summary", &result.summary_table());
+        println!("\n-- DCM timeline (30 s windows) --");
+        out.table("fig5_dcm_timeline", &result.timeline_table(&result.dcm, 30));
+        println!("\n-- EC2-AutoScale timeline (30 s windows) --");
+        out.table("fig5_ec2_timeline", &result.timeline_table(&result.ec2, 30));
+        out.findings(&result.findings());
+    }
+    if wants("ablation") {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("Ablation: which actuation carries DCM's benefit");
+        let result = ablation::run_actuation_ablation(f, models);
+        out.table("ablation", &result.table());
+    }
+    if wants("sensitivity") {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("Sensitivity: DCM with mis-estimated N*");
+        let result =
+            ablation::run_sensitivity(f, models, &[0.5, 0.75, 1.0, 1.5, 2.0, 4.0]);
+        out.table("sensitivity", &result.table());
+    }
+    if cli.command == "export-trace" {
+        matched = true;
+        let dir = cli.csv_dir.clone().unwrap_or_else(|| PathBuf::from("results"));
+        let trace = dcm_workload::traces::large_variation();
+        match fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(dir.join("large_variation.csv"), trace.to_csv()))
+        {
+            Ok(()) => println!(
+                "wrote {} ({} change points, peak {} users)",
+                dir.join("large_variation.csv").display(),
+                trace.points().len(),
+                trace.peak_users()
+            ),
+            Err(err) => {
+                eprintln!("could not write trace: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wants("gamma") {
+        matched = true;
+        out.section("Scaling efficiency of the bottleneck tier (the Eq. 4 gamma)");
+        let result = gamma::run_gamma_sweep(f, 4);
+        out.table("gamma", &result.table());
+        out.findings(&result.findings());
+    }
+    if wants("faults") {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("Fault injection: VM boot failures");
+        let result = ablation::run_fault_injection(f, models, &[0.0, 0.2, 0.5]);
+        out.table("faults", &result.table());
+    }
+    if wants("extensions") {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("Extensions: reactive vs predictive vs online-refit DCM");
+        let result = ablation::run_extensions(f, models);
+        out.table("extensions", &result.table());
+    }
+
+    if !matched {
+        eprintln!("unknown command `{}`\n{}", cli.command, usage());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

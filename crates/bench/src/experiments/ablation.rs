@@ -1,0 +1,253 @@
+//! Ablations beyond the paper: which half of DCM's soft-resource actuation
+//! carries the benefit, and how sensitive DCM is to mis-estimated optima.
+
+use dcm_core::controller::{Dcm, DcmConfig, DcmModels, Ec2AutoScale};
+use dcm_core::experiment::run_trace_experiment;
+use dcm_core::policy::ScalingConfig;
+
+use crate::format::{num, TextTable};
+
+use super::fig5::{fig5_config, summarize, RunSummary};
+use super::Fidelity;
+
+/// One ablation variant's outcome.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Variant label.
+    pub label: String,
+    /// Its run summary.
+    pub summary: RunSummary,
+}
+
+/// Ablation result set.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// All variants, in presentation order.
+    pub variants: Vec<Variant>,
+}
+
+/// Runs the actuation ablation: full DCM, threads-only, conns-only, and
+/// the hardware-only baseline, all on the same trace and models.
+pub fn run_actuation_ablation(fidelity: Fidelity, models: DcmModels) -> Ablation {
+    let config = fig5_config(fidelity);
+    let mut variants = Vec::new();
+
+    let dcm_variant = |label: &str, adapt_threads: bool, adapt_conns: bool| {
+        let dcm_config = DcmConfig {
+            adapt_threads,
+            adapt_conns,
+            ..DcmConfig::default()
+        };
+        let run = run_trace_experiment(&config, |bus| Dcm::new(bus, dcm_config, models));
+        Variant {
+            label: label.to_string(),
+            summary: summarize(&run),
+        }
+    };
+    variants.push(dcm_variant("DCM (both)", true, true));
+    variants.push(dcm_variant("DCM threads-only", true, false));
+    variants.push(dcm_variant("DCM conns-only", false, true));
+    let ec2 = run_trace_experiment(&config, |bus| {
+        Ec2AutoScale::new(bus, ScalingConfig::default())
+    });
+    variants.push(Variant {
+        label: "EC2-AutoScale (neither)".into(),
+        summary: summarize(&ec2),
+    });
+    Ablation { variants }
+}
+
+/// Runs the controller-extension comparison: plain reactive DCM vs the
+/// predictive variant (Holt trend forecast one boot-delay ahead) vs online
+/// model refitting.
+pub fn run_extensions(fidelity: Fidelity, models: DcmModels) -> Ablation {
+    let config = fig5_config(fidelity);
+    let mut variants = Vec::new();
+    let run = |label: &str, make_config: DcmConfig, refit: bool| {
+        let run = run_trace_experiment(&config, |bus| {
+            let dcm = Dcm::new(bus, make_config, models);
+            if refit {
+                dcm.with_online_refit(16, 4)
+            } else {
+                dcm
+            }
+        });
+        Variant {
+            label: label.to_string(),
+            summary: summarize(&run),
+        }
+    };
+    variants.push(run("DCM reactive", DcmConfig::default(), false));
+    variants.push(run(
+        "DCM predictive",
+        DcmConfig {
+            predictive: Some(dcm_core::predictor::HoltConfig::default()),
+            ..DcmConfig::default()
+        },
+        false,
+    ));
+    variants.push(run("DCM online-refit", DcmConfig::default(), true));
+    variants.push(run(
+        "DCM dwell-SLA trigger",
+        DcmConfig {
+            scaling: ScalingConfig {
+                trigger: dcm_core::policy::TriggerSignal::DwellPressure { sla_secs: 0.5 },
+                ..ScalingConfig::default()
+            },
+            ..DcmConfig::default()
+        },
+        false,
+    ));
+    Ablation { variants }
+}
+
+/// Runs the fault-injection comparison: DCM vs EC2-AutoScale when a
+/// fraction of VM boots fail (a failure mode absent from the paper's
+/// evaluation but routine in real clouds). Controllers that suppress
+/// repeat scale-outs while a boot is pending must retry after the failure
+/// surfaces.
+pub fn run_fault_injection(fidelity: Fidelity, models: DcmModels, failure_probs: &[f64]) -> Ablation {
+    let mut variants = Vec::new();
+    for &p in failure_probs {
+        let mut config = fig5_config(fidelity);
+        config.boot_failure_prob = p;
+        let dcm = run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models));
+        variants.push(Variant {
+            label: format!("DCM, {:.0}% boot failures", p * 100.0),
+            summary: summarize(&dcm),
+        });
+        let ec2 = run_trace_experiment(&config, |bus| {
+            Ec2AutoScale::new(bus, ScalingConfig::default())
+        });
+        variants.push(Variant {
+            label: format!("EC2, {:.0}% boot failures", p * 100.0),
+            summary: summarize(&ec2),
+        });
+    }
+    Ablation { variants }
+}
+
+/// Runs the N*-sensitivity sweep: DCM with the pool targets scaled by each
+/// factor (a mis-trained model over/under-shooting the true optimum).
+pub fn run_sensitivity(fidelity: Fidelity, models: DcmModels, factors: &[f64]) -> Ablation {
+    let config = fig5_config(fidelity);
+    let variants = factors
+        .iter()
+        .map(|&factor| {
+            let dcm_config = DcmConfig {
+                headroom: 1.1 * factor,
+                ..DcmConfig::default()
+            };
+            let run = run_trace_experiment(&config, |bus| Dcm::new(bus, dcm_config, models));
+            Variant {
+                label: format!("N* x {factor:.2}"),
+                summary: summarize(&run),
+            }
+        })
+        .collect();
+    Ablation { variants }
+}
+
+impl Ablation {
+    /// The comparison table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "variant",
+            "x(req/s)",
+            "mean_rt(s)",
+            "p95_rt(s)",
+            "worst_win(s)",
+            "wins>1s",
+            "req/vm-s",
+        ]);
+        for v in &self.variants {
+            let s = v.summary;
+            t.row([
+                v.label.clone(),
+                num(s.throughput, 1),
+                num(s.mean_rt, 3),
+                num(s.p95_rt, 2),
+                num(s.worst_window_rt, 2),
+                s.windows_over_1s.to_string(),
+                num(s.efficiency, 2),
+            ]);
+        }
+        t
+    }
+
+    /// The variant with the highest throughput.
+    pub fn best_throughput(&self) -> Option<&Variant> {
+        self.variants
+            .iter()
+            .max_by(|a, b| {
+                a.summary
+                    .throughput
+                    .partial_cmp(&b.summary.throughput)
+                    .expect("finite throughput")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcm_model::concurrency::ConcurrencyModel;
+    use dcm_ntier::law::reference;
+
+    fn models() -> DcmModels {
+        let app = reference::tomcat();
+        let db = reference::mysql();
+        DcmModels {
+            app: ConcurrencyModel::new(app.s0(), app.alpha(), app.beta(), 1.0, 1),
+            db: ConcurrencyModel::new(db.s0(), db.alpha(), db.beta(), 1.0, 1),
+        }
+    }
+
+    #[test]
+    fn actuation_ablation_orders_variants() {
+        let result = run_actuation_ablation(Fidelity::Quick, models());
+        assert_eq!(result.variants.len(), 4);
+        let full = &result.variants[0].summary;
+        let none = &result.variants[3].summary;
+        assert!(
+            full.throughput >= none.throughput * 0.95,
+            "full DCM {:.1} vs baseline {:.1}\n{}",
+            full.throughput,
+            none.throughput,
+            result.table().render()
+        );
+    }
+
+    #[test]
+    fn extensions_all_function() {
+        let result = run_extensions(Fidelity::Quick, models());
+        assert_eq!(result.variants.len(), 4);
+        for v in &result.variants {
+            assert!(v.summary.completed > 0, "{} produced nothing", v.label);
+        }
+    }
+
+    #[test]
+    fn fault_injection_degrades_gracefully() {
+        let result = run_fault_injection(Fidelity::Quick, models(), &[0.0, 0.5]);
+        assert_eq!(result.variants.len(), 4);
+        let healthy = &result.variants[0].summary;
+        let faulty = &result.variants[2].summary;
+        // Both complete work; failures cost some throughput but never wedge
+        // the controller.
+        assert!(faulty.completed > 0);
+        assert!(
+            faulty.throughput > healthy.throughput * 0.5,
+            "50% boot failures should degrade, not collapse: {:.1} vs {:.1}",
+            faulty.throughput,
+            healthy.throughput
+        );
+    }
+
+    #[test]
+    fn sensitivity_covers_factors() {
+        let result = run_sensitivity(Fidelity::Quick, models(), &[0.5, 1.0]);
+        assert_eq!(result.variants.len(), 2);
+        assert!(result.best_throughput().is_some());
+    }
+}

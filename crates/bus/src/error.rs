@@ -1,0 +1,85 @@
+//! Error types for broker operations.
+
+use std::fmt;
+
+/// Error returned by broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// The named topic does not exist.
+    UnknownTopic {
+        /// The topic that was requested.
+        topic: String,
+    },
+    /// The topic exists but the partition index is out of range.
+    UnknownPartition {
+        /// The topic that was requested.
+        topic: String,
+        /// The out-of-range partition index.
+        partition: u32,
+    },
+    /// A topic with this name already exists.
+    TopicExists {
+        /// The conflicting topic name.
+        topic: String,
+    },
+    /// The requested offset is below the log start (compacted away) or
+    /// above the high watermark.
+    OffsetOutOfRange {
+        /// Requested offset.
+        requested: u64,
+        /// First offset still retained.
+        log_start: u64,
+        /// One past the last appended offset.
+        high_watermark: u64,
+    },
+    /// A topic must have at least one partition.
+    ZeroPartitions,
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::UnknownTopic { topic } => write!(f, "unknown topic `{topic}`"),
+            BusError::UnknownPartition { topic, partition } => {
+                write!(f, "topic `{topic}` has no partition {partition}")
+            }
+            BusError::TopicExists { topic } => write!(f, "topic `{topic}` already exists"),
+            BusError::OffsetOutOfRange {
+                requested,
+                log_start,
+                high_watermark,
+            } => write!(
+                f,
+                "offset {requested} out of range [{log_start}, {high_watermark})"
+            ),
+            BusError::ZeroPartitions => write!(f, "topic must have at least one partition"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = BusError::UnknownTopic {
+            topic: "metrics".into(),
+        };
+        assert_eq!(e.to_string(), "unknown topic `metrics`");
+        let e = BusError::OffsetOutOfRange {
+            requested: 9,
+            log_start: 10,
+            high_watermark: 20,
+        };
+        assert!(e.to_string().contains("[10, 20)"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BusError>();
+    }
+}

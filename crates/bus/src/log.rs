@@ -1,0 +1,242 @@
+//! A single partition: an append-only offset-addressed log with retention.
+
+use crate::error::BusError;
+
+/// One record in a partition, together with broker-assigned metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry<T> {
+    /// The offset assigned at append time; unique and dense per partition.
+    pub offset: u64,
+    /// Producer-supplied timestamp in milliseconds (virtual or wall clock —
+    /// the broker only orders by offset, never by time).
+    pub timestamp_ms: u64,
+    /// Optional partitioning/compaction key.
+    pub key: Option<String>,
+    /// The payload.
+    pub value: T,
+}
+
+/// An append-only log for one partition.
+///
+/// Offsets are dense and never reused; retention trims the head, moving
+/// `log_start` forward while `high_watermark` keeps counting.
+///
+/// # Examples
+///
+/// ```
+/// use dcm_bus::log::PartitionLog;
+///
+/// let mut log = PartitionLog::new();
+/// log.append(0, None, "a");
+/// log.append(1, None, "b");
+/// let batch = log.fetch(0, 10).unwrap();
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch[1].value, "b");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionLog<T> {
+    entries: Vec<Entry<T>>,
+    log_start: u64,
+}
+
+impl<T> Default for PartitionLog<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PartitionLog<T> {
+    /// Creates an empty log starting at offset 0.
+    pub fn new() -> Self {
+        PartitionLog {
+            entries: Vec::new(),
+            log_start: 0,
+        }
+    }
+
+    /// Appends a record and returns its assigned offset.
+    pub fn append(&mut self, timestamp_ms: u64, key: Option<String>, value: T) -> u64 {
+        let offset = self.high_watermark();
+        self.entries.push(Entry {
+            offset,
+            timestamp_ms,
+            key,
+            value,
+        });
+        offset
+    }
+
+    /// One past the last appended offset (the offset the next append gets).
+    pub fn high_watermark(&self) -> u64 {
+        self.log_start + self.entries.len() as u64
+    }
+
+    /// The first offset still retained.
+    pub fn log_start(&self) -> u64 {
+        self.log_start
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads up to `max` entries starting at `offset`.
+    ///
+    /// Fetching exactly at the high watermark returns an empty slice (the
+    /// consumer is caught up); fetching beyond it, or below `log_start`, is
+    /// an error.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::OffsetOutOfRange`] when `offset < log_start()` or
+    /// `offset > high_watermark()`.
+    pub fn fetch(&self, offset: u64, max: usize) -> Result<&[Entry<T>], BusError> {
+        let hw = self.high_watermark();
+        if offset < self.log_start || offset > hw {
+            return Err(BusError::OffsetOutOfRange {
+                requested: offset,
+                log_start: self.log_start,
+                high_watermark: hw,
+            });
+        }
+        let start = (offset - self.log_start) as usize;
+        let end = (start + max).min(self.entries.len());
+        Ok(&self.entries[start..end])
+    }
+
+    /// Drops entries with offsets below `offset` (clamped to the valid
+    /// range). Returns the number of entries removed.
+    pub fn truncate_before(&mut self, offset: u64) -> usize {
+        let target = offset.clamp(self.log_start, self.high_watermark());
+        let drop_count = (target - self.log_start) as usize;
+        self.entries.drain(..drop_count);
+        self.log_start = target;
+        drop_count
+    }
+
+    /// Keeps at most `max_entries` newest entries. Returns how many were
+    /// dropped.
+    pub fn enforce_retention(&mut self, max_entries: usize) -> usize {
+        if self.entries.len() <= max_entries {
+            return 0;
+        }
+        let drop_to = self.high_watermark() - max_entries as u64;
+        self.truncate_before(drop_to)
+    }
+
+    /// Drops entries older than `min_timestamp_ms` from the head (stops at
+    /// the first retained-by-time entry, preserving offset density).
+    pub fn expire_before(&mut self, min_timestamp_ms: u64) -> usize {
+        let keep_from = self
+            .entries
+            .iter()
+            .position(|e| e.timestamp_ms >= min_timestamp_ms)
+            .unwrap_or(self.entries.len());
+        let target = self.log_start + keep_from as u64;
+        self.truncate_before(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64) -> PartitionLog<u64> {
+        let mut log = PartitionLog::new();
+        for i in 0..n {
+            let off = log.append(i * 100, None, i);
+            assert_eq!(off, i);
+        }
+        log
+    }
+
+    #[test]
+    fn offsets_are_dense_from_zero() {
+        let log = filled(5);
+        assert_eq!(log.high_watermark(), 5);
+        assert_eq!(log.log_start(), 0);
+        assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn fetch_returns_window() {
+        let log = filled(10);
+        let batch = log.fetch(3, 4).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].offset, 3);
+        assert_eq!(batch[3].offset, 6);
+    }
+
+    #[test]
+    fn fetch_at_high_watermark_is_empty() {
+        let log = filled(3);
+        assert!(log.fetch(3, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fetch_past_high_watermark_errors() {
+        let log = filled(3);
+        let err = log.fetch(4, 1).unwrap_err();
+        assert_eq!(
+            err,
+            BusError::OffsetOutOfRange {
+                requested: 4,
+                log_start: 0,
+                high_watermark: 3
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_moves_log_start_but_not_offsets() {
+        let mut log = filled(10);
+        assert_eq!(log.truncate_before(4), 4);
+        assert_eq!(log.log_start(), 4);
+        assert_eq!(log.high_watermark(), 10);
+        let batch = log.fetch(4, 2).unwrap();
+        assert_eq!(batch[0].offset, 4);
+        assert!(log.fetch(3, 1).is_err());
+        // Appending continues at the same watermark.
+        assert_eq!(log.append(0, None, 99), 10);
+    }
+
+    #[test]
+    fn truncate_clamps_out_of_range_targets() {
+        let mut log = filled(5);
+        assert_eq!(log.truncate_before(100), 5);
+        assert_eq!(log.log_start(), 5);
+        assert!(log.is_empty());
+        assert_eq!(log.truncate_before(0), 0);
+    }
+
+    #[test]
+    fn retention_by_count() {
+        let mut log = filled(10);
+        assert_eq!(log.enforce_retention(3), 7);
+        assert_eq!(log.log_start(), 7);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.enforce_retention(3), 0);
+    }
+
+    #[test]
+    fn retention_by_time() {
+        let mut log = filled(10); // timestamps 0,100,...,900
+        assert_eq!(log.expire_before(350), 4);
+        assert_eq!(log.log_start(), 4);
+        assert_eq!(log.fetch(4, 1).unwrap()[0].timestamp_ms, 400);
+    }
+
+    #[test]
+    fn keys_are_preserved() {
+        let mut log = PartitionLog::new();
+        log.append(0, Some("server-1".into()), 1);
+        let batch = log.fetch(0, 1).unwrap();
+        assert_eq!(batch[0].key.as_deref(), Some("server-1"));
+    }
+}

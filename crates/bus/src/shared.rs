@@ -1,0 +1,278 @@
+//! Thread-safe broker handle with blocking consumption.
+//!
+//! Monitor agents in a live deployment run on their own threads and push
+//! metrics concurrently while the controller consumes; [`SharedBroker`]
+//! provides that concurrent facade over [`Broker`] (in simulation runs the
+//! single-threaded [`Broker`] is driven directly from the event loop).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::broker::{Broker, Retention};
+use crate::error::BusError;
+use crate::log::Entry;
+
+/// A cloneable, thread-safe handle to a [`Broker`].
+///
+/// # Examples
+///
+/// ```
+/// use dcm_bus::{Retention, SharedBroker};
+///
+/// let bus: SharedBroker<u32> = SharedBroker::new();
+/// bus.create_topic("metrics", 1, Retention::UNBOUNDED)?;
+///
+/// let producer = bus.clone();
+/// std::thread::spawn(move || {
+///     producer.produce("metrics", 0, None, 42).unwrap();
+/// })
+/// .join()
+/// .unwrap();
+///
+/// let batch = bus.fetch_owned("metrics", 0, 0, 10)?;
+/// assert_eq!(batch[0].value, 42);
+/// # Ok::<(), dcm_bus::BusError>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedBroker<T> {
+    inner: Arc<Shared<T>>,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    broker: Mutex<Broker<T>>,
+    data_arrived: Condvar,
+}
+
+impl<T> Clone for SharedBroker<T> {
+    fn clone(&self) -> Self {
+        SharedBroker {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for SharedBroker<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SharedBroker<T> {
+    /// Creates an empty shared broker.
+    pub fn new() -> Self {
+        SharedBroker {
+            inner: Arc::new(Shared {
+                broker: Mutex::new(Broker::new()),
+                data_arrived: Condvar::new(),
+            }),
+        }
+    }
+
+    /// See [`Broker::create_topic`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the underlying broker.
+    pub fn create_topic(
+        &self,
+        name: &str,
+        partitions: u32,
+        retention: Retention,
+    ) -> Result<(), BusError> {
+        self.inner.broker.lock().create_topic(name, partitions, retention)
+    }
+
+    /// See [`Broker::produce`]; wakes blocked consumers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the underlying broker.
+    pub fn produce(
+        &self,
+        topic: &str,
+        timestamp_ms: u64,
+        key: Option<String>,
+        value: T,
+    ) -> Result<(u32, u64), BusError> {
+        let result = self.inner.broker.lock().produce(topic, timestamp_ms, key, value);
+        if result.is_ok() {
+            self.inner.data_arrived.notify_all();
+        }
+        result
+    }
+
+    /// See [`Broker::high_watermark`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the underlying broker.
+    pub fn high_watermark(&self, topic: &str, partition: u32) -> Result<u64, BusError> {
+        self.inner.broker.lock().high_watermark(topic, partition)
+    }
+
+    /// See [`Broker::commit_offset`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the underlying broker.
+    pub fn commit_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<(), BusError> {
+        self.inner.broker.lock().commit_offset(group, topic, partition, offset)
+    }
+
+    /// See [`Broker::committed_offset`].
+    pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> u64 {
+        self.inner.broker.lock().committed_offset(group, topic, partition)
+    }
+
+    /// See [`Broker::lag`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the underlying broker.
+    pub fn lag(&self, group: &str, topic: &str) -> Result<Vec<u64>, BusError> {
+        self.inner.broker.lock().lag(group, topic)
+    }
+
+    /// Runs `f` with exclusive access to the underlying broker, for batch
+    /// operations that need a consistent view.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Broker<T>) -> R) -> R {
+        f(&mut self.inner.broker.lock())
+    }
+}
+
+impl<T: Clone> SharedBroker<T> {
+    /// Fetches entries as owned clones (the lock cannot escape the call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the underlying broker.
+    pub fn fetch_owned(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<Entry<T>>, BusError> {
+        Ok(self
+            .inner
+            .broker
+            .lock()
+            .fetch(topic, partition, offset, max)?
+            .to_vec())
+    }
+
+    /// Like [`SharedBroker::fetch_owned`], but when the consumer is caught
+    /// up it blocks until new data arrives or `timeout` elapses (returning
+    /// an empty batch on timeout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the underlying broker.
+    pub fn fetch_blocking(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Entry<T>>, BusError> {
+        let mut broker = self.inner.broker.lock();
+        loop {
+            let batch = broker.fetch(topic, partition, offset, max)?;
+            if !batch.is_empty() {
+                return Ok(batch.to_vec());
+            }
+            if self
+                .inner
+                .data_arrived
+                .wait_for(&mut broker, timeout)
+                .timed_out()
+            {
+                return Ok(Vec::new());
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_producers_interleave_without_loss() {
+        let bus: SharedBroker<u64> = SharedBroker::new();
+        bus.create_topic("t", 4, Retention::UNBOUNDED).unwrap();
+        let mut handles = vec![];
+        for p in 0..4u64 {
+            let bus = bus.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..250u64 {
+                    bus.produce("t", 0, Some(format!("k{p}")), p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = (0..4)
+            .map(|p| bus.high_watermark("t", p).unwrap())
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn blocking_fetch_wakes_on_produce() {
+        let bus: SharedBroker<u32> = SharedBroker::new();
+        bus.create_topic("t", 1, Retention::UNBOUNDED).unwrap();
+        let consumer = bus.clone();
+        let handle = thread::spawn(move || {
+            consumer
+                .fetch_blocking("t", 0, 0, 10, Duration::from_secs(5))
+                .unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        bus.produce("t", 0, None, 9).unwrap();
+        let batch = handle.join().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].value, 9);
+    }
+
+    #[test]
+    fn blocking_fetch_times_out_empty() {
+        let bus: SharedBroker<u32> = SharedBroker::new();
+        bus.create_topic("t", 1, Retention::UNBOUNDED).unwrap();
+        let batch = bus
+            .fetch_blocking("t", 0, 0, 10, Duration::from_millis(20))
+            .unwrap();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn with_gives_exclusive_batch_access() {
+        let bus: SharedBroker<u32> = SharedBroker::new();
+        bus.create_topic("t", 1, Retention::UNBOUNDED).unwrap();
+        bus.with(|b| {
+            for i in 0..5 {
+                b.produce_to_partition("t", 0, i, None, i as u32).unwrap();
+            }
+        });
+        assert_eq!(bus.high_watermark("t", 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn handle_is_send_sync_clone() {
+        fn assert_traits<T: Send + Sync + Clone>() {}
+        assert_traits::<SharedBroker<u32>>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the broker: offset discipline, consumer-group
+//! semantics, and retention under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use dcm_bus::{Broker, GroupConsumer, Retention};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Produce { key: Option<u8>, value: u32 },
+    Poll { max: usize },
+    Commit,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (prop::option::of(0u8..8), any::<u32>())
+            .prop_map(|(key, value)| Op::Produce { key, value }),
+        (1usize..50).prop_map(|max| Op::Poll { max }),
+        Just(Op::Commit),
+    ]
+}
+
+proptest! {
+    /// A consumer sees every produced record exactly once, per partition in
+    /// offset order, across arbitrary produce/poll/commit interleavings.
+    #[test]
+    fn consumer_sees_everything_exactly_once(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut broker: Broker<u32> = Broker::new();
+        broker.create_topic("t", 3, Retention::UNBOUNDED).unwrap();
+        let mut consumer = GroupConsumer::new("g", "t", &broker).unwrap();
+        let mut produced: Vec<u32> = Vec::new();
+        let mut consumed: Vec<u32> = Vec::new();
+        let mut ts = 0u64;
+        for op in &ops {
+            match op {
+                Op::Produce { key, value } => {
+                    ts += 1;
+                    broker
+                        .produce("t", ts, key.map(|k| format!("k{k}")), *value)
+                        .unwrap();
+                    produced.push(*value);
+                }
+                Op::Poll { max } => {
+                    let batch = consumer.poll(&broker, *max).unwrap();
+                    consumed.extend(batch.iter().map(|e| e.value));
+                }
+                Op::Commit => consumer.commit(&mut broker).unwrap(),
+            }
+        }
+        // Drain whatever remains.
+        loop {
+            let batch = consumer.poll(&broker, 1000).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            consumed.extend(batch.iter().map(|e| e.value));
+        }
+        let mut produced_sorted = produced.clone();
+        let mut consumed_sorted = consumed.clone();
+        produced_sorted.sort_unstable();
+        consumed_sorted.sort_unstable();
+        prop_assert_eq!(produced_sorted, consumed_sorted);
+        prop_assert_eq!(consumer.lag(&broker).unwrap(), 0);
+    }
+
+    /// High watermarks are dense: total records equals the sum of
+    /// watermarks; per-partition offsets are assigned 0,1,2,...
+    #[test]
+    fn offsets_are_dense(keys in prop::collection::vec(prop::option::of(0u8..5), 1..150)) {
+        let mut broker: Broker<usize> = Broker::new();
+        broker.create_topic("t", 4, Retention::UNBOUNDED).unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            let (partition, offset) = broker
+                .produce("t", i as u64, key.map(|k| format!("k{k}")), i)
+                .unwrap();
+            // The assigned offset must equal the prior watermark.
+            prop_assert_eq!(offset + 1, broker.high_watermark("t", partition).unwrap());
+        }
+        let total: u64 = (0..4).map(|p| broker.high_watermark("t", p).unwrap()).sum();
+        prop_assert_eq!(total, keys.len() as u64);
+    }
+
+    /// Same key always lands in the same partition.
+    #[test]
+    fn keyed_routing_is_deterministic(key in 0u8..32, n in 1usize..20) {
+        let mut broker: Broker<u32> = Broker::new();
+        broker.create_topic("t", 5, Retention::UNBOUNDED).unwrap();
+        let mut partitions = std::collections::HashSet::new();
+        for i in 0..n {
+            let (p, _) = broker
+                .produce("t", i as u64, Some(format!("key-{key}")), 0)
+                .unwrap();
+            partitions.insert(p);
+        }
+        prop_assert_eq!(partitions.len(), 1);
+    }
+
+    /// Count-bounded retention never retains more than the limit, never
+    /// advances the watermark backwards, and keeps the newest entries.
+    #[test]
+    fn retention_keeps_newest(limit in 1usize..20, n in 1usize..100) {
+        let mut broker: Broker<usize> = Broker::new();
+        broker
+            .create_topic("t", 1, Retention::by_entries(limit))
+            .unwrap();
+        for i in 0..n {
+            broker.produce_to_partition("t", 0, i as u64, None, i).unwrap();
+        }
+        let hw = broker.high_watermark("t", 0).unwrap();
+        prop_assert_eq!(hw, n as u64);
+        let start = hw.saturating_sub(limit as u64);
+        let batch = broker.fetch("t", 0, start, 1000).unwrap();
+        prop_assert!(batch.len() <= limit);
+        // Retained values are exactly the newest ones.
+        for (i, entry) in batch.iter().enumerate() {
+            prop_assert_eq!(entry.value, start as usize + i);
+        }
+    }
+
+    /// A consumer that resumes after retention trimmed its position still
+    /// terminates with zero lag and sees only retained records.
+    #[test]
+    fn consumer_survives_retention_gaps(
+        produce_before in 1usize..80,
+        produce_after in 1usize..80,
+    ) {
+        let mut broker: Broker<usize> = Broker::new();
+        broker.create_topic("t", 1, Retention::by_entries(10)).unwrap();
+        let mut consumer = GroupConsumer::new("g", "t", &broker).unwrap();
+        for i in 0..produce_before {
+            broker.produce_to_partition("t", 0, i as u64, None, i).unwrap();
+        }
+        let first = consumer.poll(&broker, 1000).unwrap();
+        for i in 0..produce_after {
+            broker
+                .produce_to_partition("t", 0, (produce_before + i) as u64, None, produce_before + i)
+                .unwrap();
+        }
+        let second = consumer.poll(&broker, 1000).unwrap();
+        prop_assert!(first.len() <= 10 && second.len() <= 10 + 1);
+        prop_assert_eq!(consumer.lag(&broker).unwrap(), 0);
+        // No duplicates across polls.
+        let mut all: Vec<usize> = first.iter().chain(second.iter()).map(|e| e.value).collect();
+        let before_dedup = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), before_dedup, "duplicate delivery");
+    }
+}

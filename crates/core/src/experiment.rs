@@ -1,0 +1,397 @@
+//! The Fig. 5 experiment harness: a trace-driven run of the full stack —
+//! workload, monitor, broker, controller — producing every series the
+//! paper's evaluation plots.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dcm_bus::GroupConsumer;
+use dcm_ntier::request::Completion;
+use dcm_ntier::system::SystemCounters;
+use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+use dcm_ntier::world::{SimEngine, World};
+use dcm_sim::stats::TimeSeries;
+use dcm_sim::time::{SimDuration, SimTime};
+use dcm_workload::generator::UserPopulation;
+use dcm_workload::profile::ProfileFactory;
+use dcm_workload::report::{windowed_series, LoadReport, WindowedSeries};
+use dcm_workload::traces::WorkloadTrace;
+
+use crate::agents::ActionRecord;
+use crate::controller::Controller;
+use crate::monitor::{install_monitor, new_metrics_bus, MetricsBus, MonitorConfig, METRICS_TOPIC};
+
+/// Configuration of a trace-driven scaling experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceExperimentConfig {
+    /// The user-count trace to follow.
+    pub trace: WorkloadTrace,
+    /// Run length.
+    pub horizon: SimTime,
+    /// Client think time (the paper's RUBBoS clients average 3 s).
+    pub think_time_secs: f64,
+    /// Initial `#W_T/#A_T/#A_C` soft allocation (the paper's Fig. 5 run
+    /// starts at `1000-200-40`).
+    pub initial_soft: SoftConfig,
+    /// Initial `#W/#A/#D` hardware configuration.
+    pub initial_counts: (u32, u32, u32),
+    /// Controller invocation period (15 s in the paper).
+    pub control_period: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that a VM boot fails (failure injection; 0 in the
+    /// paper's environment).
+    pub boot_failure_prob: f64,
+}
+
+impl TraceExperimentConfig {
+    /// The paper's Fig. 5 setup around the given trace.
+    pub fn figure5(trace: WorkloadTrace) -> Self {
+        TraceExperimentConfig {
+            trace,
+            horizon: SimTime::from_secs(700),
+            think_time_secs: 3.0,
+            initial_soft: SoftConfig::new(1000, 200, 40),
+            initial_counts: (1, 1, 1),
+            control_period: SimDuration::from_secs(15),
+            seed: 42,
+            boot_failure_prob: 0.0,
+        }
+    }
+}
+
+/// Everything a Fig. 5 style run produces.
+#[derive(Debug, Clone)]
+pub struct TraceRunResult {
+    /// Controller display name.
+    pub controller: &'static str,
+    /// Every request completion (successes and rejections).
+    pub completions: Vec<Completion>,
+    /// Offered user-count series.
+    pub offered: TimeSeries,
+    /// Per-tier routable-server counts — one series per tier, one point
+    /// per second.
+    pub tier_vm_counts: Vec<TimeSeries>,
+    /// Per-tier mean CPU utilization, one point per second.
+    pub tier_cpu_util: Vec<TimeSeries>,
+    /// The controller's actuation timeline.
+    pub actions: Vec<ActionRecord>,
+    /// Per-tier VM-seconds consumed (the resource-cost metric).
+    pub vm_seconds: Vec<f64>,
+    /// System conservation counters at the end of the run.
+    pub counters: SystemCounters,
+    /// The configured horizon.
+    pub horizon: SimTime,
+}
+
+impl TraceRunResult {
+    /// Per-window throughput/response-time series over the full horizon.
+    pub fn series(&self, window: SimDuration) -> WindowedSeries {
+        windowed_series(&self.completions, SimTime::ZERO, self.horizon, window)
+    }
+
+    /// Summary over `[start, end)`.
+    pub fn report(&self, start: SimTime, end: SimTime) -> LoadReport {
+        LoadReport::from_completions(&self.completions, start, end)
+    }
+
+    /// Whole-run summary (excluding nothing).
+    pub fn overall(&self) -> LoadReport {
+        self.report(SimTime::ZERO, self.horizon)
+    }
+
+    /// Total VM-seconds across tiers.
+    pub fn total_vm_seconds(&self) -> f64 {
+        self.vm_seconds.iter().sum()
+    }
+}
+
+/// Options for a steady-state throughput measurement under think-time
+/// clients (the validation-phase workload of Fig. 2(b)/Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyStateOptions {
+    /// Settling time excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// Mean think time between a user's requests (the RUBBoS client's 3 s).
+    pub think_time_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SteadyStateOptions {
+    fn default() -> Self {
+        SteadyStateOptions {
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(90),
+            think_time_secs: 3.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of one steady-state measurement.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SteadyStateReport {
+    /// Concurrent users offered.
+    pub users: u32,
+    /// Completions per second over the measurement window.
+    pub throughput: f64,
+    /// Mean response time (seconds).
+    pub mean_rt: f64,
+    /// 95th-percentile response time (seconds).
+    pub p95_rt: f64,
+}
+
+/// Measures steady-state throughput and response time of a fixed topology
+/// under `users` think-time clients (no controllers; this is the paper's
+/// validation methodology for Fig. 2(b) and Fig. 4).
+pub fn steady_state_throughput(
+    counts: (u32, u32, u32),
+    soft: SoftConfig,
+    users: u32,
+    options: &SteadyStateOptions,
+) -> SteadyStateReport {
+    let (mut world, mut engine) = ThreeTierBuilder::new()
+        .counts(counts.0, counts.1, counts.2)
+        .soft(soft)
+        .seed(options.seed.wrapping_add(u64::from(users)))
+        .build();
+    let warmup_end = SimTime::ZERO + options.warmup;
+    let measure_end = warmup_end + options.measure;
+    let population = UserPopulation::start_think_time(
+        &mut world,
+        &mut engine,
+        ProfileFactory::rubbos(),
+        users,
+        options.think_time_secs,
+        measure_end,
+    );
+    engine.run_until(&mut world, measure_end);
+    population.with_completions(|log| {
+        let mut report = LoadReport::from_completions(log, warmup_end, measure_end);
+        SteadyStateReport {
+            users,
+            throughput: report.throughput(),
+            mean_rt: report.mean_response_time(),
+            p95_rt: report.response_time_quantile(0.95).unwrap_or(0.0),
+        }
+    })
+}
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    tier_vm_counts: Vec<TimeSeries>,
+    tier_cpu_util: Vec<TimeSeries>,
+}
+
+/// Runs a trace experiment with the controller produced by `make` (which
+/// receives the metrics bus the monitor publishes to).
+pub fn run_trace_experiment<C, F>(config: &TraceExperimentConfig, make: F) -> TraceRunResult
+where
+    C: Controller + 'static,
+    F: FnOnce(MetricsBus) -> C,
+{
+    let (mut world, mut engine) = ThreeTierBuilder::new()
+        .counts(
+            config.initial_counts.0,
+            config.initial_counts.1,
+            config.initial_counts.2,
+        )
+        .soft(config.initial_soft)
+        .seed(config.seed)
+        .build();
+    world.system.boot_failure_prob = config.boot_failure_prob;
+    let tier_count = world.system.tier_count();
+
+    // Monitoring pipeline.
+    let bus = new_metrics_bus();
+    install_monitor(
+        &mut engine,
+        Rc::clone(&bus),
+        MonitorConfig::every_second_until(config.horizon),
+    );
+
+    // Per-second recorder for the Fig. 5(c)–(f) series.
+    let recorder = Rc::new(RefCell::new(RecorderState {
+        tier_vm_counts: vec![TimeSeries::new(); tier_count],
+        tier_cpu_util: vec![TimeSeries::new(); tier_count],
+    }));
+    let rec_consumer = {
+        let broker = bus.borrow();
+        GroupConsumer::new("recorder", METRICS_TOPIC, &broker).expect("metrics topic exists")
+    };
+    schedule_recorder(
+        &mut engine,
+        Rc::clone(&recorder),
+        Rc::clone(&bus),
+        Rc::new(RefCell::new(rec_consumer)),
+        config.horizon,
+    );
+
+    // Workload.
+    let population = UserPopulation::start_trace_driven(
+        &mut world,
+        &mut engine,
+        ProfileFactory::rubbos(),
+        &config.trace,
+        config.think_time_secs,
+        config.horizon,
+    );
+
+    // Controller loop.
+    let controller = Rc::new(RefCell::new(make(Rc::clone(&bus))));
+    schedule_controller(
+        &mut engine,
+        Rc::clone(&controller),
+        config.control_period,
+        config.horizon,
+    );
+
+    // Run to the horizon, then drain in-flight work.
+    engine.run_until(&mut world, config.horizon);
+    let vm_seconds: Vec<f64> = (0..tier_count)
+        .map(|t| world.system.vm_seconds(t, config.horizon))
+        .collect();
+    engine.run(&mut world);
+
+    let recorder = Rc::try_unwrap(recorder)
+        .expect("recorder events finished")
+        .into_inner();
+    let controller = controller.borrow();
+    TraceRunResult {
+        controller: controller.name(),
+        completions: population.completions(),
+        offered: population.offered_series(),
+        tier_vm_counts: recorder.tier_vm_counts,
+        tier_cpu_util: recorder.tier_cpu_util,
+        actions: controller.actions(),
+        vm_seconds,
+        counters: world.system.counters(),
+        horizon: config.horizon,
+    }
+}
+
+fn schedule_controller<C: Controller + 'static>(
+    engine: &mut SimEngine,
+    controller: Rc<RefCell<C>>,
+    period: SimDuration,
+    stop_at: SimTime,
+) {
+    let next = engine.now() + period;
+    if next > stop_at {
+        return;
+    }
+    engine.schedule_at(next, move |world: &mut World, engine: &mut SimEngine| {
+        controller.borrow_mut().on_tick(world, engine);
+        schedule_controller(engine, controller, period, stop_at);
+    });
+}
+
+fn schedule_recorder(
+    engine: &mut SimEngine,
+    recorder: Rc<RefCell<RecorderState>>,
+    bus: MetricsBus,
+    consumer: Rc<RefCell<GroupConsumer>>,
+    stop_at: SimTime,
+) {
+    let next = engine.now() + SimDuration::from_secs(1);
+    if next > stop_at {
+        return;
+    }
+    engine.schedule_at(next, move |world: &mut World, engine: &mut SimEngine| {
+        let now = engine.now();
+        {
+            let mut rec = recorder.borrow_mut();
+            for tier in 0..world.system.tier_count() {
+                rec.tier_vm_counts[tier]
+                    .push(now, world.system.running_count(tier) as f64);
+            }
+            let records = {
+                let broker = bus.borrow();
+                consumer
+                    .borrow_mut()
+                    .poll(&broker, 10_000)
+                    .expect("metrics topic exists")
+            };
+            let windows = crate::aggregate::aggregate_by_tier(&records);
+            for tier in 0..world.system.tier_count() {
+                let util = windows.get(&tier).map_or(0.0, |w| w.mean_cpu_util);
+                rec.tier_cpu_util[tier].push(now, util);
+            }
+        }
+        schedule_recorder(engine, recorder, bus, consumer, stop_at);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{DcmConfig, DcmModels, Ec2AutoScale};
+    use crate::policy::ScalingConfig;
+    use dcm_model::concurrency::ConcurrencyModel;
+    use dcm_ntier::law::reference;
+    use dcm_workload::traces;
+
+    fn quick_config(trace: WorkloadTrace) -> TraceExperimentConfig {
+        TraceExperimentConfig {
+            trace,
+            horizon: SimTime::from_secs(120),
+            think_time_secs: 1.0,
+            initial_soft: SoftConfig::new(1000, 200, 40),
+            initial_counts: (1, 1, 1),
+            control_period: SimDuration::from_secs(15),
+            seed: 5,
+            boot_failure_prob: 0.0,
+        }
+    }
+
+    #[test]
+    fn ec2_run_scales_out_under_step_load() {
+        let config = quick_config(traces::step(20, 320, 30.0));
+        let result = run_trace_experiment(&config, |bus| {
+            Ec2AutoScale::new(bus, ScalingConfig::default())
+        });
+        assert_eq!(result.controller, "EC2-AutoScale");
+        assert!(
+            result
+                .actions
+                .iter()
+                .any(|a| matches!(a.action, crate::agents::Action::ScaleOut { .. })),
+            "step load should trigger a scale-out: {:?}",
+            result.actions
+        );
+        // Series recorded every second.
+        assert_eq!(result.tier_vm_counts.len(), 3);
+        assert!(result.tier_vm_counts[1].len() >= 118);
+        assert!(result.counters.in_flight() == 0);
+        assert!(result.overall().completed() > 500);
+        // VM-seconds: tier 1 grew beyond one server at some point.
+        assert!(result.vm_seconds[1] > 120.0 - 1e-9);
+    }
+
+    #[test]
+    fn dcm_run_applies_soft_allocations() {
+        let config = quick_config(traces::step(20, 320, 30.0));
+        let app = reference::tomcat();
+        let db = reference::mysql();
+        let models = DcmModels {
+            app: ConcurrencyModel::new(app.s0(), app.alpha(), app.beta(), 1.0, 1),
+            db: ConcurrencyModel::new(db.s0(), db.alpha(), db.beta(), 1.0, 1),
+        };
+        let result = run_trace_experiment(&config, |bus| {
+            crate::controller::Dcm::new(bus, DcmConfig::default(), models)
+        });
+        assert_eq!(result.controller, "DCM");
+        assert!(
+            result
+                .actions
+                .iter()
+                .any(|a| matches!(a.action, crate::agents::Action::SetThreadPools { .. })),
+            "DCM must actuate thread pools: {:?}",
+            result.actions
+        );
+        assert!(result.counters.in_flight() == 0);
+    }
+}

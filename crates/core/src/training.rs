@@ -1,0 +1,383 @@
+//! Offline model training (paper §V-A, producing Table I).
+//!
+//! Jmeter-style closed-loop sweeps with zero think time: for each offered
+//! concurrency level the system runs to steady state, the monitor measures
+//! the bottleneck tier's actual request-processing concurrency and the
+//! system throughput, and the `⟨concurrency, throughput⟩` points train the
+//! concurrency-aware model by least squares.
+//!
+//! * **App model** (Tomcat): trained on `1/1/1`, where the app tier is the
+//!   bottleneck; default soft resources `1000-100-80`.
+//! * **DB model** (MySQL): trained on `1/2/1`, where the database is the
+//!   bottleneck; same soft defaults (two app servers ⇒ up to 160
+//!   connections flood the DB, tracing the dome past its knee).
+
+use dcm_model::concurrency::{fit_throughput_curve, FitOptions, FitReport};
+use dcm_model::lsq::FitError;
+use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+use dcm_sim::time::{SimDuration, SimTime};
+use dcm_workload::generator::UserPopulation;
+use dcm_workload::profile::ProfileFactory;
+use dcm_workload::report::LoadReport;
+use serde::{Deserialize, Serialize};
+
+/// One steady-state measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered closed-loop users.
+    pub offered: u32,
+    /// Measured mean request-processing concurrency per server of the
+    /// target tier.
+    pub concurrency: f64,
+    /// Measured system throughput (requests/second).
+    pub throughput: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Settling time excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+    /// RNG seed (per level, combined with the level index).
+    pub seed: u64,
+    /// Use the deterministic demand profile (noise-free calibration).
+    pub deterministic: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            warmup: SimDuration::from_secs(10),
+            measure: SimDuration::from_secs(40),
+            seed: 1,
+            deterministic: false,
+        }
+    }
+}
+
+/// A completed training run: the sweep data and the fitted model — one
+/// column of Table I.
+#[derive(Debug, Clone)]
+pub struct TrainingRun {
+    /// The measured sweep.
+    pub points: Vec<SweepPoint>,
+    /// The least-squares fit.
+    pub report: FitReport,
+}
+
+/// Runs one steady-state closed-loop measurement of `tier` on the given
+/// topology and soft configuration.
+pub fn measure_steady_state(
+    counts: (u32, u32, u32),
+    soft: SoftConfig,
+    tier: usize,
+    users: u32,
+    options: &SweepOptions,
+) -> SweepPoint {
+    let (mut world, mut engine) = ThreeTierBuilder::new()
+        .counts(counts.0, counts.1, counts.2)
+        .soft(soft)
+        .seed(options.seed.wrapping_add(u64::from(users)))
+        .build();
+    let factory = if options.deterministic {
+        ProfileFactory::rubbos_deterministic()
+    } else {
+        ProfileFactory::rubbos()
+    };
+    let warmup_end = SimTime::ZERO + options.warmup;
+    let measure_end = warmup_end + options.measure;
+    let population =
+        UserPopulation::start_closed_loop(&mut world, &mut engine, factory, users, measure_end);
+
+    // Warm up, then reset every server's measurement window.
+    engine.run_until(&mut world, warmup_end);
+    let _ = world.system.sample_all(warmup_end);
+
+    engine.run_until(&mut world, measure_end);
+    let samples = world.system.sample_all(measure_end);
+    let tier_samples: Vec<_> = samples.iter().filter(|s| s.tier == tier).collect();
+    let concurrency = if tier_samples.is_empty() {
+        0.0
+    } else {
+        tier_samples.iter().map(|s| s.active_threads).sum::<f64>() / tier_samples.len() as f64
+    };
+    let throughput = population.with_completions(|log| {
+        LoadReport::from_completions(log, warmup_end, measure_end).throughput()
+    });
+    SweepPoint {
+        offered: users,
+        concurrency,
+        throughput,
+    }
+}
+
+/// Sweeps the app tier on `1/1/1` (the paper's Tomcat training setup).
+pub fn app_tier_sweep(levels: &[u32], options: &SweepOptions) -> Vec<SweepPoint> {
+    levels
+        .iter()
+        .map(|&users| {
+            measure_steady_state((1, 1, 1), SoftConfig::DEFAULT, 1, users, options)
+        })
+        .collect()
+}
+
+/// Sweeps the db tier on `1/2/1` (the paper's MySQL training setup).
+pub fn db_tier_sweep(levels: &[u32], options: &SweepOptions) -> Vec<SweepPoint> {
+    levels
+        .iter()
+        .map(|&users| {
+            measure_steady_state((1, 2, 1), SoftConfig::DEFAULT, 2, users, options)
+        })
+        .collect()
+}
+
+/// Directly stresses MySQL at a precisely controlled query concurrency —
+/// the paper's Fig. 2(a) methodology ("Jmeter … with precisely controlled
+/// concurrency to stress the MySQL server", thread pool matched to the
+/// workload concurrency).
+///
+/// The upstream tiers carry negligible demand and wide-open pools, so the
+/// closed-loop user count maps 1:1 onto in-flight MySQL queries. Returns
+/// the measured MySQL concurrency and **query** throughput (queries/s).
+pub fn db_stress_point(concurrency: u32, options: &SweepOptions) -> SweepPoint {
+    use dcm_ntier::law::reference;
+    use dcm_sim::dist::Dist;
+    use dcm_workload::servlets::{Servlet, ServletMix};
+
+    let (mut world, mut engine) = ThreeTierBuilder::new()
+        .counts(1, 1, 1)
+        .soft(SoftConfig::new(
+            concurrency.max(1) * 2,
+            concurrency.max(1) * 2,
+            concurrency.max(1),
+        ))
+        .seed(options.seed.wrapping_add(u64::from(concurrency)))
+        .build();
+    let single = ServletMix::from_servlets(vec![Servlet {
+        name: "DbStress",
+        weight: 1.0,
+        web_mult: 1.0,
+        app_mult: 1.0,
+        db_mult: 1.0,
+        db_queries: 2,
+    }])
+    .expect("single-servlet mix is valid");
+    let db_base = if options.deterministic {
+        Dist::constant(reference::mysql().s0())
+    } else {
+        Dist::exponential_mean(reference::mysql().s0())
+    };
+    let factory = ProfileFactory::rubbos()
+        .with_mix(single)
+        .with_bases(Dist::constant(1e-7), Dist::constant(1e-7), db_base);
+
+    let warmup_end = SimTime::ZERO + options.warmup;
+    let measure_end = warmup_end + options.measure;
+    let _population = UserPopulation::start_closed_loop(
+        &mut world,
+        &mut engine,
+        factory,
+        concurrency,
+        measure_end,
+    );
+    engine.run_until(&mut world, warmup_end);
+    let _ = world.system.sample_all(warmup_end);
+    engine.run_until(&mut world, measure_end);
+    let samples = world.system.sample_all(measure_end);
+    let db = samples
+        .iter()
+        .find(|s| s.tier == 2)
+        .expect("db tier sampled");
+    SweepPoint {
+        offered: concurrency,
+        concurrency: db.active_threads,
+        throughput: db.throughput,
+    }
+}
+
+/// Sweeps MySQL under direct stress over the given concurrency levels.
+pub fn db_stress_sweep(levels: &[u32], options: &SweepOptions) -> Vec<SweepPoint> {
+    levels.iter().map(|&c| db_stress_point(c, options)).collect()
+}
+
+/// The default offered-concurrency levels for the app sweep (1 → 200, as
+/// in the paper's "workload with concurrency from 1 to 200").
+pub fn default_app_levels() -> Vec<u32> {
+    vec![1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 40, 55, 70, 90, 100, 130, 160, 200]
+}
+
+/// The default offered levels for the `1/2/1` db sweep (drives MySQL
+/// concurrency from single digits toward the 160-connection cap).
+pub fn default_db_levels() -> Vec<u32> {
+    vec![4, 8, 16, 30, 50, 80, 120, 160, 200, 260, 320, 400, 500]
+}
+
+/// Default controlled-concurrency levels for direct MySQL stress: dense
+/// around the knee, sparse into the thrash region (the model family cannot
+/// represent the cliff, so flooding it with post-cliff points would fit
+/// neither region — the same restriction the paper's 1–200 training range
+/// imposes).
+pub fn default_db_stress_levels() -> Vec<u32> {
+    vec![1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36, 42, 50, 60, 70, 80, 90, 100]
+}
+
+/// Fits a model to sweep points.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] from the optimizer.
+pub fn fit_sweep(points: &[SweepPoint], servers: u32) -> Result<FitReport, FitError> {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.concurrency, p.throughput))
+        .collect();
+    fit_throughput_curve(&data, servers, FitOptions::default())
+}
+
+/// Robust variant of [`fit_sweep`]: fit, discard points whose relative
+/// residual exceeds `trim` (default 0.25), refit — up to two rounds.
+///
+/// Real servers fall off a cliff past deep saturation (thrash) that the
+/// paper's quadratic family cannot represent; a plain least-squares fit
+/// over such points compromises the healthy region where the controller
+/// actually operates. Trimming recovers the family's best description of
+/// the well-behaved regime (the paper's high `R²` over its training range
+/// implies its data stayed there).
+///
+/// # Errors
+///
+/// Propagates [`FitError`]; falls back to the untrimmed fit if trimming
+/// would leave fewer than 6 points.
+pub fn fit_sweep_robust(
+    points: &[SweepPoint],
+    servers: u32,
+    trim: f64,
+) -> Result<FitReport, FitError> {
+    let mut current: Vec<SweepPoint> = points.to_vec();
+    let mut report = fit_sweep(&current, servers)?;
+    for _ in 0..2 {
+        let kept: Vec<SweepPoint> = current
+            .iter()
+            .copied()
+            .filter(|p| {
+                let predicted = report.model.predict_throughput(p.concurrency);
+                (predicted - p.throughput).abs() <= trim * p.throughput.max(1e-9)
+            })
+            .collect();
+        if kept.len() < 6 || kept.len() == current.len() {
+            break;
+        }
+        current = kept;
+        report = fit_sweep(&current, servers)?;
+    }
+    Ok(report)
+}
+
+/// Trains the app-tier (Tomcat) model — Table I, first column.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] from the optimizer.
+pub fn train_app_model(options: &SweepOptions) -> Result<TrainingRun, FitError> {
+    let points = app_tier_sweep(&default_app_levels(), options);
+    let report = fit_sweep_robust(&points, 1, 0.25)?;
+    Ok(TrainingRun { points, report })
+}
+
+/// Trains the db-tier (MySQL) model — Table I, second column.
+///
+/// Uses the controlled-concurrency direct stress of the paper's §II rather
+/// than the end-to-end `1/2/1` sweep: with the app tier in front, its own
+/// contention caps how much query concurrency ever reaches MySQL, so the
+/// knee region cannot be traced through the full stack (see
+/// [`db_tier_sweep`] for that distorted measurement, kept for comparison).
+/// Throughput here is **queries/second**, so the fitted `γ` absorbs the
+/// visit ratio exactly as in the paper.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] from the optimizer.
+pub fn train_db_model(options: &SweepOptions) -> Result<TrainingRun, FitError> {
+    let points = db_stress_sweep(&default_db_stress_levels(), options);
+    let report = fit_sweep_robust(&points, 1, 0.25)?;
+    Ok(TrainingRun { points, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> SweepOptions {
+        SweepOptions {
+            warmup: SimDuration::from_secs(5),
+            measure: SimDuration::from_secs(20),
+            seed: 7,
+            deterministic: false,
+        }
+    }
+
+    #[test]
+    fn steady_state_measurement_is_sane() {
+        let p = measure_steady_state((1, 1, 1), SoftConfig::DEFAULT, 1, 20, &quick_options());
+        assert_eq!(p.offered, 20);
+        // Closed loop with zero think time keeps ~20 requests in flight;
+        // most of their time is spent at the bottleneck app tier.
+        assert!(p.concurrency > 10.0 && p.concurrency <= 20.5, "{}", p.concurrency);
+        assert!(p.throughput > 40.0, "throughput {}", p.throughput);
+    }
+
+    #[test]
+    fn app_sweep_traces_a_dome() {
+        let levels = [2, 10, 20, 60, 100];
+        let points = app_tier_sweep(&levels, &quick_options());
+        // Throughput at the knee beats both very low and very high
+        // concurrency.
+        let x: Vec<f64> = points.iter().map(|p| p.throughput).collect();
+        assert!(x[2] > x[0] * 1.4, "rising flank {x:?}");
+        assert!(x[2] > x[4], "falling flank {x:?}");
+    }
+
+    #[test]
+    fn app_model_training_recovers_knee_near_20() {
+        let run = train_app_model(&quick_options()).expect("fit converges");
+        assert!(run.report.r_squared > 0.9, "r2 {}", run.report.r_squared);
+        // The dome's peak region is flat (within ~1 % over 18–30), so the
+        // fitted knee carries that uncertainty; the paper's 20 sits inside.
+        let n_star = run.report.model.optimal_concurrency();
+        assert!(
+            (15..=30).contains(&n_star),
+            "expected knee near 20, got {n_star}"
+        );
+    }
+
+    #[test]
+    fn db_model_training_recovers_knee_near_36() {
+        let run = train_db_model(&quick_options()).expect("fit converges");
+        assert!(run.report.r_squared > 0.85, "r2 {}", run.report.r_squared);
+        let n_star = run.report.model.optimal_concurrency();
+        assert!(
+            (22..=48).contains(&n_star),
+            "expected knee near 36, got {n_star}"
+        );
+        // The sweep traces a genuine dome: low-concurrency points deliver a
+        // fraction of the peak.
+        let first = run.points.first().expect("sweep non-empty");
+        let best = run
+            .points
+            .iter()
+            .map(|p| p.throughput)
+            .fold(0.0f64, f64::max);
+        assert!(first.throughput < 0.4 * best, "rising flank missing");
+    }
+
+    #[test]
+    fn db_stress_pins_concurrency() {
+        let p = db_stress_point(36, &quick_options());
+        assert!((p.concurrency - 36.0).abs() < 1.5, "N {}", p.concurrency);
+        // Near the knee the measured query throughput approaches the law's
+        // peak (~169 q/s).
+        assert!(p.throughput > 150.0, "Xq {}", p.throughput);
+    }
+}

@@ -1,0 +1,158 @@
+//! Minimal dense linear algebra for the model fitter: square-system solve
+//! via Gaussian elimination with partial pivoting.
+
+use std::fmt;
+
+/// Error solving a linear system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (or numerically so).
+    Singular,
+    /// Dimensions do not match.
+    DimensionMismatch,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular"),
+            SolveError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves `A·x = b` for square `A` (row-major, `n×n`), destroying copies of
+/// the inputs. Returns `x`.
+///
+/// # Errors
+///
+/// [`SolveError::DimensionMismatch`] when shapes disagree,
+/// [`SolveError::Singular`] when elimination hits a ~zero pivot.
+///
+/// # Examples
+///
+/// ```
+/// use dcm_model::linalg::solve;
+///
+/// // 2x + y = 5; x - y = 1  →  x = 2, y = 1
+/// let x = solve(&[2.0, 1.0, 1.0, -1.0], &[5.0, 1.0]).unwrap();
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn solve(a: &[f64], b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = b.len();
+    if a.len() != n * n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: largest |value| in this column at or below the
+        // diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i * n + col]
+                    .abs()
+                    .partial_cmp(&m[j * n + col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        let pivot = m[pivot_row * n + col];
+        if pivot.abs() < 1e-300 || !pivot.is_finite() {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / m[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        let diag = m[row * n + row];
+        if diag.abs() < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        x[row] = acc / diag;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let x = solve(&[1.0, 0.0, 0.0, 1.0], &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_3x3_with_pivoting() {
+        // Requires a row swap (zero leading pivot).
+        #[rustfmt::skip]
+        let a = [
+            0.0, 2.0, 1.0,
+            1.0, 1.0, 1.0,
+            3.0, 0.0, 1.0,
+        ];
+        // Solution x = (1, 2, 3): b = (7, 6, 6).
+        let x = solve(&a, &[7.0, 6.0, 6.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let err = solve(&[1.0, 2.0, 2.0, 4.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, SolveError::Singular);
+    }
+
+    #[test]
+    fn detects_dimension_mismatch() {
+        assert_eq!(
+            solve(&[1.0, 2.0, 3.0], &[1.0, 2.0]),
+            Err(SolveError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn random_system_roundtrip() {
+        // Build a well-conditioned system and verify A·x ≈ b.
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = ((i * 7 + j * 3 + 1) % 11) as f64 + if i == j { 10.0 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let x = solve(&a, &b).unwrap();
+        for i in 0..n {
+            let dot: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            assert!((dot - b[i]).abs() < 1e-9, "row {i}: {dot} vs {}", b[i]);
+        }
+    }
+}

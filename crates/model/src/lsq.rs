@@ -1,0 +1,342 @@
+//! Nonlinear least squares: Levenberg–Marquardt with finite-difference
+//! Jacobians, plus goodness-of-fit helpers.
+//!
+//! This is the "Least-Square Fitting method" of the paper's §V-A, grown a
+//! damping loop so it is robust to the (mildly degenerate) four-parameter
+//! throughput model.
+
+use std::fmt;
+
+use crate::linalg::{solve, SolveError};
+
+/// Error from a fitting run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer observations than parameters.
+    TooFewObservations {
+        /// Number of observations supplied.
+        observations: usize,
+        /// Number of free parameters.
+        parameters: usize,
+    },
+    /// The model produced a non-finite residual at the initial guess.
+    NonFiniteResidual,
+    /// The damped normal equations stayed singular.
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewObservations {
+                observations,
+                parameters,
+            } => write!(
+                f,
+                "{observations} observations cannot constrain {parameters} parameters"
+            ),
+            FitError::NonFiniteResidual => write!(f, "model returned non-finite residuals"),
+            FitError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<SolveError> for FitError {
+    fn from(_: SolveError) -> Self {
+        FitError::Singular
+    }
+}
+
+/// Configuration for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOptions {
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative SSE improvement falls below this.
+    pub tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions {
+            max_iterations: 200,
+            tolerance: 1e-12,
+            initial_lambda: 1e-3,
+        }
+    }
+}
+
+/// Result of a Levenberg–Marquardt run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmResult {
+    /// The fitted parameter vector.
+    pub params: Vec<f64>,
+    /// Final sum of squared residuals.
+    pub sse: f64,
+    /// Outer iterations used.
+    pub iterations: usize,
+    /// Whether the tolerance criterion was met (vs. iteration cap).
+    pub converged: bool,
+}
+
+/// Minimizes `Σ residual_i(θ)²` starting from `initial`.
+///
+/// `residuals(θ, out)` must fill `out` with one residual per observation.
+/// The Jacobian is approximated by forward differences.
+///
+/// # Errors
+///
+/// See [`FitError`].
+pub fn levenberg_marquardt(
+    initial: &[f64],
+    n_observations: usize,
+    mut residuals: impl FnMut(&[f64], &mut [f64]),
+    options: LmOptions,
+) -> Result<LmResult, FitError> {
+    let n_params = initial.len();
+    if n_observations < n_params {
+        return Err(FitError::TooFewObservations {
+            observations: n_observations,
+            parameters: n_params,
+        });
+    }
+
+    let mut params = initial.to_vec();
+    let mut r = vec![0.0; n_observations];
+    residuals(&params, &mut r);
+    let mut sse: f64 = r.iter().map(|v| v * v).sum();
+    if !sse.is_finite() {
+        return Err(FitError::NonFiniteResidual);
+    }
+
+    let mut lambda = options.initial_lambda;
+    let mut jac = vec![0.0; n_observations * n_params];
+    let mut r_perturbed = vec![0.0; n_observations];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..options.max_iterations {
+        iterations = iter + 1;
+        // Forward-difference Jacobian.
+        for j in 0..n_params {
+            let h = (params[j].abs() * 1e-6).max(1e-10);
+            let mut bumped = params.clone();
+            bumped[j] += h;
+            residuals(&bumped, &mut r_perturbed);
+            for i in 0..n_observations {
+                jac[i * n_params + j] = (r_perturbed[i] - r[i]) / h;
+            }
+        }
+
+        // Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = -Jᵀr.
+        let mut jtj = vec![0.0; n_params * n_params];
+        let mut jtr = vec![0.0; n_params];
+        for i in 0..n_observations {
+            for a in 0..n_params {
+                let ja = jac[i * n_params + a];
+                jtr[a] -= ja * r[i];
+                for b in 0..n_params {
+                    jtj[a * n_params + b] += ja * jac[i * n_params + b];
+                }
+            }
+        }
+
+        // Inner loop: raise λ until a step improves SSE.
+        let mut stepped = false;
+        for _ in 0..30 {
+            let mut damped = jtj.clone();
+            for a in 0..n_params {
+                let d = jtj[a * n_params + a];
+                damped[a * n_params + a] = d + lambda * d.max(1e-12);
+            }
+            let delta = match solve(&damped, &jtr) {
+                Ok(d) => d,
+                Err(_) => {
+                    lambda *= 10.0;
+                    continue;
+                }
+            };
+            let candidate: Vec<f64> = params
+                .iter()
+                .zip(delta.iter())
+                .map(|(p, d)| p + d)
+                .collect();
+            residuals(&candidate, &mut r_perturbed);
+            let candidate_sse: f64 = r_perturbed.iter().map(|v| v * v).sum();
+            if candidate_sse.is_finite() && candidate_sse < sse {
+                let improvement = (sse - candidate_sse) / sse.max(1e-300);
+                params = candidate;
+                std::mem::swap(&mut r, &mut r_perturbed);
+                sse = candidate_sse;
+                lambda = (lambda * 0.3).max(1e-12);
+                stepped = true;
+                if improvement < options.tolerance {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if !stepped {
+            // No improving step found at any damping: local minimum.
+            converged = true;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    Ok(LmResult {
+        params,
+        sse,
+        iterations,
+        converged,
+    })
+}
+
+/// Coefficient of determination `R² = 1 − SS_res/SS_tot` for predictions
+/// against observations. Returns 1.0 for a perfect fit of constant data.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len(), "length mismatch");
+    if observed.is_empty() {
+        return 1.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted.iter())
+        .map(|(y, f)| (y - f).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Ordinary linear regression `y ≈ a + b·x`; returns `(a, b)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 points.
+pub fn linear_regression(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+    let denom = n * sxx - sx * sx;
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exponential_decay() {
+        // y = 3·exp(-0.7 x) sampled noiselessly.
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (-0.7 * x).exp()).collect();
+        let xs2 = xs.clone();
+        let result = levenberg_marquardt(
+            &[1.0, -0.1],
+            ys.len(),
+            |p, out| {
+                for (i, x) in xs2.iter().enumerate() {
+                    out[i] = p[0] * (p[1] * x).exp() - ys[i];
+                }
+            },
+            LmOptions::default(),
+        )
+        .unwrap();
+        assert!((result.params[0] - 3.0).abs() < 1e-6, "{:?}", result.params);
+        assert!((result.params[1] + 0.7).abs() < 1e-6, "{:?}", result.params);
+        assert!(result.sse < 1e-12);
+    }
+
+    #[test]
+    fn fits_with_noise_and_reports_r2() {
+        // Deterministic pseudo-noise so the test is stable.
+        let xs: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 1.0 + ((i as f64 * 2.39).sin()) * 0.5)
+            .collect();
+        let xs2 = xs.clone();
+        let result = levenberg_marquardt(
+            &[0.0, 1.0],
+            ys.len(),
+            |p, out| {
+                for (i, x) in xs2.iter().enumerate() {
+                    out[i] = p[0] + p[1] * x - ys[i];
+                }
+            },
+            LmOptions::default(),
+        )
+        .unwrap();
+        let predicted: Vec<f64> = xs
+            .iter()
+            .map(|x| result.params[0] + result.params[1] * x)
+            .collect();
+        let r2 = r_squared(&ys, &predicted);
+        assert!(r2 > 0.999, "r2 {r2}");
+        assert!((result.params[1] - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn too_few_observations_is_an_error() {
+        let err = levenberg_marquardt(&[1.0, 2.0, 3.0], 2, |_, _| {}, LmOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, FitError::TooFewObservations { .. }));
+    }
+
+    #[test]
+    fn non_finite_initial_residual_is_an_error() {
+        let err = levenberg_marquardt(
+            &[0.0],
+            3,
+            |p, out| {
+                for o in out.iter_mut() {
+                    *o = 1.0 / p[0];
+                }
+            },
+            LmOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FitError::NonFiniteResidual);
+    }
+
+    #[test]
+    fn r_squared_edge_cases() {
+        assert_eq!(r_squared(&[], &[]), 1.0);
+        assert_eq!(r_squared(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(r_squared(&[2.0, 2.0], &[1.0, 3.0]), 0.0);
+        // Predicting the mean gives R² = 0.
+        let r2 = r_squared(&[1.0, 2.0, 3.0], &[2.0, 2.0, 2.0]);
+        assert!(r2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_regression_recovers_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let (a, b) = linear_regression(&x, &y);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,687 @@
+//! The event-driven request flow and the scaling/reconfiguration actions.
+//!
+//! Everything here is a free function over `(&mut World, &mut SimEngine)` —
+//! the idiomatic shape for logic driven from engine event closures. The
+//! request state machine follows the recursion described in
+//! [`crate::request`]; scaling actions implement the raw operations the
+//! DCM/EC2 controllers invoke (boot a VM, drain a VM, resize a pool at
+//! runtime).
+
+use std::fmt;
+
+use dcm_sim::time::{SimDuration, SimTime};
+
+use crate::ids::{RequestId, ServerId, TierId};
+use crate::request::{Completion, Frame, Outcome, Phase, RequestProfile};
+use crate::server::ServerState;
+use crate::system::{CompletionCallback, RequestInFlight};
+use crate::world::{SimEngine, World};
+
+/// Error from a scaling action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleError {
+    /// The tier index does not exist.
+    NoSuchTier {
+        /// The offending index.
+        tier: usize,
+    },
+    /// Refusing to remove the last routable server of a tier.
+    LastServer {
+        /// The tier that would be emptied.
+        tier: usize,
+    },
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleError::NoSuchTier { tier } => write!(f, "no such tier {tier}"),
+            ScaleError::LastServer { tier } => {
+                write!(f, "cannot remove the last routable server of tier {tier}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
+// ---------------------------------------------------------------------------
+// Request lifecycle
+// ---------------------------------------------------------------------------
+
+/// Submits a request with the given execution plan; `on_complete` fires when
+/// it finishes or is rejected.
+///
+/// # Panics
+///
+/// Panics if the profile's tier count does not match the system's.
+pub fn submit(
+    world: &mut World,
+    engine: &mut SimEngine,
+    profile: RequestProfile,
+    on_complete: CompletionCallback,
+) -> RequestId {
+    submit_inner(world, engine, profile, None, on_complete)
+}
+
+/// Like [`submit`], with a client deadline: if the request has not finished
+/// within `deadline`, the client abandons it — every held thread,
+/// connection, and CPU burst is released and the callback fires with
+/// [`Outcome::TimedOut`].
+///
+/// # Panics
+///
+/// Panics if the profile's tier count does not match the system's.
+pub fn submit_with_deadline(
+    world: &mut World,
+    engine: &mut SimEngine,
+    profile: RequestProfile,
+    deadline: SimDuration,
+    on_complete: CompletionCallback,
+) -> RequestId {
+    submit_inner(world, engine, profile, Some(deadline), on_complete)
+}
+
+fn submit_inner(
+    world: &mut World,
+    engine: &mut SimEngine,
+    profile: RequestProfile,
+    deadline: Option<SimDuration>,
+    on_complete: CompletionCallback,
+) -> RequestId {
+    assert_eq!(
+        profile.tiers(),
+        world.system.tier_count(),
+        "profile must cover every tier"
+    );
+    let rid = world.system.next_request_id();
+    world.system.counters.submitted += 1;
+    let timeout_event = deadline.map(|d| {
+        engine.schedule_in(d, move |w: &mut World, e: &mut SimEngine| {
+            abandon(w, e, rid);
+        })
+    });
+    world.system.requests.insert(
+        rid,
+        RequestInFlight {
+            profile,
+            frames: Vec::new(),
+            submitted: engine.now(),
+            on_complete: Some(on_complete),
+            timeout_event,
+        },
+    );
+    enter_tier(world, engine, rid, 0);
+    rid
+}
+
+/// Client abandonment: unwind whatever the request holds and complete it
+/// as timed out. A no-op if the request already finished.
+fn abandon(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+    if !world.system.requests.contains_key(&rid) {
+        return;
+    }
+    unwind(world, engine, rid, Outcome::TimedOut);
+}
+
+/// Routes `rid` into `tier`: picks a server, pushes a frame, and contends
+/// for a thread.
+fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: usize) {
+    let candidates = world.system.routable(tier);
+    let choice = world
+        .system
+        .tier_mut(tier)
+        .balancer_mut()
+        .choose(&candidates, &mut world.rng);
+    let Some(sid) = choice else {
+        unwind_reject(world, engine, rid, tier);
+        return;
+    };
+    let now = engine.now();
+    {
+        let req = world
+            .system
+            .requests
+            .get_mut(&rid)
+            .expect("routing a live request");
+        req.frames.push(Frame::arriving(tier, sid, now));
+    }
+    let granted = world
+        .system
+        .server_mut(sid)
+        .expect("balancer returned live server")
+        .acquire_thread(now, rid);
+    resched_completion(world, engine, sid);
+    if granted {
+        thread_granted(world, engine, rid);
+    }
+}
+
+/// The top frame was granted its server thread: start the pre burst.
+fn thread_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+    let now = engine.now();
+    let (sid, pre) = {
+        let req = world
+            .system
+            .requests
+            .get_mut(&rid)
+            .expect("granting thread to live request");
+        let pre = {
+            let tier = req.frames.last().expect("granted frame exists").tier;
+            req.profile.demand(tier).pre
+        };
+        let frame = req.frames.last_mut().expect("granted frame exists");
+        frame.phase = Phase::PreBurst;
+        frame.thread_since = now;
+        (frame.server, pre)
+    };
+    world
+        .system
+        .server_mut(sid)
+        .expect("frame server exists")
+        .start_burst(now, rid, pre);
+    resched_completion(world, engine, sid);
+}
+
+/// Resumes a request that was parked in a pool queue and has now been handed
+/// its permit.
+fn resume_parked(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+    let phase = world
+        .system
+        .requests
+        .get(&rid)
+        .and_then(|r| r.frames.last())
+        .map(|f| f.phase);
+    match phase {
+        Some(Phase::AwaitThread) => thread_granted(world, engine, rid),
+        Some(Phase::AwaitConn) => conn_granted(world, engine, rid),
+        other => panic!("resumed request {rid} in unexpected phase {other:?}"),
+    }
+}
+
+/// Handles a server's CPU completion event: pops every due burst, advances
+/// the owning requests, then re-arms the completion timer.
+pub(crate) fn on_cpu_completion(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
+    loop {
+        let now = engine.now();
+        let Some(server) = world.system.server_mut(sid) else {
+            return;
+        };
+        match server.cpu_mut().pop_completed(now) {
+            Some(rid) => burst_finished(world, engine, rid),
+            None => break,
+        }
+    }
+    resched_completion(world, engine, sid);
+}
+
+/// A CPU burst belonging to `rid` finished.
+fn burst_finished(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+    let phase = world
+        .system
+        .requests
+        .get(&rid)
+        .and_then(|r| r.frames.last())
+        .map(|f| f.phase)
+        .expect("burst owner is live with a frame");
+    match phase {
+        Phase::PreBurst => maybe_call(world, engine, rid),
+        Phase::PostBurst => finish_frame(world, engine, rid),
+        other => panic!("burst finished in non-burst phase {other:?}"),
+    }
+}
+
+/// After the pre burst or a returned downstream call: issue the next
+/// downstream call if any remain, otherwise run the post burst / finish.
+fn maybe_call(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+    let now = engine.now();
+    enum Next {
+        Call(ServerId),
+        Post(ServerId, f64),
+        Finish,
+    }
+    let next = {
+        let req = world
+            .system
+            .requests
+            .get_mut(&rid)
+            .expect("advancing live request");
+        let tiers = req.profile.tiers();
+        let frame = req.frames.last_mut().expect("frame exists");
+        let child = frame.tier + 1;
+        let total_calls = if child < tiers {
+            req.profile.visits_to(child)
+        } else {
+            0
+        };
+        if frame.calls_done < total_calls {
+            frame.phase = Phase::AwaitConn;
+            Next::Call(frame.server)
+        } else {
+            let post = req.profile.demand(frame.tier).post;
+            if post > 0.0 {
+                frame.phase = Phase::PostBurst;
+                Next::Post(frame.server, post)
+            } else {
+                Next::Finish
+            }
+        }
+    };
+    match next {
+        Next::Call(sid) => {
+            let granted = world
+                .system
+                .server_mut(sid)
+                .expect("frame server exists")
+                .acquire_conn(now, rid);
+            if granted {
+                conn_granted(world, engine, rid);
+            }
+        }
+        Next::Post(sid, post) => {
+            world
+                .system
+                .server_mut(sid)
+                .expect("frame server exists")
+                .start_burst(now, rid, post);
+            resched_completion(world, engine, sid);
+        }
+        Next::Finish => finish_frame(world, engine, rid),
+    }
+}
+
+/// The top frame acquired its downstream connection: descend into the child
+/// tier.
+fn conn_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+    let (sid, tier) = {
+        let frame = world.system.requests[&rid]
+            .frames
+            .last()
+            .expect("frame exists");
+        (frame.server, frame.tier)
+    };
+    // Only mark the permit when the server actually lends one (leaf servers
+    // grant acquire_conn unconditionally without a pool).
+    let has_pool = world
+        .system
+        .server(sid)
+        .expect("frame server exists")
+        .conn_pool()
+        .is_some();
+    let frame = world
+        .system
+        .requests
+        .get_mut(&rid)
+        .expect("descending live request")
+        .frames
+        .last_mut()
+        .expect("frame exists");
+    frame.phase = Phase::InCall;
+    frame.holds_conn = has_pool;
+    enter_tier(world, engine, rid, tier + 1);
+}
+
+/// The top frame is done at its server: release the thread, reply upstream.
+fn finish_frame(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+    let now = engine.now();
+    let (sid, dwell) = {
+        let req = world
+            .system
+            .requests
+            .get_mut(&rid)
+            .expect("finishing live request");
+        let frame = req.frames.pop().expect("frame exists");
+        world.system.record_span(crate::spans::Span {
+            request: rid,
+            tier: frame.tier,
+            server: frame.server,
+            arrived_at: frame.arrived_at,
+            started_at: frame.thread_since,
+            finished_at: now,
+            completed: true,
+        });
+        (
+            frame.server,
+            now.saturating_since(frame.thread_since).as_secs_f64(),
+        )
+    };
+    let waiter = world
+        .system
+        .server_mut(sid)
+        .expect("frame server exists")
+        .release_thread(now, dwell);
+    resched_completion(world, engine, sid);
+    if let Some(next) = waiter {
+        resume_parked(world, engine, next);
+    }
+    maybe_finish_drain(world, engine, sid);
+
+    let has_parent = world
+        .system
+        .requests
+        .get(&rid)
+        .map(|r| !r.frames.is_empty())
+        .expect("request still live");
+    if !has_parent {
+        complete(world, engine, rid, Outcome::Completed);
+        return;
+    }
+    // Reply to the parent: return its connection, count the call.
+    let (psid, held) = {
+        let req = world
+            .system
+            .requests
+            .get_mut(&rid)
+            .expect("request still live");
+        let parent = req.frames.last_mut().expect("parent frame exists");
+        parent.calls_done += 1;
+        let held = parent.holds_conn;
+        parent.holds_conn = false;
+        (parent.server, held)
+    };
+    if held {
+        let conn_waiter = world
+            .system
+            .server_mut(psid)
+            .expect("parent server exists")
+            .release_conn(now);
+        if let Some(next) = conn_waiter {
+            resume_parked(world, engine, next);
+        }
+    }
+    maybe_call(world, engine, rid);
+}
+
+/// Finishes a request and fires its callback.
+fn complete(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Outcome) {
+    let now = engine.now();
+    let mut req = world
+        .system
+        .requests
+        .remove(&rid)
+        .expect("completing live request");
+    match outcome {
+        Outcome::Completed => world.system.counters.completed += 1,
+        Outcome::Rejected { .. } => world.system.counters.rejected += 1,
+        Outcome::TimedOut => world.system.counters.timed_out += 1,
+    }
+    if let Some(ev) = req.timeout_event.take() {
+        engine.cancel(ev);
+    }
+    let completion = Completion {
+        id: rid,
+        class: req.profile.class(),
+        submitted: req.submitted,
+        finished: now,
+        outcome,
+    };
+    if let Some(cb) = req.on_complete.take() {
+        cb(world, engine, completion);
+    }
+}
+
+/// Rejection path: release every resource the request holds, bottom-up,
+/// then complete with a rejected outcome.
+fn unwind_reject(world: &mut World, engine: &mut SimEngine, rid: RequestId, at_tier: usize) {
+    unwind(world, engine, rid, Outcome::Rejected { at_tier });
+}
+
+/// Releases every resource the request holds, innermost frame first, then
+/// completes it with `outcome`.
+fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Outcome) {
+    let now = engine.now();
+    while let Some(frame) = world
+        .system
+        .requests
+        .get_mut(&rid)
+        .expect("unwinding live request")
+        .frames
+        .pop()
+    {
+        let sid = frame.server;
+        let Some(server) = world.system.server_mut(sid) else {
+            continue;
+        };
+        match frame.phase {
+            Phase::AwaitThread => {
+                server.cancel_thread_waiter(rid);
+            }
+            Phase::AwaitConn => {
+                server.cancel_conn_waiter(rid);
+                release_thread_during_unwind(world, engine, rid, sid, frame, now);
+            }
+            Phase::PreBurst | Phase::PostBurst => {
+                server.cpu_mut().cancel_burst(now, rid);
+                release_thread_during_unwind(world, engine, rid, sid, frame, now);
+            }
+            Phase::InCall => {
+                if frame.holds_conn {
+                    let conn_waiter = server.release_conn(now);
+                    if let Some(next) = conn_waiter {
+                        resume_parked(world, engine, next);
+                    }
+                }
+                release_thread_during_unwind(world, engine, rid, sid, frame, now);
+            }
+        }
+    }
+    complete(world, engine, rid, outcome);
+}
+
+fn release_thread_during_unwind(
+    world: &mut World,
+    engine: &mut SimEngine,
+    rid: RequestId,
+    sid: ServerId,
+    frame: Frame,
+    now: SimTime,
+) {
+    world.system.record_span(crate::spans::Span {
+        request: rid,
+        tier: frame.tier,
+        server: frame.server,
+        arrived_at: frame.arrived_at,
+        started_at: frame.thread_since,
+        finished_at: now,
+        completed: false,
+    });
+    let dwell = now.saturating_since(frame.thread_since).as_secs_f64();
+    let waiter = world
+        .system
+        .server_mut(sid)
+        .expect("unwind server exists")
+        .release_thread(now, dwell);
+    resched_completion(world, engine, sid);
+    if let Some(next) = waiter {
+        resume_parked(world, engine, next);
+    }
+    maybe_finish_drain(world, engine, sid);
+}
+
+/// Re-arms a server's CPU completion event after any change to its CPU
+/// state (new burst, contention change, pop).
+pub fn resched_completion(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
+    let now = engine.now();
+    let Some(server) = world.system.server_mut(sid) else {
+        return;
+    };
+    if let Some(ev) = server.completion_event.take() {
+        engine.cancel(ev);
+    }
+    server.cpu_mut().advance(now);
+    if let Some((at, _)) = server.cpu().next_completion(now) {
+        let ev = engine.schedule_at(at, move |w, e| on_cpu_completion(w, e, sid));
+        if let Some(server) = world.system.server_mut(sid) {
+            server.completion_event = Some(ev);
+        }
+    }
+}
+
+/// Stops and retires a draining server once idle.
+fn maybe_finish_drain(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
+    let now = engine.now();
+    let Some(server) = world.system.server_mut(sid) else {
+        return;
+    };
+    if server.drained() {
+        if let Some(ev) = server.completion_event.take() {
+            engine.cancel(ev);
+        }
+        server.mark_stopped(now);
+        world.system.retire_server(sid, now);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scaling actions (what the VM-agent executes)
+// ---------------------------------------------------------------------------
+
+/// Boots a new VM+server in `tier` with the tier's default soft resources;
+/// it becomes routable after the tier's boot delay (the paper's 15-second
+/// preparation period). Returns the new server's id.
+///
+/// # Errors
+///
+/// [`ScaleError::NoSuchTier`] for a bad index.
+pub fn provision_server(
+    world: &mut World,
+    engine: &mut SimEngine,
+    tier: usize,
+) -> Result<ServerId, ScaleError> {
+    if tier >= world.system.tier_count() {
+        return Err(ScaleError::NoSuchTier { tier });
+    }
+    let now = engine.now();
+    let ready_at = now + world.system.tier(tier).spec().boot_delay;
+    let sid = world
+        .system
+        .add_server(TierId(tier), now, ServerState::Starting { ready_at });
+    engine.schedule_at(ready_at, move |w, e| boot_complete(w, e, sid));
+    Ok(sid)
+}
+
+fn boot_complete(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
+    let now = engine.now();
+    let p = world.system.boot_failure_prob;
+    let failed = p > 0.0 && world.rng.next_f64() < p;
+    let Some(server) = world.system.server_mut(sid) else {
+        return;
+    };
+    if !matches!(server.state(), ServerState::Starting { .. }) {
+        return;
+    }
+    if failed {
+        server.mark_stopped(now);
+        world.system.retire_server(sid, now);
+    } else {
+        server.mark_running();
+    }
+    let _ = engine;
+}
+
+/// Drains and removes one server from `tier` (most recently launched
+/// routable first, matching cloud scale-in of the newest instance). The
+/// server stops accepting requests immediately and shuts down once idle.
+///
+/// # Errors
+///
+/// [`ScaleError::NoSuchTier`] or [`ScaleError::LastServer`].
+pub fn decommission_one(
+    world: &mut World,
+    engine: &mut SimEngine,
+    tier: usize,
+) -> Result<ServerId, ScaleError> {
+    if tier >= world.system.tier_count() {
+        return Err(ScaleError::NoSuchTier { tier });
+    }
+    let routable = world.system.routable(tier);
+    if routable.len() <= 1 {
+        return Err(ScaleError::LastServer { tier });
+    }
+    let victim = routable.last().expect("checked non-empty").0;
+    world
+        .system
+        .server_mut(victim)
+        .expect("routable server exists")
+        .mark_draining();
+    maybe_finish_drain(world, engine, victim);
+    Ok(victim)
+}
+
+// ---------------------------------------------------------------------------
+// Soft-resource actions (what the APP-agent executes)
+// ---------------------------------------------------------------------------
+
+/// Sets the thread-pool size of every non-stopped server in `tier`,
+/// resuming any requests the resize admits.
+///
+/// # Errors
+///
+/// [`ScaleError::NoSuchTier`] for a bad index.
+pub fn set_tier_thread_pools(
+    world: &mut World,
+    engine: &mut SimEngine,
+    tier: usize,
+    size: u32,
+) -> Result<(), ScaleError> {
+    if tier >= world.system.tier_count() {
+        return Err(ScaleError::NoSuchTier { tier });
+    }
+    let members: Vec<ServerId> = world.system.tier(tier).members().to_vec();
+    for sid in members {
+        set_server_thread_pool(world, engine, sid, size);
+    }
+    Ok(())
+}
+
+/// Sets the downstream connection-pool size of every non-stopped server in
+/// `tier`, resuming any requests the resize admits.
+///
+/// # Errors
+///
+/// [`ScaleError::NoSuchTier`] for a bad index.
+pub fn set_tier_conn_pools(
+    world: &mut World,
+    engine: &mut SimEngine,
+    tier: usize,
+    size: u32,
+) -> Result<(), ScaleError> {
+    if tier >= world.system.tier_count() {
+        return Err(ScaleError::NoSuchTier { tier });
+    }
+    let members: Vec<ServerId> = world.system.tier(tier).members().to_vec();
+    for sid in members {
+        set_server_conn_pool(world, engine, sid, size);
+    }
+    Ok(())
+}
+
+/// Resizes one server's thread pool at runtime.
+pub fn set_server_thread_pool(
+    world: &mut World,
+    engine: &mut SimEngine,
+    sid: ServerId,
+    size: u32,
+) {
+    let now = engine.now();
+    let admitted = match world.system.server_mut(sid) {
+        Some(server) if !server.is_stopped() => server.resize_thread_pool(now, size),
+        _ => return,
+    };
+    resched_completion(world, engine, sid);
+    for rid in admitted {
+        resume_parked(world, engine, rid);
+    }
+}
+
+/// Resizes one server's downstream connection pool at runtime.
+pub fn set_server_conn_pool(world: &mut World, engine: &mut SimEngine, sid: ServerId, size: u32) {
+    let now = engine.now();
+    let admitted = match world.system.server_mut(sid) {
+        Some(server) if !server.is_stopped() => server.resize_conn_pool(now, size),
+        _ => return,
+    };
+    for rid in admitted {
+        resume_parked(world, engine, rid);
+    }
+}

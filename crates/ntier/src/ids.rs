@@ -1,0 +1,130 @@
+//! Typed identifiers for simulation entities.
+//!
+//! Newtypes keep server/tier/request/VM handles from being mixed up at
+//! compile time; all are small `Copy` values used as slab/map keys.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a component server (one Apache/Tomcat/MySQL instance).
+    ServerId,
+    "srv-"
+);
+id_type!(
+    /// Identifies a virtual machine hosting a server.
+    VmId,
+    "vm-"
+);
+id_type!(
+    /// Identifies an in-flight client request.
+    RequestId,
+    "req-"
+);
+
+/// Identifies a tier by position in the chain (0 = frontmost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TierId(pub usize);
+
+impl TierId {
+    /// The tier's position in the chain.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tier-{}", self.0)
+    }
+}
+
+/// Monotonic id allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator starting at zero.
+    pub fn new() -> Self {
+        IdAllocator { next: 0 }
+    }
+
+    /// Returns the next raw id.
+    pub fn next_raw(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ServerId::new(3).to_string(), "srv-3");
+        assert_eq!(VmId::new(1).to_string(), "vm-1");
+        assert_eq!(RequestId::new(9).to_string(), "req-9");
+        assert_eq!(TierId(2).to_string(), "tier-2");
+    }
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        let id = ServerId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u64::from(id), 42);
+    }
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let mut alloc = IdAllocator::new();
+        assert_eq!(alloc.next_raw(), 0);
+        assert_eq!(alloc.next_raw(), 1);
+        assert_eq!(alloc.next_raw(), 2);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Compile-time property: ServerId and VmId are different types.
+        fn takes_server(_: ServerId) {}
+        takes_server(ServerId::new(1));
+    }
+}

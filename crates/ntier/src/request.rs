@@ -1,0 +1,339 @@
+//! Request representation and the per-request execution state machine.
+//!
+//! An HTTP request travels the tier chain recursively: at tier *m* it holds
+//! a server thread, runs a **pre** CPU burst, makes `visits[m+1]` sequential
+//! calls into tier *m+1* (holding a downstream connection for each call),
+//! runs a **post** burst, and replies. The [`Frame`] stack records where in
+//! that recursion the request currently is; `dcm-ntier`'s flow module drives
+//! the transitions.
+
+use dcm_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{RequestId, ServerId};
+
+/// CPU demand at one tier, split around the downstream calls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageDemand {
+    /// Work-seconds before the first downstream call.
+    pub pre: f64,
+    /// Work-seconds after the last downstream call returns.
+    pub post: f64,
+}
+
+impl StageDemand {
+    /// Demand entirely before the downstream calls.
+    pub fn pre_only(pre: f64) -> Self {
+        StageDemand { pre, post: 0.0 }
+    }
+
+    /// Demand split evenly around the downstream calls.
+    pub fn split(total: f64) -> Self {
+        StageDemand {
+            pre: total / 2.0,
+            post: total / 2.0,
+        }
+    }
+
+    /// Total work-seconds at this tier.
+    pub fn total(&self) -> f64 {
+        self.pre + self.post
+    }
+}
+
+/// The fully-sampled execution plan of one request: per-tier CPU demands and
+/// the visit ratios between adjacent tiers.
+///
+/// Built by workload generators (which own the service-demand
+/// distributions); consumed by the system simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dcm_ntier::request::{RequestProfile, StageDemand};
+///
+/// // A RUBBoS-style browse interaction: cheap Apache pass-through, a Tomcat
+/// // burst split around two MySQL queries.
+/// let profile = RequestProfile::new(
+///     vec![
+///         StageDemand::pre_only(0.0006),
+///         StageDemand::split(0.0284),
+///         StageDemand::pre_only(0.00719),
+///     ],
+///     vec![1, 1, 2],
+///     0,
+/// );
+/// assert_eq!(profile.tiers(), 3);
+/// assert_eq!(profile.visits_to(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestProfile {
+    demands: Vec<StageDemand>,
+    visits: Vec<u32>,
+    class: u16,
+}
+
+impl RequestProfile {
+    /// Creates a profile.
+    ///
+    /// `demands[m]` is the per-call CPU demand at tier `m`; `visits[m]` is
+    /// the number of calls tier `m−1` makes into tier `m` per request
+    /// (`visits[0]` is conventionally 1: the client calls the front tier
+    /// once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty, have different lengths, any demand
+    /// is negative/non-finite, or `visits[0] != 1`.
+    pub fn new(demands: Vec<StageDemand>, visits: Vec<u32>, class: u16) -> Self {
+        assert!(!demands.is_empty(), "a request must visit at least one tier");
+        assert_eq!(
+            demands.len(),
+            visits.len(),
+            "demands and visits must cover the same tiers"
+        );
+        assert_eq!(visits[0], 1, "the client makes exactly one front-tier call");
+        for d in &demands {
+            assert!(
+                d.pre.is_finite() && d.pre >= 0.0 && d.post.is_finite() && d.post >= 0.0,
+                "demands must be finite and non-negative"
+            );
+        }
+        RequestProfile {
+            demands,
+            visits,
+            class,
+        }
+    }
+
+    /// Number of tiers this request traverses.
+    pub fn tiers(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Per-call demand at tier `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn demand(&self, m: usize) -> StageDemand {
+        self.demands[m]
+    }
+
+    /// Calls made into tier `m` per parent-tier call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn visits_to(&self, m: usize) -> u32 {
+        self.visits[m]
+    }
+
+    /// The workload class (servlet index) for bookkeeping.
+    pub fn class(&self) -> u16 {
+        self.class
+    }
+
+    /// Total CPU demand an average request places on tier `m`, accounting
+    /// for the multiplicative visit ratios along the chain (the `V_m · S_m`
+    /// service demand of the paper's Eq. 2).
+    pub fn service_demand(&self, m: usize) -> f64 {
+        self.demands[m].total() * self.cumulative_visits(m) as f64
+    }
+
+    /// The end-to-end visit ratio `V_m` from the client to tier `m`
+    /// (product of per-hop visits).
+    pub fn cumulative_visits(&self, m: usize) -> u64 {
+        self.visits[..=m].iter().map(|&v| u64::from(v)).product()
+    }
+}
+
+/// Where a frame is in its tier-local lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Parked in the server's thread-pool queue.
+    AwaitThread,
+    /// Running the pre-call CPU burst.
+    PreBurst,
+    /// Parked in this server's downstream connection-pool queue.
+    AwaitConn,
+    /// A child call is in flight at the next tier.
+    InCall,
+    /// Running the post-call CPU burst.
+    PostBurst,
+}
+
+/// One level of the request's call stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Tier index of this frame.
+    pub tier: usize,
+    /// Server processing this frame.
+    pub server: ServerId,
+    /// Current phase.
+    pub phase: Phase,
+    /// Downstream calls completed so far.
+    pub calls_done: u32,
+    /// Whether this frame currently holds a downstream connection.
+    pub holds_conn: bool,
+    /// When this frame's thread was granted (for dwell-time accounting;
+    /// meaningful once past [`Phase::AwaitThread`]).
+    pub thread_since: SimTime,
+    /// When the request arrived at this tier (thread requested).
+    pub arrived_at: SimTime,
+}
+
+impl Frame {
+    /// A frame newly arrived at `server` in `tier` at time `now`, not yet
+    /// holding a thread.
+    pub fn arriving(tier: usize, server: ServerId, now: SimTime) -> Self {
+        Frame {
+            tier,
+            server,
+            phase: Phase::AwaitThread,
+            calls_done: 0,
+            holds_conn: false,
+            thread_since: SimTime::ZERO,
+            arrived_at: now,
+        }
+    }
+}
+
+/// Why a request left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Fully processed.
+    Completed,
+    /// Dropped because a tier had no routable server.
+    Rejected {
+        /// The tier that could not accept the request.
+        at_tier: usize,
+    },
+    /// Abandoned by the client after its deadline elapsed.
+    TimedOut,
+}
+
+/// Completion record delivered to the submitter's callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request.
+    pub id: RequestId,
+    /// Workload class (servlet index).
+    pub class: u16,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion (or rejection) time.
+    pub finished: SimTime,
+    /// How the request ended.
+    pub outcome: Outcome,
+}
+
+impl Completion {
+    /// End-to-end response time.
+    pub fn response_time(&self) -> SimDuration {
+        self.finished.saturating_since(self.submitted)
+    }
+
+    /// True if the request completed successfully.
+    pub fn is_success(&self) -> bool {
+        self.outcome == Outcome::Completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> RequestProfile {
+        RequestProfile::new(
+            vec![
+                StageDemand::pre_only(0.001),
+                StageDemand::split(0.028),
+                StageDemand::pre_only(0.007),
+            ],
+            vec![1, 1, 2],
+            3,
+        )
+    }
+
+    #[test]
+    fn profile_accessors() {
+        let p = profile();
+        assert_eq!(p.tiers(), 3);
+        assert_eq!(p.class(), 3);
+        assert_eq!(p.demand(1).pre, 0.014);
+        assert_eq!(p.demand(1).post, 0.014);
+        assert_eq!(p.visits_to(2), 2);
+    }
+
+    #[test]
+    fn cumulative_visits_multiply_along_chain() {
+        let p = RequestProfile::new(
+            vec![
+                StageDemand::pre_only(0.0),
+                StageDemand::pre_only(0.0),
+                StageDemand::pre_only(0.0),
+            ],
+            vec![1, 3, 2],
+            0,
+        );
+        assert_eq!(p.cumulative_visits(0), 1);
+        assert_eq!(p.cumulative_visits(1), 3);
+        assert_eq!(p.cumulative_visits(2), 6);
+    }
+
+    #[test]
+    fn service_demand_weights_by_visits() {
+        let p = profile();
+        // Tier 2: 0.007 per query × 2 queries.
+        assert!((p.service_demand(2) - 0.014).abs() < 1e-12);
+        assert!((p.service_demand(1) - 0.028).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one front-tier call")]
+    fn front_tier_visits_must_be_one() {
+        let _ = RequestProfile::new(
+            vec![StageDemand::pre_only(0.0)],
+            vec![2],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same tiers")]
+    fn mismatched_lengths_rejected() {
+        let _ = RequestProfile::new(
+            vec![StageDemand::pre_only(0.0)],
+            vec![1, 1],
+            0,
+        );
+    }
+
+    #[test]
+    fn completion_response_time() {
+        let c = Completion {
+            id: RequestId::new(1),
+            class: 0,
+            submitted: SimTime::from_secs(1),
+            finished: SimTime::from_secs(3),
+            outcome: Outcome::Completed,
+        };
+        assert_eq!(c.response_time(), SimDuration::from_secs(2));
+        assert!(c.is_success());
+        let r = Completion {
+            outcome: Outcome::Rejected { at_tier: 1 },
+            ..c
+        };
+        assert!(!r.is_success());
+    }
+
+    #[test]
+    fn arriving_frame_defaults() {
+        let f = Frame::arriving(2, ServerId::new(5), SimTime::from_secs(3));
+        assert_eq!(f.phase, Phase::AwaitThread);
+        assert_eq!(f.calls_done, 0);
+        assert!(!f.holds_conn);
+        assert_eq!(f.arrived_at, SimTime::from_secs(3));
+    }
+}

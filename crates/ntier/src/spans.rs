@@ -1,0 +1,147 @@
+//! Request-span tracing: per-tier timing records for individual requests
+//! (the simulator's analog of distributed tracing).
+//!
+//! When enabled on the [`System`](crate::system::System), every tier visit
+//! emits a [`Span`] with its queueing and service boundaries. Spans answer
+//! the questions the paper's fine-grained analysis asks: *where* does a
+//! request wait when a pool is undersized, and which tier's dwell explodes
+//! when one floods.
+
+use dcm_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{RequestId, ServerId};
+
+/// One tier visit of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// The request.
+    pub request: RequestId,
+    /// Tier index of the visit.
+    pub tier: usize,
+    /// Serving server.
+    pub server: ServerId,
+    /// When the request arrived at the tier (thread requested).
+    pub arrived_at: SimTime,
+    /// When a thread was granted.
+    pub started_at: SimTime,
+    /// When the thread was released.
+    pub finished_at: SimTime,
+    /// False when the visit ended by rejection/abandonment unwinding.
+    pub completed: bool,
+}
+
+impl Span {
+    /// Time spent waiting for a thread.
+    pub fn queue_time(&self) -> SimDuration {
+        self.started_at.saturating_since(self.arrived_at)
+    }
+
+    /// Time holding the thread (service + downstream waits).
+    pub fn service_time(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.started_at)
+    }
+}
+
+/// All spans of one request, in start order (the trace waterfall).
+pub fn waterfall(spans: &[Span], request: RequestId) -> Vec<Span> {
+    let mut out: Vec<Span> = spans
+        .iter()
+        .copied()
+        .filter(|s| s.request == request)
+        .collect();
+    out.sort_by_key(|s| (s.arrived_at, s.tier));
+    out
+}
+
+/// Per-tier aggregate of queue and service time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TierTiming {
+    /// Visits observed.
+    pub visits: u64,
+    /// Mean seconds waiting for a thread.
+    pub mean_queue: f64,
+    /// Mean seconds holding a thread.
+    pub mean_service: f64,
+}
+
+/// Aggregates spans into per-tier timing (completed visits only).
+pub fn tier_breakdown(spans: &[Span]) -> std::collections::BTreeMap<usize, TierTiming> {
+    let mut acc: std::collections::BTreeMap<usize, (u64, f64, f64)> = Default::default();
+    for s in spans.iter().filter(|s| s.completed) {
+        let entry = acc.entry(s.tier).or_default();
+        entry.0 += 1;
+        entry.1 += s.queue_time().as_secs_f64();
+        entry.2 += s.service_time().as_secs_f64();
+    }
+    acc.into_iter()
+        .map(|(tier, (n, q, sv))| {
+            (
+                tier,
+                TierTiming {
+                    visits: n,
+                    mean_queue: q / n as f64,
+                    mean_service: sv / n as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(req: u64, tier: usize, arrive: f64, start: f64, finish: f64) -> Span {
+        Span {
+            request: RequestId::new(req),
+            tier,
+            server: ServerId::new(tier as u64),
+            arrived_at: SimTime::from_secs_f64(arrive),
+            started_at: SimTime::from_secs_f64(start),
+            finished_at: SimTime::from_secs_f64(finish),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn span_timing_accessors() {
+        let s = span(1, 0, 1.0, 1.5, 3.0);
+        assert_eq!(s.queue_time(), SimDuration::from_millis(500));
+        assert_eq!(s.service_time(), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn waterfall_filters_and_orders() {
+        let spans = vec![
+            span(2, 0, 0.0, 0.0, 1.0),
+            span(1, 1, 0.5, 0.6, 0.9),
+            span(1, 0, 0.0, 0.1, 1.0),
+        ];
+        let w = waterfall(&spans, RequestId::new(1));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].tier, 0);
+        assert_eq!(w[1].tier, 1);
+    }
+
+    #[test]
+    fn breakdown_averages_per_tier() {
+        let spans = vec![
+            span(1, 0, 0.0, 0.2, 1.0),
+            span(2, 0, 0.0, 0.0, 0.4),
+            span(1, 1, 0.0, 0.0, 0.3),
+        ];
+        let b = tier_breakdown(&spans);
+        assert_eq!(b[&0].visits, 2);
+        assert!((b[&0].mean_queue - 0.1).abs() < 1e-12);
+        assert!((b[&0].mean_service - 0.6).abs() < 1e-12);
+        assert_eq!(b[&1].visits, 1);
+    }
+
+    #[test]
+    fn incomplete_spans_excluded_from_breakdown() {
+        let mut s = span(1, 0, 0.0, 0.1, 0.5);
+        s.completed = false;
+        assert!(tier_breakdown(&[s]).is_empty());
+    }
+}

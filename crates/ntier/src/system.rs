@@ -1,0 +1,447 @@
+//! The n-tier system: tiers, servers, in-flight requests, scaling state.
+//!
+//! [`System`] is pure state — servers, balancers, request table, counters.
+//! The event-driven behaviour (request flow, VM boots, completion events)
+//! lives in [`crate::flow`], as free functions over
+//! ([`World`](crate::world::World), engine).
+
+use std::collections::BTreeMap;
+
+use dcm_sim::time::{SimDuration, SimTime};
+
+use crate::balancer::{Balancer, BalancerPolicy};
+use crate::ids::{IdAllocator, RequestId, ServerId, TierId};
+use crate::law::ServiceLaw;
+use crate::metrics::ServerSample;
+use crate::request::{Completion, Frame, RequestProfile};
+use crate::server::{Server, ServerSpec, ServerState};
+
+/// Static description of one tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierSpec {
+    /// Tier name used in server names, e.g. `web`, `app`, `db`.
+    pub name: String,
+    /// Ground-truth concurrency law for servers of this tier.
+    pub law: ServiceLaw,
+    /// Default thread-pool size for new servers.
+    pub default_threads: u32,
+    /// Default downstream connection-pool size (toward the next tier), if
+    /// this tier makes downstream calls through a pool.
+    pub default_conns: Option<u32>,
+    /// Load-balancing policy in front of this tier.
+    pub balancer: BalancerPolicy,
+    /// VM preparation period before a new server becomes routable (the
+    /// paper uses 15 s).
+    pub boot_delay: SimDuration,
+}
+
+impl TierSpec {
+    fn server_spec(&self, name: String) -> ServerSpec {
+        ServerSpec {
+            name,
+            law: self.law,
+            threads: self.default_threads,
+            conns: self.default_conns,
+        }
+    }
+}
+
+/// Live state of one tier.
+#[derive(Debug)]
+pub struct Tier {
+    spec: TierSpec,
+    /// Non-stopped servers, in launch order.
+    members: Vec<ServerId>,
+    balancer: Balancer,
+    launched_count: u64,
+    /// VM-seconds already paid by stopped servers of this tier.
+    retired_vm_seconds: f64,
+}
+
+impl Tier {
+    /// The tier's static spec.
+    pub fn spec(&self) -> &TierSpec {
+        &self.spec
+    }
+
+    /// Current (non-stopped) member servers in launch order.
+    pub fn members(&self) -> &[ServerId] {
+        &self.members
+    }
+
+    /// Mutable balancer access.
+    pub(crate) fn balancer_mut(&mut self) -> &mut Balancer {
+        &mut self.balancer
+    }
+}
+
+/// Conservation counters maintained by the flow layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SystemCounters {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests fully processed.
+    pub completed: u64,
+    /// Requests rejected for lack of a routable server.
+    pub rejected: u64,
+    /// Requests abandoned by their client at the deadline.
+    pub timed_out: u64,
+}
+
+impl SystemCounters {
+    /// Requests currently inside the system.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.completed - self.rejected - self.timed_out
+    }
+}
+
+/// Callback invoked when a request leaves the system.
+pub type CompletionCallback =
+    Box<dyn FnOnce(&mut crate::world::World, &mut crate::world::SimEngine, Completion)>;
+
+/// An in-flight request: execution plan, call stack, bookkeeping.
+pub struct RequestInFlight {
+    /// The sampled execution plan.
+    pub profile: RequestProfile,
+    /// Call-stack frames, innermost last.
+    pub frames: Vec<Frame>,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion callback, taken when the request leaves.
+    pub(crate) on_complete: Option<CompletionCallback>,
+    /// The client-abandonment timer, if a deadline was set.
+    pub(crate) timeout_event: Option<dcm_sim::engine::EventId>,
+}
+
+impl std::fmt::Debug for RequestInFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestInFlight")
+            .field("profile", &self.profile)
+            .field("frames", &self.frames)
+            .field("submitted", &self.submitted)
+            .field("has_callback", &self.on_complete.is_some())
+            .finish()
+    }
+}
+
+/// The complete n-tier system state.
+#[derive(Debug)]
+pub struct System {
+    tiers: Vec<Tier>,
+    servers: BTreeMap<ServerId, Server>,
+    pub(crate) requests: BTreeMap<RequestId, RequestInFlight>,
+    server_ids: IdAllocator,
+    request_ids: IdAllocator,
+    pub(crate) counters: SystemCounters,
+    /// Probability that a VM boot fails (failure injection; default 0).
+    pub boot_failure_prob: f64,
+    pub(crate) span_log: Option<Vec<crate::spans::Span>>,
+}
+
+impl System {
+    /// Builds a system with `initial[m]` running servers in tier `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty, counts don't match, or any initial count
+    /// is zero (every tier needs at least one server).
+    pub fn new(tiers: Vec<TierSpec>, initial: &[u32], now: SimTime) -> Self {
+        assert!(!tiers.is_empty(), "system needs at least one tier");
+        assert_eq!(tiers.len(), initial.len(), "one count per tier");
+        assert!(
+            initial.iter().all(|&c| c > 0),
+            "every tier needs at least one initial server"
+        );
+        let mut system = System {
+            tiers: tiers
+                .into_iter()
+                .map(|spec| Tier {
+                    balancer: Balancer::new(spec.balancer),
+                    spec,
+                    members: Vec::new(),
+                    launched_count: 0,
+                    retired_vm_seconds: 0.0,
+                })
+                .collect(),
+            servers: BTreeMap::new(),
+            requests: BTreeMap::new(),
+            server_ids: IdAllocator::new(),
+            request_ids: IdAllocator::new(),
+            counters: SystemCounters::default(),
+            boot_failure_prob: 0.0,
+            span_log: None,
+        };
+        for (m, &count) in initial.iter().enumerate() {
+            for _ in 0..count {
+                system.add_server(TierId(m), now, ServerState::Running);
+            }
+        }
+        system
+    }
+
+    /// Number of tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The tier at index `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn tier(&self, m: usize) -> &Tier {
+        &self.tiers[m]
+    }
+
+    pub(crate) fn tier_mut(&mut self, m: usize) -> &mut Tier {
+        &mut self.tiers[m]
+    }
+
+    /// The server with the given id, if it exists.
+    pub fn server(&self, id: ServerId) -> Option<&Server> {
+        self.servers.get(&id)
+    }
+
+    pub(crate) fn server_mut(&mut self, id: ServerId) -> Option<&mut Server> {
+        self.servers.get_mut(&id)
+    }
+
+    /// All servers (including stopped), in id order.
+    pub fn servers(&self) -> impl Iterator<Item = &Server> {
+        self.servers.values()
+    }
+
+    /// Conservation counters.
+    pub fn counters(&self) -> SystemCounters {
+        self.counters
+    }
+
+    /// Starts recording a [`Span`](crate::spans::Span) for every tier visit
+    /// (off by default; spans accumulate unboundedly, so enable only for
+    /// bounded analysis runs).
+    pub fn enable_tracing(&mut self) {
+        self.span_log.get_or_insert_with(Vec::new);
+    }
+
+    /// True when span recording is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.span_log.is_some()
+    }
+
+    /// Takes the recorded spans, leaving recording enabled.
+    pub fn take_spans(&mut self) -> Vec<crate::spans::Span> {
+        self.span_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    pub(crate) fn record_span(&mut self, span: crate::spans::Span) {
+        if let Some(log) = self.span_log.as_mut() {
+            log.push(span);
+        }
+    }
+
+    /// Allocates a request id.
+    pub(crate) fn next_request_id(&mut self) -> RequestId {
+        RequestId::new(self.request_ids.next_raw())
+    }
+
+    /// Creates and registers a server in `tier` with the tier's default
+    /// spec, in the given lifecycle state. Returns its id.
+    pub(crate) fn add_server(&mut self, tier: TierId, now: SimTime, state: ServerState) -> ServerId {
+        let id = ServerId::new(self.server_ids.next_raw());
+        let t = &mut self.tiers[tier.index()];
+        t.launched_count += 1;
+        let name = format!("{}-{}", t.spec.name, t.launched_count);
+        let spec = t.spec.server_spec(name);
+        let server = Server::new(id, tier.index(), &spec, now, state);
+        t.members.push(id);
+        self.servers.insert(id, server);
+        id
+    }
+
+    /// Updates the default soft resources newly launched servers of `tier`
+    /// will boot with (the DCM APP-agent updates these alongside the live
+    /// pools so a VM joining mid-burst starts with the right allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is out of range or `threads` is zero.
+    pub fn set_tier_defaults(&mut self, tier: usize, threads: u32, conns: Option<u32>) {
+        assert!(threads > 0, "default threads must be positive");
+        let spec = &mut self.tiers[tier].spec;
+        spec.default_threads = threads;
+        if let Some(c) = conns {
+            assert!(c > 0, "default conns must be positive");
+            spec.default_conns = Some(c);
+        }
+    }
+
+    /// Routable servers of a tier with their current load, for balancing.
+    pub fn routable(&self, tier: usize) -> Vec<(ServerId, u32)> {
+        self.tiers[tier]
+            .members
+            .iter()
+            .filter_map(|id| {
+                let s = &self.servers[id];
+                s.is_routable().then(|| (*id, s.threads_in_use()))
+            })
+            .collect()
+    }
+
+    /// Count of routable servers in a tier.
+    pub fn running_count(&self, tier: usize) -> usize {
+        self.routable(tier).len()
+    }
+
+    /// Count of servers still booting in a tier.
+    pub fn booting_count(&self, tier: usize) -> usize {
+        self.tiers[tier]
+            .members
+            .iter()
+            .filter(|id| matches!(self.servers[id].state(), ServerState::Starting { .. }))
+            .count()
+    }
+
+    /// Removes a stopped server from its tier's member list, accruing its
+    /// VM-seconds into the tier's retired total.
+    pub(crate) fn retire_server(&mut self, id: ServerId, now: SimTime) {
+        if let Some(server) = self.servers.get(&id) {
+            let tier = server.tier();
+            let vm_secs = server.vm_seconds(now);
+            let t = &mut self.tiers[tier];
+            t.members.retain(|&m| m != id);
+            t.retired_vm_seconds += vm_secs;
+        }
+    }
+
+    /// Total VM-seconds consumed by a tier so far (running + retired) — the
+    /// resource-cost metric for the efficiency comparison.
+    pub fn vm_seconds(&self, tier: usize, now: SimTime) -> f64 {
+        let live: f64 = self.tiers[tier]
+            .members
+            .iter()
+            .map(|id| self.servers[id].vm_seconds(now))
+            .sum();
+        live + self.tiers[tier].retired_vm_seconds
+    }
+
+    /// Takes a monitoring sample from every non-stopped server.
+    pub fn sample_all(&mut self, now: SimTime) -> Vec<ServerSample> {
+        let member_ids: Vec<ServerId> = self
+            .tiers
+            .iter()
+            .flat_map(|t| t.members.iter().copied())
+            .collect();
+        member_ids
+            .into_iter()
+            .filter_map(|id| {
+                let server = self.servers.get_mut(&id)?;
+                (!server.is_stopped()).then(|| server.sample(now))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::law::reference;
+
+    fn specs() -> Vec<TierSpec> {
+        vec![
+            TierSpec {
+                name: "web".into(),
+                law: reference::apache(),
+                default_threads: 1000,
+                default_conns: None,
+                balancer: BalancerPolicy::RoundRobin,
+                boot_delay: SimDuration::from_secs(15),
+            },
+            TierSpec {
+                name: "app".into(),
+                law: reference::tomcat(),
+                default_threads: 100,
+                default_conns: Some(80),
+                balancer: BalancerPolicy::RoundRobin,
+                boot_delay: SimDuration::from_secs(15),
+            },
+            TierSpec {
+                name: "db".into(),
+                law: reference::mysql(),
+                default_threads: 800,
+                default_conns: None,
+                balancer: BalancerPolicy::RoundRobin,
+                boot_delay: SimDuration::from_secs(15),
+            },
+        ]
+    }
+
+    #[test]
+    fn initial_topology_matches_counts() {
+        let sys = System::new(specs(), &[1, 2, 1], SimTime::ZERO);
+        assert_eq!(sys.tier_count(), 3);
+        assert_eq!(sys.running_count(0), 1);
+        assert_eq!(sys.running_count(1), 2);
+        assert_eq!(sys.running_count(2), 1);
+        assert_eq!(sys.servers().count(), 4);
+    }
+
+    #[test]
+    fn server_names_follow_tier_and_order() {
+        let sys = System::new(specs(), &[1, 2, 1], SimTime::ZERO);
+        let names: Vec<&str> = sys.servers().map(|s| s.name()).collect();
+        assert!(names.contains(&"web-1"));
+        assert!(names.contains(&"app-1"));
+        assert!(names.contains(&"app-2"));
+        assert!(names.contains(&"db-1"));
+    }
+
+    #[test]
+    fn booting_servers_are_not_routable() {
+        let mut sys = System::new(specs(), &[1, 1, 1], SimTime::ZERO);
+        let id = sys.add_server(
+            TierId(1),
+            SimTime::ZERO,
+            ServerState::Starting {
+                ready_at: SimTime::from_secs(15),
+            },
+        );
+        assert_eq!(sys.running_count(1), 1);
+        assert_eq!(sys.booting_count(1), 1);
+        sys.server_mut(id).unwrap().mark_running();
+        assert_eq!(sys.running_count(1), 2);
+    }
+
+    #[test]
+    fn retire_accrues_vm_seconds() {
+        let mut sys = System::new(specs(), &[1, 2, 1], SimTime::ZERO);
+        let victim = sys.tier(1).members()[1];
+        let now = SimTime::from_secs(100);
+        sys.server_mut(victim).unwrap().mark_stopped(now);
+        sys.retire_server(victim, now);
+        assert_eq!(sys.running_count(1), 1);
+        // Tier 1 cost: survivor 150 s + retired 100 s.
+        let later = SimTime::from_secs(150);
+        assert!((sys.vm_seconds(1, later) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_all_covers_live_servers() {
+        let mut sys = System::new(specs(), &[1, 2, 1], SimTime::ZERO);
+        let samples = sys.sample_all(SimTime::from_secs(1));
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|s| s.cpu_util == 0.0));
+    }
+
+    #[test]
+    fn counters_start_clean() {
+        let sys = System::new(specs(), &[1, 1, 1], SimTime::ZERO);
+        assert_eq!(sys.counters(), SystemCounters::default());
+        assert_eq!(sys.counters().in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one initial server")]
+    fn zero_initial_servers_rejected() {
+        let _ = System::new(specs(), &[1, 0, 1], SimTime::ZERO);
+    }
+}

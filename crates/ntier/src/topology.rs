@@ -1,0 +1,311 @@
+//! Convenience construction of the paper's RUBBoS-style three-tier
+//! deployment (`#W/#A/#D` hardware notation, `#W_T/#A_T/#A_C` soft-resource
+//! notation).
+
+use dcm_sim::time::SimDuration;
+
+use crate::balancer::BalancerPolicy;
+use crate::law::{reference, ServiceLaw};
+use crate::system::{System, TierSpec};
+use crate::world::{SimEngine, World};
+
+/// The paper's soft-resource triple: Apache thread pool, Tomcat thread
+/// pool, Tomcat→MySQL connection pool (e.g. the default `1000-100-80`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftConfig {
+    /// Apache (web tier) thread-pool size, `#W_T`.
+    pub web_threads: u32,
+    /// Tomcat (app tier) thread-pool size per server, `#A_T`.
+    pub app_threads: u32,
+    /// Tomcat DB connection-pool size per server, `#A_C`.
+    pub db_conns: u32,
+}
+
+impl SoftConfig {
+    /// The paper's default allocation `1000-100-80`.
+    pub const DEFAULT: SoftConfig = SoftConfig {
+        web_threads: 1000,
+        app_threads: 100,
+        db_conns: 80,
+    };
+
+    /// Creates a triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pool size is zero.
+    pub fn new(web_threads: u32, app_threads: u32, db_conns: u32) -> Self {
+        assert!(
+            web_threads > 0 && app_threads > 0 && db_conns > 0,
+            "pool sizes must be positive"
+        );
+        SoftConfig {
+            web_threads,
+            app_threads,
+            db_conns,
+        }
+    }
+}
+
+impl Default for SoftConfig {
+    fn default() -> Self {
+        SoftConfig::DEFAULT
+    }
+}
+
+/// Builder for a three-tier (web/app/db) world.
+///
+/// # Examples
+///
+/// ```
+/// use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+///
+/// // The paper's 1/2/1 scale-out with the default soft allocation.
+/// let (world, engine) = ThreeTierBuilder::new()
+///     .counts(1, 2, 1)
+///     .soft(SoftConfig::DEFAULT)
+///     .seed(42)
+///     .build();
+/// assert_eq!(world.system.running_count(1), 2);
+/// drop((world, engine));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeTierBuilder {
+    web: u32,
+    app: u32,
+    db: u32,
+    soft: SoftConfig,
+    web_law: ServiceLaw,
+    app_law: ServiceLaw,
+    db_law: ServiceLaw,
+    db_threads: u32,
+    balancer: BalancerPolicy,
+    boot_delay: SimDuration,
+    seed: u64,
+    db_load_balancer: bool,
+}
+
+impl Default for ThreeTierBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreeTierBuilder {
+    /// Starts from the paper's baseline: `1/1/1` hardware, `1000-100-80`
+    /// soft resources, Table I ground-truth laws, round-robin balancing,
+    /// 15-second VM preparation.
+    pub fn new() -> Self {
+        ThreeTierBuilder {
+            web: 1,
+            app: 1,
+            db: 1,
+            soft: SoftConfig::DEFAULT,
+            web_law: reference::apache(),
+            app_law: reference::tomcat(),
+            db_law: reference::mysql(),
+            // MySQL max_connections: high enough that the *upstream*
+            // connection pool is what actually caps DB concurrency, as in
+            // the paper's deployment.
+            db_threads: 800,
+            balancer: BalancerPolicy::RoundRobin,
+            boot_delay: SimDuration::from_secs(15),
+            seed: 1,
+            db_load_balancer: false,
+        }
+    }
+
+    /// Sets the `#W/#A/#D` server counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn counts(mut self, web: u32, app: u32, db: u32) -> Self {
+        assert!(web > 0 && app > 0 && db > 0, "tier counts must be positive");
+        self.web = web;
+        self.app = app;
+        self.db = db;
+        self
+    }
+
+    /// Sets the soft-resource triple.
+    pub fn soft(mut self, soft: SoftConfig) -> Self {
+        self.soft = soft;
+        self
+    }
+
+    /// Overrides the web-tier law.
+    pub fn web_law(mut self, law: ServiceLaw) -> Self {
+        self.web_law = law;
+        self
+    }
+
+    /// Overrides the app-tier law.
+    pub fn app_law(mut self, law: ServiceLaw) -> Self {
+        self.app_law = law;
+        self
+    }
+
+    /// Overrides the db-tier law.
+    pub fn db_law(mut self, law: ServiceLaw) -> Self {
+        self.db_law = law;
+        self
+    }
+
+    /// Overrides the MySQL server-side thread cap (`max_connections`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn db_threads(mut self, threads: u32) -> Self {
+        assert!(threads > 0, "db threads must be positive");
+        self.db_threads = threads;
+        self
+    }
+
+    /// Sets the balancing policy for the scalable tiers.
+    pub fn balancer(mut self, policy: BalancerPolicy) -> Self {
+        self.balancer = policy;
+        self
+    }
+
+    /// Sets the VM preparation period.
+    pub fn boot_delay(mut self, delay: SimDuration) -> Self {
+        self.boot_delay = delay;
+        self
+    }
+
+    /// Sets the world RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inserts the paper's optional fourth tier: an HAProxy load-balancer
+    /// tier in front of the databases (the "four-tier" RUBBoS deployment
+    /// of Fig. 1). The LB is a cheap pass-through; queries still fan out
+    /// over the DB servers, and the app tier's connection pool still caps
+    /// DB concurrency. Workloads must then use four-tier request profiles
+    /// (e.g. `ProfileFactory::rubbos_four_tier`).
+    pub fn with_db_load_balancer(mut self) -> Self {
+        self.db_load_balancer = true;
+        self
+    }
+
+    /// The tier specs this builder would install (exposed for custom
+    /// [`System`] construction).
+    pub fn tier_specs(&self) -> Vec<TierSpec> {
+        let mut specs = vec![
+            TierSpec {
+                name: "web".into(),
+                law: self.web_law,
+                default_threads: self.soft.web_threads,
+                default_conns: None,
+                balancer: self.balancer,
+                boot_delay: self.boot_delay,
+            },
+            TierSpec {
+                name: "app".into(),
+                law: self.app_law,
+                default_threads: self.soft.app_threads,
+                default_conns: Some(self.soft.db_conns),
+                balancer: self.balancer,
+                boot_delay: self.boot_delay,
+            },
+        ];
+        if self.db_load_balancer {
+            specs.push(TierSpec {
+                name: "lb".into(),
+                // HAProxy forwards in O(100 µs) with negligible contention.
+                law: ServiceLaw::new(1.0e-4, 1.0e-6, 1.0e-10),
+                default_threads: 4096,
+                default_conns: None,
+                balancer: self.balancer,
+                boot_delay: self.boot_delay,
+            });
+        }
+        specs.push(TierSpec {
+            name: "db".into(),
+            law: self.db_law,
+            default_threads: self.db_threads,
+            default_conns: None,
+            balancer: self.balancer,
+            boot_delay: self.boot_delay,
+        });
+        specs
+    }
+
+    /// Builds the world and a fresh engine.
+    pub fn build(&self) -> (World, SimEngine) {
+        let counts: Vec<u32> = if self.db_load_balancer {
+            vec![self.web, self.app, 1, self.db]
+        } else {
+            vec![self.web, self.app, self.db]
+        };
+        let system = System::new(
+            self.tier_specs(),
+            &counts,
+            dcm_sim::time::SimTime::ZERO,
+        );
+        (World::new(system, self.seed), SimEngine::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_baseline() {
+        let (world, _engine) = ThreeTierBuilder::new().build();
+        assert_eq!(world.system.tier_count(), 3);
+        assert_eq!(world.system.running_count(0), 1);
+        assert_eq!(world.system.running_count(1), 1);
+        assert_eq!(world.system.running_count(2), 1);
+        let app = world.system.tier(1);
+        assert_eq!(app.spec().default_threads, 100);
+        assert_eq!(app.spec().default_conns, Some(80));
+    }
+
+    #[test]
+    fn soft_config_applies_to_servers() {
+        let (world, _engine) = ThreeTierBuilder::new()
+            .soft(SoftConfig::new(500, 20, 18))
+            .counts(1, 2, 1)
+            .build();
+        for &sid in world.system.tier(1).members() {
+            let s = world.system.server(sid).unwrap();
+            assert_eq!(s.thread_pool().capacity(), 20);
+            assert_eq!(s.conn_pool().unwrap().capacity(), 18);
+        }
+        let web = world.system.tier(0).members()[0];
+        assert_eq!(
+            world.system.server(web).unwrap().thread_pool().capacity(),
+            500
+        );
+    }
+
+    #[test]
+    fn four_tier_inserts_lb() {
+        let (world, _engine) = ThreeTierBuilder::new()
+            .counts(1, 2, 2)
+            .with_db_load_balancer()
+            .build();
+        assert_eq!(world.system.tier_count(), 4);
+        assert_eq!(world.system.tier(2).spec().name, "lb");
+        assert_eq!(world.system.running_count(2), 1);
+        assert_eq!(world.system.running_count(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool sizes must be positive")]
+    fn zero_soft_config_rejected() {
+        let _ = SoftConfig::new(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier counts must be positive")]
+    fn zero_counts_rejected() {
+        let _ = ThreeTierBuilder::new().counts(1, 0, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! The simulation world: system state plus the run's RNG stream.
+
+use dcm_sim::engine::Engine;
+use dcm_sim::rng::SimRng;
+
+use crate::system::System;
+
+/// Everything the event loop mutates: the n-tier system and the
+/// deterministic RNG all stochastic choices draw from.
+#[derive(Debug)]
+pub struct World {
+    /// The n-tier system.
+    pub system: System,
+    /// The run's random stream.
+    pub rng: SimRng,
+}
+
+impl World {
+    /// Creates a world around a system with the given RNG seed.
+    pub fn new(system: System, seed: u64) -> Self {
+        World {
+            system,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+}
+
+/// The engine type all DCM simulations run on.
+pub type SimEngine = Engine<World>;

@@ -1,0 +1,349 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Engine`] owns the virtual clock and a priority queue of scheduled
+//! actions. Actions are closures over a user-supplied *world* type `W` (the
+//! mutable simulation state), which keeps this crate independent of what is
+//! being simulated. Ties in time are broken by schedule order, so a run is a
+//! pure function of (initial world, seed, schedule), which the reproduction
+//! experiments rely on.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque handle to a scheduled event, usable for cancellation (timeouts,
+/// superseded retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An action scheduled to run against the world at a point in virtual time.
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    id: EventId,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops
+        // first. `id` rises monotonically, giving FIFO order among ties.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Discrete-event engine over a world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use dcm_sim::engine::Engine;
+/// use dcm_sim::time::{SimDuration, SimTime};
+///
+/// let mut world = 0u32; // the "world" can be any state
+/// let mut engine = Engine::new();
+/// engine.schedule_in(SimDuration::from_secs(5), |w: &mut u32, _e| *w += 1);
+/// engine.schedule_in(SimDuration::from_secs(1), |w: &mut u32, e| {
+///     *w += 10;
+///     // events may schedule further events
+///     e.schedule_in(SimDuration::from_secs(1), |w: &mut u32, _e| *w += 100);
+/// });
+/// engine.run(&mut world);
+/// assert_eq!(world, 111);
+/// assert_eq!(engine.now(), SimTime::from_secs(5));
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    heap: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    executed: u64,
+}
+
+impl<W> fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`] and no events.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones not
+    /// yet popped).
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// An event scheduled at or before the current time still executes (next,
+    /// in FIFO order among same-time events); the clock never runs backwards.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Scheduled {
+            at,
+            id,
+            action: Box::new(action),
+        });
+        id
+    }
+
+    /// Schedules `action` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedules `action` to run as the next same-time event.
+    pub fn schedule_now(
+        &mut self,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now, action)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet run
+    /// or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // Tombstone; the heap entry is skipped when popped.
+        self.cancelled.insert(id)
+    }
+
+    /// Executes the next event, advancing the clock. Returns `false` when no
+    /// events remain.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(ev) = self.heap.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event scheduled in the past");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(world, self);
+            return true;
+        }
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs until the clock would pass `deadline`; events at exactly
+    /// `deadline` are executed. Pending later events remain queued and the
+    /// clock is left at `deadline` (or at the last event if the queue
+    /// drained early).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// The timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let ev = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&ev.id);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type W = Vec<u32>;
+
+    fn push_at(engine: &mut Engine<W>, t: u64, tag: u32) -> EventId {
+        engine.schedule_at(SimTime::from_secs(t), move |w: &mut W, _| w.push(tag))
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        push_at(&mut e, 3, 3);
+        push_at(&mut e, 1, 1);
+        push_at(&mut e, 2, 2);
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(e.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_schedule_order() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        for tag in 0..10 {
+            push_at(&mut e, 5, tag);
+        }
+        e.run(&mut w);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        e.schedule_in(SimDuration::from_secs(1), |w: &mut W, e| {
+            w.push(1);
+            e.schedule_in(SimDuration::from_secs(1), |w: &mut W, _| w.push(2));
+        });
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cancellation_suppresses_execution() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        let keep = push_at(&mut e, 1, 1);
+        let drop_ = push_at(&mut e, 2, 2);
+        push_at(&mut e, 3, 3);
+        assert!(e.cancel(drop_));
+        assert!(!e.cancel(drop_), "double-cancel reports false");
+        assert!(!e.cancel(EventId(999)), "unknown id reports false");
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 3]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        push_at(&mut e, 1, 1);
+        push_at(&mut e, 5, 5);
+        push_at(&mut e, 10, 10);
+        e.run_until(&mut w, SimTime::from_secs(5));
+        assert_eq!(w, vec![1, 5]);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.pending(), 1);
+        // Idle gap: deadline beyond all events still advances the clock.
+        e.run_until(&mut w, SimTime::from_secs(20));
+        assert_eq!(w, vec![1, 5, 10]);
+        assert_eq!(e.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(5), |w: &mut W, e| {
+            w.push(1);
+            // "Past" event executes at now, not before.
+            e.schedule_at(SimTime::from_secs(1), |w: &mut W, _| w.push(2));
+        });
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut e: Engine<W> = Engine::new();
+        let a = push_at(&mut e, 1, 1);
+        push_at(&mut e, 2, 2);
+        e.cancel(a);
+        assert_eq!(e.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn empty_engine_steps_false() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        assert!(!e.step(&mut w));
+        assert_eq!(e.peek_time(), None);
+    }
+
+    #[test]
+    fn schedule_now_runs_before_later_events() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), |w: &mut W, e| {
+            w.push(1);
+            e.schedule_now(|w: &mut W, _| w.push(2));
+            e.schedule_in(SimDuration::from_nanos(1), |w: &mut W, _| w.push(3));
+        });
+        push_at(&mut e, 2, 4);
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Online statistics for simulation measurement.
+//!
+//! Everything here is allocation-light and incremental so monitors can run
+//! inside the event loop: [`OnlineStats`] (Welford mean/variance),
+//! [`SampleQuantiles`] / [`P2Quantile`] (exact and streaming percentiles),
+//! [`Histogram`] (binned distributions), and the time-indexed recorders
+//! [`TimeSeries`], [`StepGauge`], and [`RateMeter`].
+
+mod histogram;
+mod quantile;
+mod replication;
+mod timeseries;
+mod welford;
+
+pub use histogram::{Histogram, InvalidHistogramBounds};
+pub use quantile::{P2Quantile, SampleQuantiles};
+pub use replication::{t_critical_95, Replications};
+pub use timeseries::{RateMeter, StepGauge, TimeSeries};
+pub use welford::OnlineStats;

@@ -1,0 +1,181 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use dcm_sim::dist::{AliasTable, Dist, Sample};
+use dcm_sim::engine::Engine;
+use dcm_sim::rng::SimRng;
+use dcm_sim::stats::{OnlineStats, RateMeter, SampleQuantiles, StepGauge};
+use dcm_sim::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Events always fire in non-decreasing time order, with ties in
+    /// schedule order, regardless of insertion order.
+    #[test]
+    fn engine_fires_in_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+        let mut fired = Vec::new();
+        for (seq, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<(u64, usize)>, _| {
+                w.push((t, seq));
+            });
+        }
+        engine.run(&mut fired);
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset suppresses exactly that subset.
+    #[test]
+    fn engine_cancellation_is_exact(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut engine: Engine<Vec<usize>> = Engine::new();
+        let mut fired = Vec::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                engine.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<usize>, _| w.push(i))
+            })
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                engine.cancel(*id);
+            } else {
+                expected.push(i);
+            }
+        }
+        engine.run(&mut fired);
+        fired.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// Merging two Welford summaries equals one summary over the
+    /// concatenation.
+    #[test]
+    fn stats_merge_is_concatenation(
+        a in prop::collection::vec(-1e6f64..1e6, 0..200),
+        b in prop::collection::vec(-1e6f64..1e6, 0..200),
+    ) {
+        let mut left: OnlineStats = a.iter().copied().collect();
+        let right: OnlineStats = b.iter().copied().collect();
+        left.merge(&right);
+        let full: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(left.count(), full.count());
+        if full.count() > 0 {
+            prop_assert!((left.mean() - full.mean()).abs() < 1e-6);
+            prop_assert!((left.sample_variance() - full.sample_variance()).abs()
+                / full.sample_variance().max(1.0) < 1e-6);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut q: SampleQuantiles = values.iter().copied().collect();
+        let lo = q.quantile(0.0).unwrap();
+        let med = q.quantile(0.5).unwrap();
+        let hi = q.quantile(1.0).unwrap();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo <= med && med <= hi);
+        prop_assert_eq!(lo, min);
+        prop_assert_eq!(hi, max);
+    }
+
+    /// The step gauge's time-weighted mean lies within the value range.
+    #[test]
+    fn gauge_mean_is_bounded(steps in prop::collection::vec((0u64..1000, 0.0f64..100.0), 1..50)) {
+        let mut sorted = steps.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut gauge = StepGauge::new(SimTime::ZERO, 0.0);
+        for &(t, v) in &sorted {
+            gauge.set(SimTime::from_nanos(t), v);
+        }
+        let mean = gauge.time_weighted_mean(SimTime::ZERO, SimTime::from_nanos(2000));
+        prop_assert!((0.0..=100.0).contains(&mean), "mean {mean}");
+    }
+
+    /// RateMeter windows account for every event exactly once.
+    #[test]
+    fn rate_meter_conserves_events(times in prop::collection::vec(0.0f64..100.0, 0..300)) {
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut meter = RateMeter::new(SimDuration::from_secs(1));
+        for &t in &sorted {
+            meter.record(SimTime::from_secs_f64(t));
+        }
+        let series = meter.finish(SimTime::from_secs(101));
+        let total: f64 = series.iter().map(|(_, rate)| rate).sum();
+        prop_assert!((total - sorted.len() as f64).abs() < 1e-6);
+    }
+
+    /// Samples from every distribution are non-negative and finite.
+    #[test]
+    fn distributions_sample_valid_values(seed in any::<u64>(), which in 0usize..6) {
+        let dist = match which {
+            0 => Dist::constant(1.5),
+            1 => Dist::uniform(0.5, 2.0),
+            2 => Dist::exponential(3.0),
+            3 => Dist::truncated_normal(1.0, 2.0),
+            4 => Dist::log_normal(-1.0, 0.8),
+            _ => Dist::erlang(3, 10.0),
+        };
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            let x = dist.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0, "{x} from {dist}");
+        }
+    }
+
+    /// The alias table only ever returns valid indices, and hits every
+    /// positive-weight category eventually.
+    #[test]
+    fn alias_table_indices_valid(weights in prop::collection::vec(0.0f64..10.0, 1..30), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SimRng::seed_from(seed);
+        let mut seen = vec![false; weights.len()];
+        for _ in 0..2000 {
+            let idx = table.sample(&mut rng);
+            prop_assert!(idx < weights.len());
+            prop_assert!(weights[idx] > 0.0, "zero-weight category sampled");
+            seen[idx] = true;
+        }
+        // Categories holding at least 5% of the mass must appear in 2000
+        // draws (probability of missing ≈ 1e-45).
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            if w / total >= 0.05 {
+                prop_assert!(seen[i], "category {i} with mass {} never sampled", w / total);
+            }
+        }
+    }
+
+    /// run_until never executes events beyond the deadline and leaves the
+    /// clock exactly at it.
+    #[test]
+    fn run_until_respects_deadline(
+        times in prop::collection::vec(0u64..2000, 1..100),
+        deadline in 0u64..2000,
+    ) {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut fired: Vec<u64> = Vec::new();
+        for &t in &times {
+            engine.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        engine.run_until(&mut fired, SimTime::from_nanos(deadline));
+        prop_assert!(fired.iter().all(|&t| t <= deadline));
+        let expected = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(fired.len(), expected);
+        prop_assert_eq!(engine.now(), SimTime::from_nanos(deadline));
+    }
+}

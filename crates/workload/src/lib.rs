@@ -1,0 +1,30 @@
+//! # dcm-workload — workload generation for the n-tier simulator
+//!
+//! Reproduces the paper's three workload tools over `dcm-ntier`:
+//!
+//! | Paper tool | Here | Role |
+//! |---|---|---|
+//! | Jmeter, zero think time | [`generator::UserPopulation::start_closed_loop`] | model training: offered concurrency = user count |
+//! | original RUBBoS client (3 s think) | [`generator::UserPopulation::start_think_time`] | model validation under realistic static load |
+//! | revised RUBBoS emulator + trace file | [`generator::UserPopulation::start_trace_driven`] | bursty Fig. 5 evaluation |
+//!
+//! Plus the RUBBoS browse-only servlet mix ([`servlets`]), trace synthesis
+//! and parsing ([`traces`] — including the reconstructed "Large Variation"
+//! trace), and result summarization ([`report`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod burstiness;
+pub mod generator;
+pub mod profile;
+pub mod report;
+pub mod servlets;
+pub mod traces;
+
+pub use burstiness::{index_of_dispersion, MmppConfig, MmppModulator};
+pub use generator::UserPopulation;
+pub use profile::ProfileFactory;
+pub use report::{class_breakdown, shared_log, ClassStats, LoadReport, WindowedSeries};
+pub use servlets::{Servlet, ServletMix};
+pub use traces::{TraceError, WorkloadTrace};

@@ -1,0 +1,224 @@
+//! Turning the servlet mix into per-request execution plans.
+
+use dcm_ntier::law::reference;
+use dcm_ntier::request::{RequestProfile, StageDemand};
+use dcm_sim::dist::{Dist, Sample};
+use dcm_sim::rng::SimRng;
+
+use crate::servlets::ServletMix;
+
+/// Samples [`RequestProfile`]s for the three-tier RUBBoS deployment.
+///
+/// Per-tier demands are drawn from a base distribution scaled by the chosen
+/// servlet's multiplier; the base means default to the reference laws' `S⁰`
+/// so a server at the knee behaves exactly as the paper's model predicts.
+///
+/// # Examples
+///
+/// ```
+/// use dcm_workload::profile::ProfileFactory;
+/// use dcm_sim::rng::SimRng;
+///
+/// let factory = ProfileFactory::rubbos();
+/// let mut rng = SimRng::seed_from(1);
+/// let profile = factory.sample(&mut rng);
+/// assert_eq!(profile.tiers(), 3);
+/// assert!(profile.visits_to(2) >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileFactory {
+    mix: ServletMix,
+    web_base: Dist,
+    app_base: Dist,
+    db_base: Dist,
+    /// Fraction of app demand executed before the DB calls (the rest runs
+    /// after the last call returns).
+    app_pre_fraction: f64,
+    /// Insert the pass-through DB load-balancer tier (four-tier RUBBoS).
+    four_tier: bool,
+}
+
+impl ProfileFactory {
+    /// The paper-matching factory: browse-only mix, per-tier demand means
+    /// equal to the reference laws' `S⁰`, moderate variability.
+    pub fn rubbos() -> Self {
+        ProfileFactory {
+            mix: ServletMix::browse_only(),
+            web_base: Dist::exponential_mean(reference::apache().s0()),
+            app_base: Dist::exponential_mean(reference::tomcat().s0()),
+            db_base: Dist::exponential_mean(reference::mysql().s0()),
+            app_pre_fraction: 0.5,
+            four_tier: false,
+        }
+    }
+
+    /// The paper's four-tier deployment: same demands, with each query
+    /// routed through the DB load-balancer tier (use together with
+    /// `ThreeTierBuilder::with_db_load_balancer`).
+    pub fn rubbos_four_tier() -> Self {
+        ProfileFactory {
+            four_tier: true,
+            ..Self::rubbos()
+        }
+    }
+
+    /// A deterministic variant (constant demands at the law means) for
+    /// noise-free unit tests and calibration runs.
+    pub fn rubbos_deterministic() -> Self {
+        ProfileFactory {
+            mix: ServletMix::browse_only(),
+            web_base: Dist::constant(reference::apache().s0()),
+            app_base: Dist::constant(reference::tomcat().s0()),
+            db_base: Dist::constant(reference::mysql().s0()),
+            app_pre_fraction: 0.5,
+            four_tier: false,
+        }
+    }
+
+    /// Overrides the servlet mix.
+    pub fn with_mix(mut self, mix: ServletMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Overrides the per-tier base demand distributions
+    /// (web, app, db-per-query).
+    pub fn with_bases(mut self, web: Dist, app: Dist, db: Dist) -> Self {
+        self.web_base = web;
+        self.app_base = app;
+        self.db_base = db;
+        self
+    }
+
+    /// Sets the fraction of app-tier demand that runs before the DB calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn with_app_pre_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        self.app_pre_fraction = fraction;
+        self
+    }
+
+    /// The servlet mix in use.
+    pub fn mix(&self) -> &ServletMix {
+        &self.mix
+    }
+
+    /// Samples one request's execution plan.
+    pub fn sample(&self, rng: &mut SimRng) -> RequestProfile {
+        let idx = self.mix.sample_index(rng);
+        let servlet = self.mix.servlet(idx);
+        let web = self.web_base.sample(rng) * servlet.web_mult;
+        let app = self.app_base.sample(rng) * servlet.app_mult;
+        let db = self.db_base.sample(rng) * servlet.db_mult;
+        let app_demand = StageDemand {
+            pre: app * self.app_pre_fraction,
+            post: app * (1.0 - self.app_pre_fraction),
+        };
+        let queries = servlet.db_queries.max(1);
+        if self.four_tier {
+            // web → app → lb (per query) → db (one forward each).
+            RequestProfile::new(
+                vec![
+                    StageDemand::pre_only(web),
+                    app_demand,
+                    StageDemand::pre_only(1.0e-4),
+                    StageDemand::pre_only(db),
+                ],
+                vec![1, 1, queries, 1],
+                idx as u16,
+            )
+        } else {
+            RequestProfile::new(
+                vec![StageDemand::pre_only(web), app_demand, StageDemand::pre_only(db)],
+                vec![1, 1, queries],
+                idx as u16,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_profiles_have_three_tiers_and_queries() {
+        let factory = ProfileFactory::rubbos();
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            let p = factory.sample(&mut rng);
+            assert_eq!(p.tiers(), 3);
+            assert!((1..=3).contains(&p.visits_to(2)));
+            assert!(p.demand(1).pre > 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_db_demand_tracks_law_s0() {
+        // Averaged over many samples, the per-query db demand should be
+        // close to the MySQL law's S0 (multipliers average ≈ 1).
+        let factory = ProfileFactory::rubbos();
+        let mut rng = SimRng::seed_from(11);
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| factory.sample(&mut rng).demand(2).pre)
+            .sum::<f64>()
+            / n as f64;
+        let s0 = reference::mysql().s0();
+        assert!(
+            (mean - s0).abs() / s0 < 0.15,
+            "mean db demand {mean} vs s0 {s0}"
+        );
+    }
+
+    #[test]
+    fn deterministic_factory_is_noise_free() {
+        let factory = ProfileFactory::rubbos_deterministic()
+            .with_mix(
+                crate::servlets::ServletMix::from_servlets(vec![crate::servlets::Servlet {
+                    name: "Only",
+                    weight: 1.0,
+                    web_mult: 1.0,
+                    app_mult: 1.0,
+                    db_mult: 1.0,
+                    db_queries: 2,
+                }])
+                .unwrap(),
+            );
+        let mut rng = SimRng::seed_from(1);
+        let a = factory.sample(&mut rng);
+        let b = factory.sample(&mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a.demand(1).total(), reference::tomcat().s0());
+    }
+
+    #[test]
+    fn app_pre_fraction_splits_demand() {
+        let factory = ProfileFactory::rubbos_deterministic().with_app_pre_fraction(0.25);
+        let mut rng = SimRng::seed_from(1);
+        let p = factory.sample(&mut rng);
+        let d = p.demand(1);
+        assert!((d.pre / d.total() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_tier_profiles_route_through_lb() {
+        let factory = ProfileFactory::rubbos_four_tier();
+        let mut rng = SimRng::seed_from(4);
+        let p = factory.sample(&mut rng);
+        assert_eq!(p.tiers(), 4);
+        assert!((1..=3).contains(&p.visits_to(2)), "queries hit the lb tier");
+        assert_eq!(p.visits_to(3), 1, "lb forwards each query once");
+        // Cumulative visits to the db equal the query count.
+        assert_eq!(p.cumulative_visits(3), u64::from(p.visits_to(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn invalid_fraction_rejected() {
+        let _ = ProfileFactory::rubbos().with_app_pre_fraction(1.5);
+    }
+}
