@@ -26,6 +26,50 @@ fn bench_engine(c: &mut Criterion) {
             black_box(world)
         })
     });
+    // The timeout pattern that motivated the slot/generation scheme: every
+    // request schedules a guard event that is almost always cancelled before
+    // it fires (a completion supersedes it). 10k schedules, 9k cancels.
+    c.bench_function("engine_cancel_heavy_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            let mut timeouts = Vec::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                timeouts.push(
+                    engine
+                        .schedule_at(SimTime::from_nanos(1_000_000 + i), |w: &mut u64, _| *w += 1),
+                );
+                engine.schedule_at(SimTime::from_nanos(i), |w: &mut u64, _| *w += 1);
+            }
+            for (i, id) in timeouts.into_iter().enumerate() {
+                if i % 10 != 0 {
+                    engine.cancel(id);
+                }
+            }
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+    // Churn pattern: cancel-then-reschedule inside a bounded live window,
+    // exercising slot reuse (or, before the rework, HashSet insert/remove).
+    c.bench_function("engine_timeout_churn_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            let mut pending = std::collections::VecDeque::with_capacity(64);
+            for i in 0..10_000u64 {
+                if pending.len() == 64 {
+                    let id = pending.pop_front().expect("non-empty");
+                    engine.cancel(id);
+                }
+                pending.push_back(
+                    engine.schedule_at(SimTime::from_nanos(i + 100_000), |w: &mut u64, _| *w += 1),
+                );
+            }
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
 }
 
 fn bench_cpu_scheduler(c: &mut Criterion) {

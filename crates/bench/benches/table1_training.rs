@@ -3,9 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use dcm_core::training::{
-    fit_sweep_robust, measure_steady_state, SweepOptions, SweepPoint,
-};
+use dcm_core::training::{fit_sweep_robust, measure_steady_state, SweepOptions, SweepPoint};
 use dcm_ntier::topology::SoftConfig;
 use dcm_sim::time::SimDuration;
 

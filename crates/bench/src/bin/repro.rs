@@ -10,6 +10,7 @@ use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use dcm_bench::experiments::{ablation, fig2, fig4, fig5, gamma, table1, Fidelity};
 use dcm_bench::format::TextTable;
@@ -20,6 +21,7 @@ struct Cli {
     csv_dir: Option<PathBuf>,
     trace: Option<PathBuf>,
     seeds: usize,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -29,6 +31,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut csv_dir = None;
     let mut trace = None;
     let mut seeds = 1usize;
+    let mut jobs = 0usize; // 0 = auto (available parallelism)
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => fidelity = Fidelity::Quick,
@@ -44,6 +47,10 @@ fn parse_args() -> Result<Cli, String> {
                 let n = args.next().ok_or("--seeds needs a count")?;
                 seeds = n.parse().map_err(|_| format!("bad seed count `{n}`"))?;
             }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a worker count")?;
+                jobs = n.parse().map_err(|_| format!("bad job count `{n}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -53,6 +60,7 @@ fn parse_args() -> Result<Cli, String> {
         csv_dir,
         trace,
         seeds,
+        jobs,
     })
 }
 
@@ -76,8 +84,114 @@ fn usage() -> String {
      \x20 --quick       short windows / coarse sweeps\n\
      \x20 --csv DIR     also write every table as CSV into DIR\n\
      \x20 --trace FILE  drive fig5 with an external `seconds,users` CSV trace\n\
-     \x20 --seeds N     replicate fig5 across N seeds, report mean ± 95% CI"
+     \x20 --seeds N     replicate fig5 across N seeds, report mean ± 95% CI\n\
+     \x20 --jobs N      worker threads for independent runs (0 = all cores);\n\
+     \x20               results are bit-identical for every N"
         .to_string()
+}
+
+/// Per-experiment wall-clock and simulated-event accounting, written to
+/// `results/perf.json` at the end of the run.
+struct Perf {
+    entries: Vec<PerfEntry>,
+    started: Instant,
+}
+
+struct PerfEntry {
+    name: String,
+    wall_secs: f64,
+    events: u64,
+}
+
+impl Perf {
+    fn new() -> Self {
+        Perf {
+            entries: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Runs one experiment, printing elapsed wall-clock and simulated
+    /// events/second (events are counted engine-side across all workers).
+    fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        dcm_sim::engine::reset_total_executed();
+        let start = Instant::now();
+        let result = f();
+        let wall_secs = start.elapsed().as_secs_f64();
+        let events = dcm_sim::engine::reset_total_executed();
+        println!(
+            "  [{name}: {wall_secs:.2} s wall, {events} simulated events, {:.0} events/s]",
+            rate(events, wall_secs)
+        );
+        self.entries.push(PerfEntry {
+            name: name.to_string(),
+            wall_secs,
+            events,
+        });
+        result
+    }
+
+    /// Serializes the collected timings as JSON (hand-rolled; keys and
+    /// shapes are stable for downstream tooling).
+    fn to_json(&self, command: &str, fidelity: Fidelity, jobs: usize) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"command\": \"{}\",\n", escape(command)));
+        json.push_str(&format!(
+            "  \"fidelity\": \"{}\",\n",
+            if fidelity == Fidelity::Quick {
+                "quick"
+            } else {
+                "full"
+            }
+        ));
+        json.push_str(&format!("  \"jobs\": {jobs},\n"));
+        let total_events: u64 = self.entries.iter().map(|e| e.events).sum();
+        json.push_str(&format!(
+            "  \"total_wall_secs\": {:.6},\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        json.push_str(&format!("  \"total_events\": {total_events},\n"));
+        json.push_str("  \"experiments\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \
+                 \"events_per_sec\": {:.1}}}{}\n",
+                escape(&e.name),
+                e.wall_secs,
+                e.events,
+                rate(e.events, e.wall_secs),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    fn write(&self, command: &str, fidelity: Fidelity, jobs: usize) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let dir = PathBuf::from("results");
+        let path = dir.join("perf.json");
+        match fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(&path, self.to_json(command, fidelity, jobs)))
+        {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        }
+    }
+}
+
+fn rate(events: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        events as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 struct Output {
@@ -118,20 +232,34 @@ fn main() -> ExitCode {
     let out = Output {
         csv_dir: cli.csv_dir.clone(),
     };
+    dcm_sim::runner::set_jobs(cli.jobs);
+    let jobs = dcm_sim::runner::jobs();
+    let mut perf = Perf::new();
     let f = cli.fidelity;
     let run_all = cli.command == "all";
     let wants = |name: &str| run_all || cli.command == name;
     let mut matched = false;
+    println!(
+        "(running with {jobs} worker thread{})",
+        if jobs == 1 { "" } else { "s" }
+    );
 
     // Table I first when needed: fig4/fig5/ablation reuse the trained
     // models.
     let needs_models = [
-        "table1", "fig4a", "fig4b", "fig5", "ablation", "sensitivity", "extensions", "faults",
+        "table1",
+        "fig4a",
+        "fig4b",
+        "fig5",
+        "ablation",
+        "sensitivity",
+        "extensions",
+        "faults",
     ]
-        .iter()
-        .any(|&c| wants(c));
+    .iter()
+    .any(|&c| wants(c));
     let trained = if needs_models {
-        match table1::run_table1(f) {
+        match perf.time("training", || table1::run_table1(f)) {
             Ok(t) => Some(t),
             Err(err) => {
                 eprintln!("model training failed: {err}");
@@ -145,14 +273,14 @@ fn main() -> ExitCode {
     if wants("fig2a") {
         matched = true;
         out.section("Fig. 2(a): MySQL throughput vs request-processing concurrency");
-        let result = fig2::run_fig2a(f);
+        let result = perf.time("fig2a", || fig2::run_fig2a(f));
         out.table("fig2a", &result.table());
         out.findings(&result.findings());
     }
     if wants("fig2b") {
         matched = true;
         out.section("Fig. 2(b): scaling out 1/1/1 -> 1/2/1 with default soft resources");
-        let result = fig2::run_fig2b(f);
+        let result = perf.time("fig2b", || fig2::run_fig2b(f));
         out.table("fig2b", &result.table());
         out.findings(&result.findings());
     }
@@ -168,7 +296,7 @@ fn main() -> ExitCode {
         let t1 = trained.as_ref().expect("trained above");
         let n_star = t1.app.report.model.optimal_concurrency();
         out.section("Fig. 4(a): Tomcat thread-pool validation (1/1/1)");
-        let result = fig4::run_fig4a(f, n_star);
+        let result = perf.time("fig4a", || fig4::run_fig4a(f, n_star));
         out.table("fig4a", &result.table());
         out.findings(&result.findings());
     }
@@ -177,7 +305,7 @@ fn main() -> ExitCode {
         let t1 = trained.as_ref().expect("trained above");
         let per_server = (t1.db.report.model.optimal_concurrency() / 2).max(1);
         out.section("Fig. 4(b): DB connection-pool validation (1/2/1)");
-        let result = fig4::run_fig4b(f, per_server);
+        let result = perf.time("fig4b", || fig4::run_fig4b(f, per_server));
         out.table("fig4b", &result.table());
         out.findings(&result.findings());
     }
@@ -195,8 +323,7 @@ fn main() -> ExitCode {
             Some(path) => match fs::read_to_string(path)
                 .map_err(|e| e.to_string())
                 .and_then(|text| {
-                    dcm_workload::traces::WorkloadTrace::from_csv(&text)
-                        .map_err(|e| e.to_string())
+                    dcm_workload::traces::WorkloadTrace::from_csv(&text).map_err(|e| e.to_string())
                 }) {
                 Ok(trace) => {
                     println!("(driving with external trace {})\n", path.display());
@@ -211,14 +338,16 @@ fn main() -> ExitCode {
         };
         if cli.seeds > 1 {
             let seeds: Vec<u64> = (0..cli.seeds as u64).map(|i| 42 + i * 1000).collect();
-            let replicated = fig5::run_fig5_replicated(f, models, &seeds);
+            let replicated = perf.time("fig5_replicated", || {
+                fig5::run_fig5_replicated(f, models, &seeds)
+            });
             out.table("fig5_replicated", &replicated.table());
             println!("({} seeds: {:?})", cli.seeds, replicated.seeds);
         }
-        let result = match external {
+        let result = perf.time("fig5", || match external {
             Some(trace) => fig5::run_fig5_on_trace(f, models, trace),
             None => fig5::run_fig5(f, models),
-        };
+        });
         out.table("fig5_summary", &result.summary_table());
         println!("\n-- DCM timeline (30 s windows) --");
         out.table("fig5_dcm_timeline", &result.timeline_table(&result.dcm, 30));
@@ -230,20 +359,24 @@ fn main() -> ExitCode {
         matched = true;
         let models = models.expect("trained above");
         out.section("Ablation: which actuation carries DCM's benefit");
-        let result = ablation::run_actuation_ablation(f, models);
+        let result = perf.time("ablation", || ablation::run_actuation_ablation(f, models));
         out.table("ablation", &result.table());
     }
     if wants("sensitivity") {
         matched = true;
         let models = models.expect("trained above");
         out.section("Sensitivity: DCM with mis-estimated N*");
-        let result =
-            ablation::run_sensitivity(f, models, &[0.5, 0.75, 1.0, 1.5, 2.0, 4.0]);
+        let result = perf.time("sensitivity", || {
+            ablation::run_sensitivity(f, models, &[0.5, 0.75, 1.0, 1.5, 2.0, 4.0])
+        });
         out.table("sensitivity", &result.table());
     }
     if cli.command == "export-trace" {
         matched = true;
-        let dir = cli.csv_dir.clone().unwrap_or_else(|| PathBuf::from("results"));
+        let dir = cli
+            .csv_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results"));
         let trace = dcm_workload::traces::large_variation();
         match fs::create_dir_all(&dir)
             .and_then(|()| fs::write(dir.join("large_variation.csv"), trace.to_csv()))
@@ -263,7 +396,7 @@ fn main() -> ExitCode {
     if wants("gamma") {
         matched = true;
         out.section("Scaling efficiency of the bottleneck tier (the Eq. 4 gamma)");
-        let result = gamma::run_gamma_sweep(f, 4);
+        let result = perf.time("gamma", || gamma::run_gamma_sweep(f, 4));
         out.table("gamma", &result.table());
         out.findings(&result.findings());
     }
@@ -271,14 +404,16 @@ fn main() -> ExitCode {
         matched = true;
         let models = models.expect("trained above");
         out.section("Fault injection: VM boot failures");
-        let result = ablation::run_fault_injection(f, models, &[0.0, 0.2, 0.5]);
+        let result = perf.time("faults", || {
+            ablation::run_fault_injection(f, models, &[0.0, 0.2, 0.5])
+        });
         out.table("faults", &result.table());
     }
     if wants("extensions") {
         matched = true;
         let models = models.expect("trained above");
         out.section("Extensions: reactive vs predictive vs online-refit DCM");
-        let result = ablation::run_extensions(f, models);
+        let result = perf.time("extensions", || ablation::run_extensions(f, models));
         out.table("extensions", &result.table());
     }
 
@@ -286,5 +421,6 @@ fn main() -> ExitCode {
         eprintln!("unknown command `{}`\n{}", cli.command, usage());
         return ExitCode::FAILURE;
     }
+    perf.write(&cli.command, f, jobs);
     ExitCode::SUCCESS
 }

@@ -2,13 +2,47 @@
 //! carries the benefit, and how sensitive DCM is to mis-estimated optima.
 
 use dcm_core::controller::{Dcm, DcmConfig, DcmModels, Ec2AutoScale};
-use dcm_core::experiment::run_trace_experiment;
+use dcm_core::experiment::{run_trace_experiment, TraceExperimentConfig};
 use dcm_core::policy::ScalingConfig;
 
 use crate::format::{num, TextTable};
 
 use super::fig5::{fig5_config, summarize, RunSummary};
 use super::Fidelity;
+
+/// How one ablation variant drives its run.
+#[derive(Debug, Clone)]
+enum VariantSpec {
+    Ec2,
+    Dcm(DcmConfig),
+    DcmRefit(DcmConfig),
+}
+
+/// Runs every `(label, config, spec)` variant in parallel (each builds its
+/// own world) and collects summaries in the given presentation order.
+fn run_variants(
+    models: DcmModels,
+    specs: Vec<(String, TraceExperimentConfig, VariantSpec)>,
+) -> Ablation {
+    let variants = dcm_sim::runner::run_ordered(specs, |(label, config, spec)| {
+        let run = match spec {
+            VariantSpec::Ec2 => run_trace_experiment(&config, |bus| {
+                Ec2AutoScale::new(bus, ScalingConfig::default())
+            }),
+            VariantSpec::Dcm(dcm_config) => {
+                run_trace_experiment(&config, |bus| Dcm::new(bus, dcm_config, models))
+            }
+            VariantSpec::DcmRefit(dcm_config) => run_trace_experiment(&config, |bus| {
+                Dcm::new(bus, dcm_config, models).with_online_refit(16, 4)
+            }),
+        };
+        Variant {
+            label,
+            summary: summarize(&run),
+        }
+    });
+    Ablation { variants }
+}
 
 /// One ablation variant's outcome.
 #[derive(Debug, Clone)]
@@ -30,31 +64,30 @@ pub struct Ablation {
 /// the hardware-only baseline, all on the same trace and models.
 pub fn run_actuation_ablation(fidelity: Fidelity, models: DcmModels) -> Ablation {
     let config = fig5_config(fidelity);
-    let mut variants = Vec::new();
-
     let dcm_variant = |label: &str, adapt_threads: bool, adapt_conns: bool| {
-        let dcm_config = DcmConfig {
-            adapt_threads,
-            adapt_conns,
-            ..DcmConfig::default()
-        };
-        let run = run_trace_experiment(&config, |bus| Dcm::new(bus, dcm_config, models));
-        Variant {
-            label: label.to_string(),
-            summary: summarize(&run),
-        }
+        (
+            label.to_string(),
+            config.clone(),
+            VariantSpec::Dcm(DcmConfig {
+                adapt_threads,
+                adapt_conns,
+                ..DcmConfig::default()
+            }),
+        )
     };
-    variants.push(dcm_variant("DCM (both)", true, true));
-    variants.push(dcm_variant("DCM threads-only", true, false));
-    variants.push(dcm_variant("DCM conns-only", false, true));
-    let ec2 = run_trace_experiment(&config, |bus| {
-        Ec2AutoScale::new(bus, ScalingConfig::default())
-    });
-    variants.push(Variant {
-        label: "EC2-AutoScale (neither)".into(),
-        summary: summarize(&ec2),
-    });
-    Ablation { variants }
+    run_variants(
+        models,
+        vec![
+            dcm_variant("DCM (both)", true, true),
+            dcm_variant("DCM threads-only", true, false),
+            dcm_variant("DCM conns-only", false, true),
+            (
+                "EC2-AutoScale (neither)".into(),
+                config.clone(),
+                VariantSpec::Ec2,
+            ),
+        ],
+    )
 }
 
 /// Runs the controller-extension comparison: plain reactive DCM vs the
@@ -62,43 +95,40 @@ pub fn run_actuation_ablation(fidelity: Fidelity, models: DcmModels) -> Ablation
 /// model refitting.
 pub fn run_extensions(fidelity: Fidelity, models: DcmModels) -> Ablation {
     let config = fig5_config(fidelity);
-    let mut variants = Vec::new();
-    let run = |label: &str, make_config: DcmConfig, refit: bool| {
-        let run = run_trace_experiment(&config, |bus| {
-            let dcm = Dcm::new(bus, make_config, models);
-            if refit {
-                dcm.with_online_refit(16, 4)
-            } else {
-                dcm
-            }
-        });
-        Variant {
-            label: label.to_string(),
-            summary: summarize(&run),
-        }
+    let variant = |label: &str, make_config: DcmConfig, refit: bool| {
+        let spec = if refit {
+            VariantSpec::DcmRefit(make_config)
+        } else {
+            VariantSpec::Dcm(make_config)
+        };
+        (label.to_string(), config.clone(), spec)
     };
-    variants.push(run("DCM reactive", DcmConfig::default(), false));
-    variants.push(run(
-        "DCM predictive",
-        DcmConfig {
-            predictive: Some(dcm_core::predictor::HoltConfig::default()),
-            ..DcmConfig::default()
-        },
-        false,
-    ));
-    variants.push(run("DCM online-refit", DcmConfig::default(), true));
-    variants.push(run(
-        "DCM dwell-SLA trigger",
-        DcmConfig {
-            scaling: ScalingConfig {
-                trigger: dcm_core::policy::TriggerSignal::DwellPressure { sla_secs: 0.5 },
-                ..ScalingConfig::default()
-            },
-            ..DcmConfig::default()
-        },
-        false,
-    ));
-    Ablation { variants }
+    run_variants(
+        models,
+        vec![
+            variant("DCM reactive", DcmConfig::default(), false),
+            variant(
+                "DCM predictive",
+                DcmConfig {
+                    predictive: Some(dcm_core::predictor::HoltConfig::default()),
+                    ..DcmConfig::default()
+                },
+                false,
+            ),
+            variant("DCM online-refit", DcmConfig::default(), true),
+            variant(
+                "DCM dwell-SLA trigger",
+                DcmConfig {
+                    scaling: ScalingConfig {
+                        trigger: dcm_core::policy::TriggerSignal::DwellPressure { sla_secs: 0.5 },
+                        ..ScalingConfig::default()
+                    },
+                    ..DcmConfig::default()
+                },
+                false,
+            ),
+        ],
+    )
 }
 
 /// Runs the fault-injection comparison: DCM vs EC2-AutoScale when a
@@ -106,46 +136,51 @@ pub fn run_extensions(fidelity: Fidelity, models: DcmModels) -> Ablation {
 /// evaluation but routine in real clouds). Controllers that suppress
 /// repeat scale-outs while a boot is pending must retry after the failure
 /// surfaces.
-pub fn run_fault_injection(fidelity: Fidelity, models: DcmModels, failure_probs: &[f64]) -> Ablation {
-    let mut variants = Vec::new();
-    for &p in failure_probs {
-        let mut config = fig5_config(fidelity);
-        config.boot_failure_prob = p;
-        let dcm = run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models));
-        variants.push(Variant {
-            label: format!("DCM, {:.0}% boot failures", p * 100.0),
-            summary: summarize(&dcm),
-        });
-        let ec2 = run_trace_experiment(&config, |bus| {
-            Ec2AutoScale::new(bus, ScalingConfig::default())
-        });
-        variants.push(Variant {
-            label: format!("EC2, {:.0}% boot failures", p * 100.0),
-            summary: summarize(&ec2),
-        });
-    }
-    Ablation { variants }
+pub fn run_fault_injection(
+    fidelity: Fidelity,
+    models: DcmModels,
+    failure_probs: &[f64],
+) -> Ablation {
+    let specs = failure_probs
+        .iter()
+        .flat_map(|&p| {
+            let mut config = fig5_config(fidelity);
+            config.boot_failure_prob = p;
+            [
+                (
+                    format!("DCM, {:.0}% boot failures", p * 100.0),
+                    config.clone(),
+                    VariantSpec::Dcm(DcmConfig::default()),
+                ),
+                (
+                    format!("EC2, {:.0}% boot failures", p * 100.0),
+                    config,
+                    VariantSpec::Ec2,
+                ),
+            ]
+        })
+        .collect();
+    run_variants(models, specs)
 }
 
 /// Runs the N*-sensitivity sweep: DCM with the pool targets scaled by each
 /// factor (a mis-trained model over/under-shooting the true optimum).
 pub fn run_sensitivity(fidelity: Fidelity, models: DcmModels, factors: &[f64]) -> Ablation {
     let config = fig5_config(fidelity);
-    let variants = factors
+    let specs = factors
         .iter()
         .map(|&factor| {
-            let dcm_config = DcmConfig {
-                headroom: 1.1 * factor,
-                ..DcmConfig::default()
-            };
-            let run = run_trace_experiment(&config, |bus| Dcm::new(bus, dcm_config, models));
-            Variant {
-                label: format!("N* x {factor:.2}"),
-                summary: summarize(&run),
-            }
+            (
+                format!("N* x {factor:.2}"),
+                config.clone(),
+                VariantSpec::Dcm(DcmConfig {
+                    headroom: 1.1 * factor,
+                    ..DcmConfig::default()
+                }),
+            )
         })
         .collect();
-    Ablation { variants }
+    run_variants(models, specs)
 }
 
 impl Ablation {
@@ -177,14 +212,12 @@ impl Ablation {
 
     /// The variant with the highest throughput.
     pub fn best_throughput(&self) -> Option<&Variant> {
-        self.variants
-            .iter()
-            .max_by(|a, b| {
-                a.summary
-                    .throughput
-                    .partial_cmp(&b.summary.throughput)
-                    .expect("finite throughput")
-            })
+        self.variants.iter().max_by(|a, b| {
+            a.summary
+                .throughput
+                .partial_cmp(&b.summary.throughput)
+                .expect("finite throughput")
+        })
     }
 }
 

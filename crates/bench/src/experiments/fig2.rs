@@ -107,15 +107,20 @@ pub fn run_fig2b(fidelity: Fidelity) -> Fig2b {
         seed: 20170602,
     };
     let soft = SoftConfig::DEFAULT; // 1000-100-80
-    let run = |counts: (u32, u32, u32)| {
-        users
-            .iter()
-            .map(|&u| steady_state_throughput(counts, soft, u, &options))
-            .collect()
-    };
+                                    // Both curves' runs fan out together; results come back in input order,
+                                    // so the split below reproduces the serial curves exactly.
+    let configs = [(1u32, 1u32, 1u32), (1, 2, 1)];
+    let descriptors: Vec<((u32, u32, u32), u32)> = configs
+        .iter()
+        .flat_map(|&counts| users.iter().map(move |&u| (counts, u)))
+        .collect();
+    let mut reports = dcm_sim::runner::run_ordered(descriptors, |(counts, u)| {
+        steady_state_throughput(counts, soft, u, &options)
+    });
+    let scaled_out = reports.split_off(users.len());
     Fig2b {
-        baseline: run((1, 1, 1)),
-        scaled_out: run((1, 2, 1)),
+        baseline: reports,
+        scaled_out,
     }
 }
 

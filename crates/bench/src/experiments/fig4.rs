@@ -59,30 +59,52 @@ pub fn run_fig4a(fidelity: Fidelity, optimal: u32) -> Fig4 {
         seed: 20170603,
     };
     let users = user_levels(fidelity);
-    let curves = sizes
-        .iter()
-        .map(|&threads| AllocationCurve {
-            label: format!("1000/{threads}/80"),
-            size: threads,
-            points: users
-                .iter()
-                .map(|&u| {
-                    steady_state_throughput(
-                        (1, 1, 1),
-                        SoftConfig::new(1000, threads, 80),
-                        u,
-                        &options,
-                    )
-                })
-                .collect(),
-        })
-        .collect();
+    let curves = sweep_allocations(&sizes, &users, &options, |threads| {
+        (
+            format!("1000/{threads}/80"),
+            (1, 1, 1),
+            SoftConfig::new(1000, threads, 80),
+        )
+    });
     Fig4 {
         name: "fig4a",
         varied: "tomcat threads",
         optimal,
         curves,
     }
+}
+
+/// Measures every `(allocation, user level)` combination in one parallel
+/// batch and regroups the in-order results into per-allocation curves —
+/// identical to nested serial loops over `sizes` then `users`.
+fn sweep_allocations(
+    sizes: &[u32],
+    users: &[u32],
+    options: &SteadyStateOptions,
+    configure: impl Fn(u32) -> (String, (u32, u32, u32), SoftConfig),
+) -> Vec<AllocationCurve> {
+    let descriptors: Vec<((u32, u32, u32), SoftConfig, u32)> = sizes
+        .iter()
+        .flat_map(|&size| {
+            let (_, counts, soft) = configure(size);
+            users.iter().map(move |&u| (counts, soft, u))
+        })
+        .collect();
+    let mut points = dcm_sim::runner::run_ordered(descriptors, |(counts, soft, u)| {
+        steady_state_throughput(counts, soft, u, options)
+    })
+    .into_iter();
+    sizes
+        .iter()
+        .map(|&size| {
+            let (label, _, _) = configure(size);
+            AllocationCurve {
+                label,
+                size,
+                points: points.by_ref().take(users.len()).collect(),
+            }
+        })
+        .collect()
 }
 
 /// Runs Fig. 4(b): DB connection-pool validation on `1/2/1`.
@@ -100,24 +122,13 @@ pub fn run_fig4b(fidelity: Fidelity, optimal_per_server: u32) -> Fig4 {
         seed: 20170604,
     };
     let users = user_levels(fidelity);
-    let curves = sizes
-        .iter()
-        .map(|&conns| AllocationCurve {
-            label: format!("1000/100/{conns}"),
-            size: conns,
-            points: users
-                .iter()
-                .map(|&u| {
-                    steady_state_throughput(
-                        (1, 2, 1),
-                        SoftConfig::new(1000, 100, conns),
-                        u,
-                        &options,
-                    )
-                })
-                .collect(),
-        })
-        .collect();
+    let curves = sweep_allocations(&sizes, &users, &options, |conns| {
+        (
+            format!("1000/100/{conns}"),
+            (1, 2, 1),
+            SoftConfig::new(1000, 100, conns),
+        )
+    });
     Fig4 {
         name: "fig4b",
         varied: "db conns per app server",
@@ -171,8 +182,7 @@ impl Fig4 {
         ));
         let default_size = if self.name == "fig4a" { 100 } else { 80 };
         if let (Some(opt), Some(default)) = (
-            self.saturated_throughput(self.optimal)
-                .or(Some(best_x)),
+            self.saturated_throughput(self.optimal).or(Some(best_x)),
             self.saturated_throughput(default_size),
         ) {
             out.push(format!(

@@ -75,12 +75,16 @@ pub fn run_fig5(fidelity: Fidelity, models: DcmModels) -> Fig5 {
 
 fn run_with_config(config: &TraceExperimentConfig, models: DcmModels) -> Fig5 {
     let config = config.clone();
-    let ec2 = run_trace_experiment(&config, |bus| {
-        Ec2AutoScale::new(bus, ScalingConfig::default())
-    });
-    let dcm = run_trace_experiment(&config, |bus| {
-        Dcm::new(bus, DcmConfig::default(), models)
-    });
+    // The two controller runs are independent (each builds its own world
+    // from the shared config), so they execute concurrently when jobs > 1.
+    let (ec2, dcm) = dcm_sim::runner::join(
+        || {
+            run_trace_experiment(&config, |bus| {
+                Ec2AutoScale::new(bus, ScalingConfig::default())
+            })
+        },
+        || run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models)),
+    );
     Fig5 { dcm, ec2, models }
 }
 
@@ -138,8 +142,14 @@ pub fn run_fig5_replicated(fidelity: Fidelity, models: DcmModels, seeds: &[u64])
             ("throughput (req/s)", dcm_sim::stats::Replications::new()),
             ("mean RT (s)", dcm_sim::stats::Replications::new()),
             ("p95 RT (s)", dcm_sim::stats::Replications::new()),
-            ("worst 5s-window RT (s)", dcm_sim::stats::Replications::new()),
-            ("requests per VM-second", dcm_sim::stats::Replications::new()),
+            (
+                "worst 5s-window RT (s)",
+                dcm_sim::stats::Replications::new(),
+            ),
+            (
+                "requests per VM-second",
+                dcm_sim::stats::Replications::new(),
+            ),
         ]
     }
     let mut out = ReplicatedFig5 {
@@ -147,17 +157,27 @@ pub fn run_fig5_replicated(fidelity: Fidelity, models: DcmModels, seeds: &[u64])
         ec2: metric_set(),
         seeds: seeds.to_vec(),
     };
-    for &seed in seeds {
+    // Every (seed, controller) run is independent; fan them all out and
+    // aggregate the in-order summaries serially so each Replications sees
+    // values in exactly the seed order the serial loop produced.
+    let descriptors: Vec<(u64, bool)> = seeds
+        .iter()
+        .flat_map(|&seed| [(seed, true), (seed, false)])
+        .collect();
+    let summaries = dcm_sim::runner::run_ordered(descriptors, |(seed, is_dcm)| {
         let mut config = fig5_config(fidelity);
         config.seed = seed;
-        let ec2 = run_trace_experiment(&config, |bus| {
-            Ec2AutoScale::new(bus, ScalingConfig::default())
-        });
-        let dcm = run_trace_experiment(&config, |bus| {
-            Dcm::new(bus, DcmConfig::default(), models)
-        });
-        for (run, slot) in [(&dcm, &mut out.dcm), (&ec2, &mut out.ec2)] {
-            let s = summarize(run);
+        let run = if is_dcm {
+            run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models))
+        } else {
+            run_trace_experiment(&config, |bus| {
+                Ec2AutoScale::new(bus, ScalingConfig::default())
+            })
+        };
+        summarize(&run)
+    });
+    for pair in summaries.chunks(2) {
+        for (s, slot) in [(pair[0], &mut out.dcm), (pair[1], &mut out.ec2)] {
             slot[0].1.record(s.throughput);
             slot[1].1.record(s.mean_rt);
             slot[2].1.record(s.p95_rt);
@@ -209,9 +229,21 @@ impl Fig5 {
         let d = summarize(&self.dcm);
         let e = summarize(&self.ec2);
         let mut t = TextTable::new(["metric", "DCM", "EC2-AutoScale"]);
-        t.row(["completed".to_string(), d.completed.to_string(), e.completed.to_string()]);
-        t.row(["throughput (req/s)".to_string(), num(d.throughput, 1), num(e.throughput, 1)]);
-        t.row(["mean RT (s)".to_string(), num(d.mean_rt, 3), num(e.mean_rt, 3)]);
+        t.row([
+            "completed".to_string(),
+            d.completed.to_string(),
+            e.completed.to_string(),
+        ]);
+        t.row([
+            "throughput (req/s)".to_string(),
+            num(d.throughput, 1),
+            num(e.throughput, 1),
+        ]);
+        t.row([
+            "mean RT (s)".to_string(),
+            num(d.mean_rt, 3),
+            num(e.mean_rt, 3),
+        ]);
         t.row(["p95 RT (s)".to_string(), num(d.p95_rt, 3), num(e.p95_rt, 3)]);
         t.row([
             "worst 5s-window RT (s)".to_string(),
@@ -228,7 +260,11 @@ impl Fig5 {
             num(d.sla_1s, 3),
             num(e.sla_1s, 3),
         ]);
-        t.row(["VM-seconds".to_string(), num(d.vm_seconds, 0), num(e.vm_seconds, 0)]);
+        t.row([
+            "VM-seconds".to_string(),
+            num(d.vm_seconds, 0),
+            num(e.vm_seconds, 0),
+        ]);
         t.row([
             "requests per VM-second".to_string(),
             num(d.efficiency, 2),
@@ -259,7 +295,10 @@ impl Fig5 {
                     .fold(0.0f64, f64::max)
             };
             let util = |tier: usize| {
-                let pts: Vec<f64> = run.tier_cpu_util[tier].range(at, end).map(|(_, v)| v).collect();
+                let pts: Vec<f64> = run.tier_cpu_util[tier]
+                    .range(at, end)
+                    .map(|(_, v)| v)
+                    .collect();
                 if pts.is_empty() {
                     0.0
                 } else {
@@ -318,8 +357,7 @@ mod tests {
         let app = reference::tomcat();
         let db = reference::mysql();
         DcmModels {
-            app: ConcurrencyModel::new(app.s0(), app.alpha(), app.beta(), 1.0, 1)
-                .with_servers(1),
+            app: ConcurrencyModel::new(app.s0(), app.alpha(), app.beta(), 1.0, 1).with_servers(1),
             db: ConcurrencyModel::new(db.s0(), db.alpha(), db.beta(), 1.0, 1).with_servers(1),
         }
     }

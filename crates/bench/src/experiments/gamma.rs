@@ -42,11 +42,7 @@ pub struct GammaSweep {
     pub points: Vec<GammaPoint>,
 }
 
-fn measure(
-    k: u32,
-    policy: BalancerPolicy,
-    options: &SteadyStateOptions,
-) -> SteadyStateReport {
+fn measure(k: u32, policy: BalancerPolicy, options: &SteadyStateOptions) -> SteadyStateReport {
     let app_servers = 2 * k;
     let conns = (36 * k).div_ceil(app_servers).max(1);
     let users = 400 * k;
@@ -54,7 +50,7 @@ fn measure(
         .counts(1, app_servers, k)
         .soft(SoftConfig::new(2000, 22, conns))
         .balancer(policy)
-        .seed(options.seed.wrapping_add(u64::from(users)))
+        .seed(dcm_sim::rng::derive_seed(options.seed, u64::from(users)))
         .build();
     let warmup_end = SimTime::ZERO + options.warmup;
     let measure_end = warmup_end + options.measure;
@@ -91,24 +87,43 @@ pub fn run_gamma_sweep(fidelity: Fidelity, max_servers: u32) -> GammaSweep {
         think_time_secs: 3.0,
         seed: 20170606,
     };
-    let mut points = Vec::new();
-    let (mut x1_rr, mut x1_lc) = (0.0, 0.0);
-    for k in 1..=max_servers.max(1) {
-        let rr = measure(k, BalancerPolicy::RoundRobin, &options);
-        let lc = measure(k, BalancerPolicy::LeastConnections, &options);
-        if k == 1 {
-            x1_rr = rr.throughput;
-            x1_lc = lc.throughput;
-        }
-        let eff = |x: f64, x1: f64| if x1 > 0.0 { x / (f64::from(k) * x1) } else { 0.0 };
-        points.push(GammaPoint {
-            servers: k,
-            x_round_robin: rr.throughput,
-            x_least_conn: lc.throughput,
-            eff_round_robin: eff(rr.throughput, x1_rr),
-            eff_least_conn: eff(lc.throughput, x1_lc),
-        });
-    }
+    // Measure every (K, policy) pair in parallel; the efficiency ratios
+    // need K=1's throughputs, so they are computed from the ordered results
+    // afterwards — same values the serial loop produced.
+    let ks: Vec<u32> = (1..=max_servers.max(1)).collect();
+    let descriptors: Vec<(u32, BalancerPolicy)> = ks
+        .iter()
+        .flat_map(|&k| {
+            [
+                (k, BalancerPolicy::RoundRobin),
+                (k, BalancerPolicy::LeastConnections),
+            ]
+        })
+        .collect();
+    let reports =
+        dcm_sim::runner::run_ordered(descriptors, |(k, policy)| measure(k, policy, &options));
+    let (x1_rr, x1_lc) = (reports[0].throughput, reports[1].throughput);
+    let points = ks
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let (rr, lc) = (&reports[2 * i], &reports[2 * i + 1]);
+            let eff = |x: f64, x1: f64| {
+                if x1 > 0.0 {
+                    x / (f64::from(k) * x1)
+                } else {
+                    0.0
+                }
+            };
+            GammaPoint {
+                servers: k,
+                x_round_robin: rr.throughput,
+                x_least_conn: lc.throughput,
+                eff_round_robin: eff(rr.throughput, x1_rr),
+                eff_least_conn: eff(lc.throughput, x1_lc),
+            }
+        })
+        .collect();
     GammaSweep { points }
 }
 

@@ -90,11 +90,46 @@ impl Table1 {
         let a = &self.app.report;
         let d = &self.db.report;
         let rows: [(&str, f64, f64, f64, f64, usize); 7] = [
-            ("S0", PAPER_TOMCAT.s0, a.model.s0, PAPER_MYSQL.s0, d.model.s0, 4),
-            ("alpha", PAPER_TOMCAT.alpha, a.model.alpha, PAPER_MYSQL.alpha, d.model.alpha, 5),
-            ("beta", PAPER_TOMCAT.beta, a.model.beta, PAPER_MYSQL.beta, d.model.beta, 7),
-            ("gamma", PAPER_TOMCAT.gamma, a.model.gamma, PAPER_MYSQL.gamma, d.model.gamma, 3),
-            ("R^2", PAPER_TOMCAT.r_squared, a.r_squared, PAPER_MYSQL.r_squared, d.r_squared, 3),
+            (
+                "S0",
+                PAPER_TOMCAT.s0,
+                a.model.s0,
+                PAPER_MYSQL.s0,
+                d.model.s0,
+                4,
+            ),
+            (
+                "alpha",
+                PAPER_TOMCAT.alpha,
+                a.model.alpha,
+                PAPER_MYSQL.alpha,
+                d.model.alpha,
+                5,
+            ),
+            (
+                "beta",
+                PAPER_TOMCAT.beta,
+                a.model.beta,
+                PAPER_MYSQL.beta,
+                d.model.beta,
+                7,
+            ),
+            (
+                "gamma",
+                PAPER_TOMCAT.gamma,
+                a.model.gamma,
+                PAPER_MYSQL.gamma,
+                d.model.gamma,
+                3,
+            ),
+            (
+                "R^2",
+                PAPER_TOMCAT.r_squared,
+                a.r_squared,
+                PAPER_MYSQL.r_squared,
+                d.r_squared,
+                3,
+            ),
             (
                 "N*",
                 f64::from(PAPER_TOMCAT.n_star),

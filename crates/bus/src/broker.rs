@@ -142,17 +142,15 @@ impl<T> Broker<T> {
     }
 
     fn topic(&self, name: &str) -> Result<&Topic<T>, BusError> {
-        self.topics.get(name).ok_or_else(|| BusError::UnknownTopic {
-            topic: name.into(),
-        })
+        self.topics
+            .get(name)
+            .ok_or_else(|| BusError::UnknownTopic { topic: name.into() })
     }
 
     fn topic_mut(&mut self, name: &str) -> Result<&mut Topic<T>, BusError> {
         self.topics
             .get_mut(name)
-            .ok_or_else(|| BusError::UnknownTopic {
-                topic: name.into(),
-            })
+            .ok_or_else(|| BusError::UnknownTopic { topic: name.into() })
     }
 
     /// Appends a record, routing by key hash (or round-robin when `key` is
@@ -240,13 +238,13 @@ impl<T> Broker<T> {
         max: usize,
     ) -> Result<&[Entry<T>], BusError> {
         let t = self.topic(topic)?;
-        let log = t
-            .partitions
-            .get(partition as usize)
-            .ok_or_else(|| BusError::UnknownPartition {
-                topic: topic.into(),
-                partition,
-            })?;
+        let log =
+            t.partitions
+                .get(partition as usize)
+                .ok_or_else(|| BusError::UnknownPartition {
+                    topic: topic.into(),
+                    partition,
+                })?;
         log.fetch(offset, max)
     }
 
@@ -434,7 +432,10 @@ mod tests {
         b.produce_to_partition("t", 0, 200, None, 2).unwrap();
         // Entries older than 200-100=100 ms dropped: offset 0 (t=0), 1 (t=50).
         let start_err = b.fetch("t", 0, 0, 1).unwrap_err();
-        assert!(matches!(start_err, BusError::OffsetOutOfRange { log_start: 2, .. }));
+        assert!(matches!(
+            start_err,
+            BusError::OffsetOutOfRange { log_start: 2, .. }
+        ));
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl<T> SharedBroker<T> {
         partitions: u32,
         retention: Retention,
     ) -> Result<(), BusError> {
-        self.inner.broker.lock().create_topic(name, partitions, retention)
+        self.inner
+            .broker
+            .lock()
+            .create_topic(name, partitions, retention)
     }
 
     /// See [`Broker::produce`]; wakes blocked consumers.
@@ -97,7 +100,11 @@ impl<T> SharedBroker<T> {
         key: Option<String>,
         value: T,
     ) -> Result<(u32, u64), BusError> {
-        let result = self.inner.broker.lock().produce(topic, timestamp_ms, key, value);
+        let result = self
+            .inner
+            .broker
+            .lock()
+            .produce(topic, timestamp_ms, key, value);
         if result.is_ok() {
             self.inner.data_arrived.notify_all();
         }
@@ -125,12 +132,18 @@ impl<T> SharedBroker<T> {
         partition: u32,
         offset: u64,
     ) -> Result<(), BusError> {
-        self.inner.broker.lock().commit_offset(group, topic, partition, offset)
+        self.inner
+            .broker
+            .lock()
+            .commit_offset(group, topic, partition, offset)
     }
 
     /// See [`Broker::committed_offset`].
     pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> u64 {
-        self.inner.broker.lock().committed_offset(group, topic, partition)
+        self.inner
+            .broker
+            .lock()
+            .committed_offset(group, topic, partition)
     }
 
     /// See [`Broker::lag`].
@@ -201,7 +214,6 @@ impl<T: Clone> SharedBroker<T> {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -218,16 +230,15 @@ mod tests {
             let bus = bus.clone();
             handles.push(thread::spawn(move || {
                 for i in 0..250u64 {
-                    bus.produce("t", 0, Some(format!("k{p}")), p * 1000 + i).unwrap();
+                    bus.produce("t", 0, Some(format!("k{p}")), p * 1000 + i)
+                        .unwrap();
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        let total: u64 = (0..4)
-            .map(|p| bus.high_watermark("t", p).unwrap())
-            .sum();
+        let total: u64 = (0..4).map(|p| bus.high_watermark("t", p).unwrap()).sum();
         assert_eq!(total, 1000);
     }
 

@@ -288,10 +288,10 @@ impl Dcm {
     pub fn desired_soft_allocation(&self, world: &World) -> (u32, u32) {
         let k_app = (world.system.running_count(self.config.app_tier)
             + world.system.booting_count(self.config.app_tier))
-            .max(1) as u32;
+        .max(1) as u32;
         let k_db = (world.system.running_count(self.config.db_tier)
             + world.system.booting_count(self.config.db_tier))
-            .max(1) as u32;
+        .max(1) as u32;
         let alloc = dcm_model::allocation::optimal_soft_allocation(
             &self.models.app,
             &self.models.db,
@@ -314,9 +314,13 @@ impl Dcm {
                 continue;
             }
             if tier == app_tier {
-                online.app_points.push((w.mean_concurrency, w.total_throughput));
+                online
+                    .app_points
+                    .push((w.mean_concurrency, w.total_throughput));
             } else if tier == db_tier {
-                online.db_points.push((w.mean_concurrency, w.total_throughput));
+                online
+                    .db_points
+                    .push((w.mean_concurrency, w.total_throughput));
             }
         }
         if online.ticks % online.refit_every_ticks == 0 {

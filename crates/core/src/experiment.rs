@@ -156,7 +156,7 @@ pub fn steady_state_throughput(
     let (mut world, mut engine) = ThreeTierBuilder::new()
         .counts(counts.0, counts.1, counts.2)
         .soft(soft)
-        .seed(options.seed.wrapping_add(u64::from(users)))
+        .seed(dcm_sim::rng::derive_seed(options.seed, u64::from(users)))
         .build();
     let warmup_end = SimTime::ZERO + options.warmup;
     let measure_end = warmup_end + options.measure;
@@ -305,8 +305,7 @@ fn schedule_recorder(
         {
             let mut rec = recorder.borrow_mut();
             for tier in 0..world.system.tier_count() {
-                rec.tier_vm_counts[tier]
-                    .push(now, world.system.running_count(tier) as f64);
+                rec.tier_vm_counts[tier].push(now, world.system.running_count(tier) as f64);
             }
             let records = {
                 let broker = bus.borrow();

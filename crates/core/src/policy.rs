@@ -111,7 +111,13 @@ impl ThresholdPolicy {
     /// new capacity has not had a chance to absorb load), and a tier at
     /// `max_servers` holds. Scale-in is suppressed at `min_servers` and
     /// while a boot is pending.
-    pub fn decide(&mut self, tier: usize, utilization: f64, running: usize, booting: usize) -> ScaleDecision {
+    pub fn decide(
+        &mut self,
+        tier: usize,
+        utilization: f64,
+        running: usize,
+        booting: usize,
+    ) -> ScaleDecision {
         if !self.config.scalable_tiers.contains(&tier) {
             return ScaleDecision::Hold;
         }
@@ -125,7 +131,9 @@ impl ThresholdPolicy {
         if utilization < self.config.down_threshold {
             let count = self.below_counts.entry(tier).or_insert(0);
             *count += 1;
-            if *count >= self.config.down_consecutive && booting == 0 && running > self.config.min_servers
+            if *count >= self.config.down_consecutive
+                && booting == 0
+                && running > self.config.min_servers
             {
                 *count = 0;
                 return ScaleDecision::In;

@@ -15,6 +15,8 @@
 use dcm_model::concurrency::{fit_throughput_curve, FitOptions, FitReport};
 use dcm_model::lsq::FitError;
 use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+use dcm_sim::rng::derive_seed;
+use dcm_sim::runner::run_ordered;
 use dcm_sim::time::{SimDuration, SimTime};
 use dcm_workload::generator::UserPopulation;
 use dcm_workload::profile::ProfileFactory;
@@ -79,7 +81,7 @@ pub fn measure_steady_state(
     let (mut world, mut engine) = ThreeTierBuilder::new()
         .counts(counts.0, counts.1, counts.2)
         .soft(soft)
-        .seed(options.seed.wrapping_add(u64::from(users)))
+        .seed(derive_seed(options.seed, u64::from(users)))
         .build();
     let factory = if options.deterministic {
         ProfileFactory::rubbos_deterministic()
@@ -114,23 +116,23 @@ pub fn measure_steady_state(
 }
 
 /// Sweeps the app tier on `1/1/1` (the paper's Tomcat training setup).
+///
+/// Levels run in parallel across the configured worker count
+/// ([`dcm_sim::runner::set_jobs`]); each level builds its own world from a
+/// [`derive_seed`]-derived seed, so results are bit-identical to the serial
+/// sweep.
 pub fn app_tier_sweep(levels: &[u32], options: &SweepOptions) -> Vec<SweepPoint> {
-    levels
-        .iter()
-        .map(|&users| {
-            measure_steady_state((1, 1, 1), SoftConfig::DEFAULT, 1, users, options)
-        })
-        .collect()
+    run_ordered(levels.to_vec(), |users| {
+        measure_steady_state((1, 1, 1), SoftConfig::DEFAULT, 1, users, options)
+    })
 }
 
 /// Sweeps the db tier on `1/2/1` (the paper's MySQL training setup).
+/// Parallel over levels like [`app_tier_sweep`].
 pub fn db_tier_sweep(levels: &[u32], options: &SweepOptions) -> Vec<SweepPoint> {
-    levels
-        .iter()
-        .map(|&users| {
-            measure_steady_state((1, 2, 1), SoftConfig::DEFAULT, 2, users, options)
-        })
-        .collect()
+    run_ordered(levels.to_vec(), |users| {
+        measure_steady_state((1, 2, 1), SoftConfig::DEFAULT, 2, users, options)
+    })
 }
 
 /// Directly stresses MySQL at a precisely controlled query concurrency —
@@ -153,7 +155,7 @@ pub fn db_stress_point(concurrency: u32, options: &SweepOptions) -> SweepPoint {
             concurrency.max(1) * 2,
             concurrency.max(1),
         ))
-        .seed(options.seed.wrapping_add(u64::from(concurrency)))
+        .seed(derive_seed(options.seed, u64::from(concurrency)))
         .build();
     let single = ServletMix::from_servlets(vec![Servlet {
         name: "DbStress",
@@ -169,9 +171,11 @@ pub fn db_stress_point(concurrency: u32, options: &SweepOptions) -> SweepPoint {
     } else {
         Dist::exponential_mean(reference::mysql().s0())
     };
-    let factory = ProfileFactory::rubbos()
-        .with_mix(single)
-        .with_bases(Dist::constant(1e-7), Dist::constant(1e-7), db_base);
+    let factory = ProfileFactory::rubbos().with_mix(single).with_bases(
+        Dist::constant(1e-7),
+        Dist::constant(1e-7),
+        db_base,
+    );
 
     let warmup_end = SimTime::ZERO + options.warmup;
     let measure_end = warmup_end + options.measure;
@@ -198,14 +202,17 @@ pub fn db_stress_point(concurrency: u32, options: &SweepOptions) -> SweepPoint {
 }
 
 /// Sweeps MySQL under direct stress over the given concurrency levels.
+/// Parallel over levels like [`app_tier_sweep`].
 pub fn db_stress_sweep(levels: &[u32], options: &SweepOptions) -> Vec<SweepPoint> {
-    levels.iter().map(|&c| db_stress_point(c, options)).collect()
+    run_ordered(levels.to_vec(), |c| db_stress_point(c, options))
 }
 
 /// The default offered-concurrency levels for the app sweep (1 → 200, as
 /// in the paper's "workload with concurrency from 1 to 200").
 pub fn default_app_levels() -> Vec<u32> {
-    vec![1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 40, 55, 70, 90, 100, 130, 160, 200]
+    vec![
+        1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 40, 55, 70, 90, 100, 130, 160, 200,
+    ]
 }
 
 /// The default offered levels for the `1/2/1` db sweep (drives MySQL
@@ -220,7 +227,9 @@ pub fn default_db_levels() -> Vec<u32> {
 /// neither region — the same restriction the paper's 1–200 training range
 /// imposes).
 pub fn default_db_stress_levels() -> Vec<u32> {
-    vec![1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36, 42, 50, 60, 70, 80, 90, 100]
+    vec![
+        1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36, 42, 50, 60, 70, 80, 90, 100,
+    ]
 }
 
 /// Fits a model to sweep points.
@@ -324,7 +333,11 @@ mod tests {
         assert_eq!(p.offered, 20);
         // Closed loop with zero think time keeps ~20 requests in flight;
         // most of their time is spent at the bottleneck app tier.
-        assert!(p.concurrency > 10.0 && p.concurrency <= 20.5, "{}", p.concurrency);
+        assert!(
+            p.concurrency > 10.0 && p.concurrency <= 20.5,
+            "{}",
+            p.concurrency
+        );
         assert!(p.throughput > 40.0, "throughput {}", p.throughput);
     }
 

@@ -77,16 +77,14 @@ pub fn bootstrap_fit(
         let resampled: Vec<(f64, f64)> = data
             .iter()
             .map(|&(n, _)| {
-                let idx = (rng.next_f64() * residuals.len() as f64) as usize
-                    % residuals.len();
+                let idx = (rng.next_f64() * residuals.len() as f64) as usize % residuals.len();
                 let y = point.model.predict_throughput(n) + residuals[idx];
                 (n, y.max(1e-9))
             })
             .collect();
         match fit_throughput_curve(&resampled, servers, FitOptions::default()) {
             Ok(report) => {
-                n_star_samples
-                    .push(f64::from(report.model.optimal_concurrency().min(1_000_000)));
+                n_star_samples.push(f64::from(report.model.optimal_concurrency().min(1_000_000)));
                 x_max_samples.push(report.model.predicted_max_throughput());
             }
             Err(_) => failed += 1,
@@ -121,7 +119,10 @@ mod tests {
     fn noiseless_data_gives_tight_intervals() {
         let report = bootstrap_fit(&noisy_dome(0.0), 1, 60, 7).expect("fits");
         let (lo, hi) = report.n_star_interval(0.95).unwrap();
-        assert!(hi - lo < 2.0, "noiseless N* interval should be tight: [{lo}, {hi}]");
+        assert!(
+            hi - lo < 2.0,
+            "noiseless N* interval should be tight: [{lo}, {hi}]"
+        );
         assert_eq!(report.failed, 0);
     }
 

@@ -99,9 +99,7 @@ impl ConcurrencyModel {
             Some(n_star) => {
                 let lo = (n_star.floor() as u32).max(1);
                 let hi = lo + 1;
-                if self.predict_throughput(f64::from(hi))
-                    > self.predict_throughput(f64::from(lo))
-                {
+                if self.predict_throughput(f64::from(hi)) > self.predict_throughput(f64::from(lo)) {
                     hi
                 } else {
                     lo
@@ -136,10 +134,8 @@ pub struct FitOptions {
 }
 
 /// Wrapper with a [`Default`] so [`FitOptions`] can derive it.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LmOptionsWrapper(pub LmOptions);
-
 
 /// A fitted model with goodness-of-fit diagnostics — the reproduction's
 /// Table I row.

@@ -133,9 +133,21 @@ mod tests {
     fn bottleneck_shifts_with_scaling() {
         // 1/1/1: Tomcat (28.4 ms) dominates MySQL (2×7.2 = 14.4 ms).
         let mut tiers = vec![
-            TierDemand { visit_ratio: 1.0, service_time: 0.0006, servers: 1 },
-            TierDemand { visit_ratio: 1.0, service_time: 0.0284, servers: 1 },
-            TierDemand { visit_ratio: 2.0, service_time: 0.0072, servers: 1 },
+            TierDemand {
+                visit_ratio: 1.0,
+                service_time: 0.0006,
+                servers: 1,
+            },
+            TierDemand {
+                visit_ratio: 1.0,
+                service_time: 0.0284,
+                servers: 1,
+            },
+            TierDemand {
+                visit_ratio: 2.0,
+                service_time: 0.0072,
+                servers: 1,
+            },
         ];
         assert_eq!(analyze_bottleneck(&tiers, 1.0).bottleneck, 1);
         // 1/2/1: two Tomcats halve the per-server demand; MySQL takes over.
@@ -148,8 +160,16 @@ mod tests {
     #[test]
     fn utilizations_peak_at_bottleneck() {
         let tiers = [
-            TierDemand { visit_ratio: 1.0, service_time: 0.001, servers: 1 },
-            TierDemand { visit_ratio: 1.0, service_time: 0.010, servers: 1 },
+            TierDemand {
+                visit_ratio: 1.0,
+                service_time: 0.001,
+                servers: 1,
+            },
+            TierDemand {
+                visit_ratio: 1.0,
+                service_time: 0.010,
+                servers: 1,
+            },
         ];
         let analysis = analyze_bottleneck(&tiers, 1.0);
         assert!((analysis.utilizations[1] - 1.0).abs() < 1e-12);

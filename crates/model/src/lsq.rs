@@ -300,8 +300,8 @@ mod tests {
 
     #[test]
     fn too_few_observations_is_an_error() {
-        let err = levenberg_marquardt(&[1.0, 2.0, 3.0], 2, |_, _| {}, LmOptions::default())
-            .unwrap_err();
+        let err =
+            levenberg_marquardt(&[1.0, 2.0, 3.0], 2, |_, _| {}, LmOptions::default()).unwrap_err();
         assert!(matches!(err, FitError::TooFewObservations { .. }));
     }
 

@@ -32,7 +32,9 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN rejected at insert")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN rejected at insert")
     }
 }
 
@@ -169,7 +171,10 @@ impl CpuScheduler {
     ///
     /// Panics if `work` is negative or not finite.
     pub fn add_burst(&mut self, now: SimTime, req: RequestId, work: f64) {
-        assert!(work.is_finite() && work >= 0.0, "burst work must be finite and >= 0");
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "burst work must be finite and >= 0"
+        );
         self.advance(now);
         let burst = Burst {
             target: OrdF64(self.work_clock + work),
@@ -190,7 +195,10 @@ impl CpuScheduler {
         let projected_clock = self.work_clock + pending_dt * self.speed();
         let remaining = (burst.target.0 - projected_clock).max(0.0);
         let dt = remaining / self.speed();
-        Some((now + dcm_sim::time::SimDuration::from_secs_f64(dt), burst.req))
+        Some((
+            now + dcm_sim::time::SimDuration::from_secs_f64(dt),
+            burst.req,
+        ))
     }
 
     /// Pops the frontmost burst if it has completed by `now` (within a
@@ -312,7 +320,11 @@ mod tests {
         cpu.set_contention(t(0.5), 2);
         // Remaining 0.5 work at speed 1/1.5 → 0.75 s more.
         let (at, _) = cpu.next_completion(t(0.5)).unwrap();
-        assert!((at.as_secs_f64() - 1.25).abs() < 1e-9, "{}", at.as_secs_f64());
+        assert!(
+            (at.as_secs_f64() - 1.25).abs() < 1e-9,
+            "{}",
+            at.as_secs_f64()
+        );
     }
 
     #[test]

@@ -657,12 +657,7 @@ pub fn set_tier_conn_pools(
 }
 
 /// Resizes one server's thread pool at runtime.
-pub fn set_server_thread_pool(
-    world: &mut World,
-    engine: &mut SimEngine,
-    sid: ServerId,
-    size: u32,
-) {
+pub fn set_server_thread_pool(world: &mut World, engine: &mut SimEngine, sid: ServerId, size: u32) {
     let now = engine.now();
     let admitted = match world.system.server_mut(sid) {
         Some(server) if !server.is_stopped() => server.resize_thread_pool(now, size),

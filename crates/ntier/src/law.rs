@@ -80,7 +80,10 @@ impl ServiceLaw {
     /// Panics if `threshold < 1` or `coeff < 0` or either is NaN.
     pub fn with_thrash(mut self, threshold: f64, coeff: f64) -> Self {
         assert!(threshold >= 1.0, "thrash threshold must be >= 1");
-        assert!(coeff.is_finite() && coeff >= 0.0, "thrash coeff must be >= 0");
+        assert!(
+            coeff.is_finite() && coeff >= 0.0,
+            "thrash coeff must be >= 0"
+        );
         self.thrash_threshold = threshold;
         self.thrash_coeff = coeff;
         self
@@ -322,7 +325,10 @@ mod tests {
         let base = ServiceLaw::new(0.01, 0.001, 1e-5);
         let thrash = base.with_thrash(50.0, 1e-4);
         for n in [1, 10, 50] {
-            assert_eq!(base.adjusted_service_time(n), thrash.adjusted_service_time(n));
+            assert_eq!(
+                base.adjusted_service_time(n),
+                thrash.adjusted_service_time(n)
+            );
         }
         assert!(thrash.adjusted_service_time(100) > base.adjusted_service_time(100));
         let extra = thrash.adjusted_service_time(100) - base.adjusted_service_time(100);

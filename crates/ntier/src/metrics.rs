@@ -97,7 +97,9 @@ pub struct ServerSample {
 impl ServerSample {
     /// Window length in seconds.
     pub fn window_secs(&self) -> f64 {
-        self.window_end.saturating_since(self.window_start).as_secs_f64()
+        self.window_end
+            .saturating_since(self.window_start)
+            .as_secs_f64()
     }
 }
 

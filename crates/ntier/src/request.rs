@@ -86,7 +86,10 @@ impl RequestProfile {
     /// Panics if the vectors are empty, have different lengths, any demand
     /// is negative/non-finite, or `visits[0] != 1`.
     pub fn new(demands: Vec<StageDemand>, visits: Vec<u32>, class: u16) -> Self {
-        assert!(!demands.is_empty(), "a request must visit at least one tier");
+        assert!(
+            !demands.is_empty(),
+            "a request must visit at least one tier"
+        );
         assert_eq!(
             demands.len(),
             visits.len(),
@@ -293,21 +296,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "exactly one front-tier call")]
     fn front_tier_visits_must_be_one() {
-        let _ = RequestProfile::new(
-            vec![StageDemand::pre_only(0.0)],
-            vec![2],
-            0,
-        );
+        let _ = RequestProfile::new(vec![StageDemand::pre_only(0.0)], vec![2], 0);
     }
 
     #[test]
     #[should_panic(expected = "same tiers")]
     fn mismatched_lengths_rejected() {
-        let _ = RequestProfile::new(
-            vec![StageDemand::pre_only(0.0)],
-            vec![1, 1],
-            0,
-        );
+        let _ = RequestProfile::new(vec![StageDemand::pre_only(0.0)], vec![1, 1], 0);
     }
 
     #[test]

@@ -75,7 +75,13 @@ pub struct Server {
 
 impl Server {
     /// Creates a server in the given initial state.
-    pub fn new(id: ServerId, tier: usize, spec: &ServerSpec, now: SimTime, state: ServerState) -> Self {
+    pub fn new(
+        id: ServerId,
+        tier: usize,
+        spec: &ServerSpec,
+        now: SimTime,
+        state: ServerState,
+    ) -> Self {
         Server {
             id,
             tier,
@@ -326,9 +332,12 @@ impl Server {
         } else {
             0.0
         };
-        let thrashing =
-            n_star != u32::MAX && mean_threads > 1.5 * f64::from(n_star);
-        let util = if thrashing { base.max(busy_fraction) } else { base };
+        let thrashing = n_star != u32::MAX && mean_threads > 1.5 * f64::from(n_star);
+        let util = if thrashing {
+            base.max(busy_fraction)
+        } else {
+            base
+        };
         util.clamp(0.0, 1.0)
     }
 
@@ -342,8 +351,7 @@ impl Server {
         let safe_dt = if dt > 0.0 { dt } else { 1.0 };
         let completed = self.completed_total - self.completed_mark;
         let dwell = self.dwell_sum_total - self.dwell_mark;
-        let busy_fraction =
-            ((self.cpu.busy_seconds() - self.busy_mark) / safe_dt).clamp(0.0, 1.0);
+        let busy_fraction = ((self.cpu.busy_seconds() - self.busy_mark) / safe_dt).clamp(0.0, 1.0);
         let mean_threads = (self.threads_tw.integral() - self.threads_integral_mark) / safe_dt;
         let cpu_util = self.cpu_sensor(busy_fraction, mean_threads, safe_dt);
         let sample = ServerSample {
@@ -459,7 +467,13 @@ mod tests {
             conns: None,
             ..spec()
         };
-        let mut leaf = Server::new(ServerId::new(1), 2, &leaf_spec, t(0.0), ServerState::Running);
+        let mut leaf = Server::new(
+            ServerId::new(1),
+            2,
+            &leaf_spec,
+            t(0.0),
+            ServerState::Running,
+        );
         assert!(leaf.acquire_conn(t(0.0), r(9)));
         assert_eq!(leaf.release_conn(t(0.0)), None);
     }
@@ -480,7 +494,11 @@ mod tests {
         let law = crate::law::reference::tomcat();
         let n_star = law.optimal_concurrency();
         let peak = f64::from(n_star) / law.inflation(n_star);
-        assert!((sample.cpu_util - 0.5 / peak).abs() < 1e-9, "{}", sample.cpu_util);
+        assert!(
+            (sample.cpu_util - 0.5 / peak).abs() < 1e-9,
+            "{}",
+            sample.cpu_util
+        );
         assert_eq!(sample.completed, 1);
         assert_eq!(sample.throughput, 1.0);
         assert_eq!(sample.mean_dwell, Some(0.5));

@@ -83,7 +83,10 @@ impl SystemSnapshot {
                             ServerState::Draining => "draining".into(),
                             ServerState::Stopped => "stopped".into(),
                         },
-                        threads: (server.thread_pool().in_use(), server.thread_pool().capacity()),
+                        threads: (
+                            server.thread_pool().in_use(),
+                            server.thread_pool().capacity(),
+                        ),
                         thread_queue: server.thread_pool().queued(),
                         conns: server
                             .conn_pool()
@@ -114,11 +117,7 @@ impl SystemSnapshot {
 
 impl fmt::Display for SystemSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "system @ {} — {} in flight",
-            self.at, self.in_flight
-        )?;
+        writeln!(f, "system @ {} — {} in flight", self.at, self.in_flight)?;
         for tier in &self.tiers {
             writeln!(f, "  [{}]", tier.name)?;
             for s in &tier.servers {

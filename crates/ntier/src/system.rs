@@ -230,7 +230,10 @@ impl System {
 
     /// Takes the recorded spans, leaving recording enabled.
     pub fn take_spans(&mut self) -> Vec<crate::spans::Span> {
-        self.span_log.as_mut().map(std::mem::take).unwrap_or_default()
+        self.span_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     pub(crate) fn record_span(&mut self, span: crate::spans::Span) {
@@ -246,7 +249,12 @@ impl System {
 
     /// Creates and registers a server in `tier` with the tier's default
     /// spec, in the given lifecycle state. Returns its id.
-    pub(crate) fn add_server(&mut self, tier: TierId, now: SimTime, state: ServerState) -> ServerId {
+    pub(crate) fn add_server(
+        &mut self,
+        tier: TierId,
+        now: SimTime,
+        state: ServerState,
+    ) -> ServerId {
         let id = ServerId::new(self.server_ids.next_raw());
         let t = &mut self.tiers[tier.index()];
         t.launched_count += 1;

@@ -242,11 +242,7 @@ impl ThreeTierBuilder {
         } else {
             vec![self.web, self.app, self.db]
         };
-        let system = System::new(
-            self.tier_specs(),
-            &counts,
-            dcm_sim::time::SimTime::ZERO,
-        );
+        let system = System::new(self.tier_specs(), &counts, dcm_sim::time::SimTime::ZERO);
         (World::new(system, self.seed), SimEngine::new())
     }
 }

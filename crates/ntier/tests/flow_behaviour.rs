@@ -90,7 +90,12 @@ fn conservation_under_concurrent_load() {
     assert_eq!(c.in_flight(), 0);
     // No threads or connections leaked anywhere.
     for server in world.system.servers() {
-        assert_eq!(server.threads_in_use(), 0, "{} leaked threads", server.name());
+        assert_eq!(
+            server.threads_in_use(),
+            0,
+            "{} leaked threads",
+            server.name()
+        );
         if let Some(pool) = server.conn_pool() {
             assert_eq!(pool.in_use(), 0, "{} leaked conns", server.name());
         }
@@ -122,7 +127,10 @@ fn db_concurrency_is_capped_by_upstream_conn_pool() {
         max_seen = max_seen.max(in_use);
     }
     assert!(max_seen <= 4, "db concurrency {max_seen} exceeded conn cap");
-    assert!(max_seen >= 3, "cap should actually be reached, saw {max_seen}");
+    assert!(
+        max_seen >= 3,
+        "cap should actually be reached, saw {max_seen}"
+    );
     assert_eq!(world.system.counters().completed, 100);
 }
 
@@ -204,7 +212,11 @@ fn runtime_thread_pool_shrink_drains_without_disruption() {
     engine.run(&mut world);
     assert_eq!(log.borrow().len(), 100);
     assert!(log.borrow().iter().all(Completion::is_success));
-    let app = world.system.servers().find(|s| s.name() == "app-1").unwrap();
+    let app = world
+        .system
+        .servers()
+        .find(|s| s.name() == "app-1")
+        .unwrap();
     assert_eq!(app.thread_pool().capacity(), 5);
     assert_eq!(app.thread_pool().in_use(), 0);
 }
@@ -316,7 +328,10 @@ fn deadline_abandons_stuck_requests_cleanly() {
         .count();
     let completed = done.iter().filter(|c| c.is_success()).count();
     assert_eq!(timed_out + completed, 50);
-    assert!(timed_out > 5, "starvation should force abandonment: {timed_out}");
+    assert!(
+        timed_out > 5,
+        "starvation should force abandonment: {timed_out}"
+    );
     assert!(completed > 0, "some requests still finish: {completed}");
     // Timed-out requests report exactly their deadline as response time.
     for c in done.iter().filter(|c| !c.is_success()) {
@@ -327,8 +342,18 @@ fn deadline_abandons_stuck_requests_cleanly() {
     assert_eq!(counters.timed_out, timed_out as u64);
     assert_eq!(counters.in_flight(), 0);
     for server in world.system.servers() {
-        assert_eq!(server.threads_in_use(), 0, "{} leaked threads", server.name());
-        assert_eq!(server.cpu().active_bursts(), 0, "{} leaked bursts", server.name());
+        assert_eq!(
+            server.threads_in_use(),
+            0,
+            "{} leaked threads",
+            server.name()
+        );
+        assert_eq!(
+            server.cpu().active_bursts(),
+            0,
+            "{} leaked bursts",
+            server.name()
+        );
         if let Some(pool) = server.conn_pool() {
             assert_eq!(pool.in_use(), 0, "{} leaked conns", server.name());
             assert_eq!(pool.queued(), 0, "{} leaked waiters", server.name());

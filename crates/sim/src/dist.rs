@@ -87,7 +87,10 @@ impl Dist {
     ///
     /// Panics if `value` is negative or not finite.
     pub fn constant(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "constant must be finite and >= 0");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "constant must be finite and >= 0"
+        );
         Dist::Constant(value)
     }
 
@@ -97,7 +100,10 @@ impl Dist {
     ///
     /// Panics if the bounds are not finite or `low > high`.
     pub fn uniform(low: f64, high: f64) -> Self {
-        assert!(low.is_finite() && high.is_finite() && low <= high, "invalid uniform bounds");
+        assert!(
+            low.is_finite() && high.is_finite() && low <= high,
+            "invalid uniform bounds"
+        );
         Dist::Uniform { low, high }
     }
 
@@ -127,7 +133,10 @@ impl Dist {
     ///
     /// Panics if `std_dev < 0` or parameters are not finite.
     pub fn truncated_normal(mean: f64, std_dev: f64) -> Self {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "invalid normal params");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal params"
+        );
         Dist::TruncatedNormal { mean, std_dev }
     }
 
@@ -137,7 +146,10 @@ impl Dist {
     ///
     /// Panics if `sigma < 0` or parameters are not finite.
     pub fn log_normal(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid lognormal params");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid lognormal params"
+        );
         Dist::LogNormal { mu, sigma }
     }
 
@@ -422,7 +434,10 @@ mod tests {
         let expected = (-3.0f64 + 0.125).exp();
         assert_eq!(d.mean(), Some(expected));
         let m = empirical_mean(&d, 300_000);
-        assert!((m - expected).abs() / expected < 0.02, "mean {m} vs {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.02,
+            "mean {m} vs {expected}"
+        );
     }
 
     #[test]

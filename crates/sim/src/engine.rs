@@ -6,30 +6,76 @@
 //! being simulated. Ties in time are broken by schedule order, so a run is a
 //! pure function of (initial world, seed, schedule), which the reproduction
 //! experiments rely on.
+//!
+//! Cancellation uses generation-stamped slots rather than a hash set: each
+//! [`EventId`] packs a slot index and the generation the slot had when the
+//! event was scheduled. Cancelling (or executing) an event bumps the slot's
+//! generation, so stale heap entries are recognised by a single array
+//! compare on pop — no hashing anywhere on the hot path.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use crate::time::{SimDuration, SimTime};
 
+/// Events executed across all engines in this process, accumulated when each
+/// engine drops. Powers the events/second figures reported by `repro`.
+static TOTAL_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events executed by all dropped engines since process start (or the
+/// last [`reset_total_executed`]). Monotonic and thread-safe; an engine's
+/// count is added when it is dropped, so long-lived engines are not included
+/// until they finish.
+pub fn total_executed() -> u64 {
+    TOTAL_EXECUTED.load(AtomicOrdering::Relaxed)
+}
+
+/// Resets the process-wide executed-event counter and returns the value it
+/// held, so callers can bracket a measurement window.
+pub fn reset_total_executed() -> u64 {
+    TOTAL_EXECUTED.swap(0, AtomicOrdering::Relaxed)
+}
+
 /// Opaque handle to a scheduled event, usable for cancellation (timeouts,
-/// superseded retries).
+/// superseded retries). Packs `(generation << 32) | slot`; a handle is only
+/// valid while its slot still carries the same generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(u64::from(gen) << 32 | u64::from(slot))
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// An action scheduled to run against the world at a point in virtual time.
 type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
 struct Scheduled<W> {
     at: SimTime,
-    id: EventId,
+    /// Monotonic schedule order; FIFO tie-break among same-time events.
+    seq: u64,
+    slot: u32,
+    gen: u32,
     action: Action<W>,
 }
 
 impl<W> PartialEq for Scheduled<W> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
+        self.at == other.at && self.seq == other.seq
     }
 }
 impl<W> Eq for Scheduled<W> {}
@@ -40,12 +86,12 @@ impl<W> PartialOrd for Scheduled<W> {
 }
 impl<W> Ord for Scheduled<W> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops
-        // first. `id` rises monotonically, giving FIFO order among ties.
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. `seq` rises monotonically, giving FIFO order among ties.
         other
             .at
             .cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -72,8 +118,14 @@ impl<W> Ord for Scheduled<W> {
 pub struct Engine<W> {
     now: SimTime,
     heap: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    /// Current generation per slot. An id is live iff `slots[id.slot] ==
+    /// id.gen`; cancel and execute both bump the generation.
+    slots: Vec<u32>,
+    /// Slots whose latest generation has been retired, ready for reuse.
+    free: Vec<u32>,
+    next_seq: u64,
+    /// Live (scheduled, not yet executed or cancelled) events.
+    live: usize,
     executed: u64,
 }
 
@@ -81,7 +133,7 @@ impl<W> fmt::Debug for Engine<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.live)
             .field("executed", &self.executed)
             .finish()
     }
@@ -93,14 +145,24 @@ impl<W> Default for Engine<W> {
     }
 }
 
+impl<W> Drop for Engine<W> {
+    fn drop(&mut self) {
+        if self.executed > 0 {
+            TOTAL_EXECUTED.fetch_add(self.executed, AtomicOrdering::Relaxed);
+        }
+    }
+}
+
 impl<W> Engine<W> {
     /// Creates an engine with the clock at [`SimTime::ZERO`] and no events.
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            live: 0,
             executed: 0,
         }
     }
@@ -115,10 +177,10 @@ impl<W> Engine<W> {
         self.executed
     }
 
-    /// Number of events still pending (including cancelled tombstones not
-    /// yet popped).
+    /// Number of live pending events (cancelled events are excluded even if
+    /// their heap entries have not been popped yet).
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// Schedules `action` at absolute time `at`.
@@ -131,14 +193,26 @@ impl<W> Engine<W> {
         action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
     ) -> EventId {
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than 2^32 live events");
+                self.slots.push(0);
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize];
+        self.live += 1;
         self.heap.push(Scheduled {
             at,
-            id,
+            seq,
+            slot,
+            gen,
             action: Box::new(action),
         });
-        id
+        EventId::new(slot, gen)
     }
 
     /// Schedules `action` after a relative delay.
@@ -158,14 +232,32 @@ impl<W> Engine<W> {
         self.schedule_at(self.now, action)
     }
 
-    /// Cancels a pending event. Returns `true` if the event had not yet run
-    /// or been cancelled.
+    /// Cancels a pending event in O(1). Returns `true` if the event had not
+    /// yet run or been cancelled. The heap entry becomes a tombstone and is
+    /// discarded whenever it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        let slot = id.slot() as usize;
+        if slot >= self.slots.len() || self.slots[slot] != id.gen() {
             return false;
         }
-        // Tombstone; the heap entry is skipped when popped.
-        self.cancelled.insert(id)
+        self.retire(id.slot());
+        self.live -= 1;
+        true
+    }
+
+    /// Bumps a slot's generation (invalidating outstanding ids and heap
+    /// entries stamped with the old one) and queues it for reuse.
+    #[inline]
+    fn retire(&mut self, slot: u32) {
+        self.slots[slot as usize] = self.slots[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Whether a heap entry still refers to the generation it was scheduled
+    /// under (i.e. has not been cancelled or superseded).
+    #[inline]
+    fn is_current(&self, ev: &Scheduled<W>) -> bool {
+        self.slots[ev.slot as usize] == ev.gen
     }
 
     /// Executes the next event, advancing the clock. Returns `false` when no
@@ -175,9 +267,11 @@ impl<W> Engine<W> {
             let Some(ev) = self.heap.pop() else {
                 return false;
             };
-            if self.cancelled.remove(&ev.id) {
-                continue;
+            if !self.is_current(&ev) {
+                continue; // cancelled tombstone
             }
+            self.retire(ev.slot);
+            self.live -= 1;
             debug_assert!(ev.at >= self.now, "event scheduled in the past");
             self.now = ev.at;
             self.executed += 1;
@@ -209,15 +303,14 @@ impl<W> Engine<W> {
         }
     }
 
-    /// The timestamp of the next live event, if any.
+    /// The timestamp of the next live event, if any. Discards cancelled
+    /// tombstones encountered at the top of the heap.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(ev) = self.heap.peek() {
-            if self.cancelled.contains(&ev.id) {
-                let ev = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&ev.id);
-                continue;
+            if self.is_current(ev) {
+                return Some(ev.at);
             }
-            return Some(ev.at);
+            self.heap.pop();
         }
         None
     }
@@ -345,5 +438,59 @@ mod tests {
         push_at(&mut e, 2, 4);
         e.run(&mut w);
         assert_eq!(w, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reused_slot_does_not_resurrect_old_handle() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        let a = push_at(&mut e, 1, 1);
+        assert!(e.cancel(a));
+        // The freed slot is reused with a bumped generation; the stale
+        // handle must not cancel the new event.
+        let b = push_at(&mut e, 2, 2);
+        assert!(!e.cancel(a), "stale handle must stay dead");
+        assert_eq!(e.pending(), 1);
+        e.run(&mut w);
+        assert_eq!(w, vec![2]);
+        let _ = b;
+    }
+
+    #[test]
+    fn cancel_after_execution_reports_false() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        let a = push_at(&mut e, 1, 1);
+        e.run(&mut w);
+        assert!(!e.cancel(a), "executed event cannot be cancelled");
+    }
+
+    #[test]
+    fn heavy_cancellation_keeps_counts_consistent() {
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        let ids: Vec<EventId> = (0..1000).map(|i| push_at(&mut e, i, i as u32)).collect();
+        for id in ids.iter().skip(1).step_by(2) {
+            assert!(e.cancel(*id));
+        }
+        assert_eq!(e.pending(), 500);
+        e.run(&mut w);
+        assert_eq!(w.len(), 500);
+        assert!(w.iter().all(|tag| tag % 2 == 0));
+        assert_eq!(e.executed(), 500);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn drop_accumulates_global_executed_counter() {
+        let before = total_executed();
+        let mut w: W = vec![];
+        {
+            let mut e = Engine::new();
+            push_at(&mut e, 1, 1);
+            push_at(&mut e, 2, 2);
+            e.run(&mut w);
+        }
+        assert!(total_executed() >= before + 2);
     }
 }

@@ -65,10 +65,12 @@
 pub mod dist;
 pub mod engine;
 pub mod rng;
+pub mod runner;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Dist, Sample};
 pub use engine::{Engine, EventId};
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
+pub use runner::{run_ordered, set_jobs};
 pub use time::{SimDuration, SimTime};

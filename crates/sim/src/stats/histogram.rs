@@ -130,7 +130,10 @@ impl Histogram {
     pub fn bin_range(&self, i: usize) -> (f64, f64) {
         assert!(i < self.bins.len(), "bin index out of range");
         let width = (self.high - self.low) / self.bins.len() as f64;
-        (self.low + i as f64 * width, self.low + (i + 1) as f64 * width)
+        (
+            self.low + i as f64 * width,
+            self.low + (i + 1) as f64 * width,
+        )
     }
 
     /// Iterator over `(bin_midpoint, count)` pairs.

@@ -14,9 +14,36 @@ use super::OnlineStats;
 /// approximation (1.96) is used.
 const T_95: [f64; 31] = [
     f64::NAN,
-    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    12.706,
+    4.303,
+    3.182,
+    2.776,
+    2.571,
+    2.447,
+    2.365,
+    2.306,
+    2.262,
+    2.228,
+    2.201,
+    2.179,
+    2.160,
+    2.145,
+    2.131,
+    2.120,
+    2.110,
+    2.101,
+    2.093,
+    2.086,
+    2.080,
+    2.074,
+    2.069,
+    2.064,
+    2.060,
+    2.056,
+    2.052,
+    2.048,
+    2.045,
+    2.042,
 ];
 
 /// Two-sided 95 % Student-t critical value for the given degrees of
@@ -100,7 +127,8 @@ impl Replications {
 
     /// The half-width of the 95 % confidence interval, if defined.
     pub fn half_width_95(&self) -> Option<f64> {
-        self.confidence_interval_95().map(|(lo, hi)| (hi - lo) / 2.0)
+        self.confidence_interval_95()
+            .map(|(lo, hi)| (hi - lo) / 2.0)
     }
 
     /// Formats as `mean ± half-width` with the given decimals.
@@ -162,7 +190,11 @@ mod tests {
         let reps: Replications = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
         let (lo, hi) = reps.confidence_interval_95().unwrap();
         assert!((reps.mean() - 2.5).abs() < 1e-12);
-        assert!(((hi - lo) / 2.0 - 2.0540).abs() < 1e-3, "half {}", (hi - lo) / 2.0);
+        assert!(
+            ((hi - lo) / 2.0 - 2.0540).abs() < 1e-3,
+            "half {}",
+            (hi - lo) / 2.0
+        );
         assert!(lo < 2.5 && hi > 2.5);
     }
 
@@ -171,7 +203,9 @@ mod tests {
         // Same per-replication variance (alternating ±1 around 10); more
         // replications must shrink the interval.
         let pattern = |n: usize| -> Replications {
-            (0..n).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect()
+            (0..n)
+                .map(|i| if i % 2 == 0 { 9.0 } else { 11.0 })
+                .collect()
         };
         let many = pattern(30);
         let few = pattern(4);

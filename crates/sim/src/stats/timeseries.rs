@@ -167,7 +167,10 @@ impl StepGauge {
 
     /// The current (latest) value.
     pub fn value(&self) -> f64 {
-        self.steps.last().expect("gauge always has an initial step").1
+        self.steps
+            .last()
+            .expect("gauge always has an initial step")
+            .1
     }
 
     /// The value in effect at time `at` (the last change point at or before

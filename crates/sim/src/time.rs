@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(250) * 4;
 /// assert_eq!(d, SimDuration::from_secs(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 const NANOS_PER_SEC: u64 = 1_000_000_000;
@@ -301,10 +305,7 @@ mod tests {
     fn negative_seconds_saturate_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs_f64(f64::INFINITY),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl MmppModulator {
             config.mean_normal_secs > 0.0 && config.mean_burst_secs > 0.0,
             "dwell times must be positive"
         );
-        assert!(config.burst_intensity >= 1.0, "burst intensity must be >= 1");
+        assert!(
+            config.burst_intensity >= 1.0,
+            "burst intensity must be >= 1"
+        );
         let modulator = MmppModulator {
             multiplier: Rc::new(Cell::new(1.0)),
             bursting: Rc::new(Cell::new(false)),
@@ -240,8 +243,7 @@ mod tests {
         let run = |mmpp: Option<MmppConfig>| {
             let (mut world, mut engine) = ThreeTierBuilder::new().seed(9).build();
             let stop = SimTime::from_secs(400);
-            let modulator =
-                mmpp.map(|config| MmppModulator::install(&mut engine, config, stop));
+            let modulator = mmpp.map(|config| MmppModulator::install(&mut engine, config, stop));
             let pop = UserPopulation::start_think_time_modulated(
                 &mut world,
                 &mut engine,
@@ -252,11 +254,7 @@ mod tests {
                 stop,
             );
             engine.run(&mut world);
-            let finishes: Vec<SimTime> = pop
-                .completions()
-                .iter()
-                .map(|c| c.finished)
-                .collect();
+            let finishes: Vec<SimTime> = pop.completions().iter().map(|c| c.finished).collect();
             index_of_dispersion(
                 &finishes,
                 SimTime::from_secs(20),
@@ -280,7 +278,12 @@ mod tests {
     #[test]
     fn dispersion_estimator_edge_cases() {
         assert_eq!(
-            index_of_dispersion(&[], SimTime::ZERO, SimTime::from_secs(10), SimDuration::from_secs(1)),
+            index_of_dispersion(
+                &[],
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                SimDuration::from_secs(1)
+            ),
             None,
             "no events → zero mean → None"
         );

@@ -276,35 +276,34 @@ fn user_cycle(state: Rc<RefCell<PopState>>, world: &mut World, engine: &mut SimE
         world,
         engine,
         profile,
-        Box::new(move |w: &mut World, e: &mut SimEngine, completion: Completion| {
-            let think_delay = {
-                let mut st = cb_state.borrow_mut();
-                st.log.push(completion);
-                let base = st
-                    .think
-                    .as_ref()
-                    .map(|d| d.sample(&mut w.rng))
-                    .unwrap_or(0.0);
-                let multiplier = st
-                    .think_multiplier
-                    .as_ref()
-                    .map_or(1.0, |cell| cell.get());
-                base * multiplier
-            };
-            let next_state = Rc::clone(&cb_state);
-            if think_delay > 0.0 {
-                e.schedule_in(
-                    SimDuration::from_secs_f64(think_delay),
-                    move |w: &mut World, e: &mut SimEngine| user_cycle(next_state, w, e),
-                );
-            } else {
-                // Zero think time: defer through the queue instead of
-                // recursing so long closed-loop runs keep a flat stack.
-                e.schedule_now(move |w: &mut World, e: &mut SimEngine| {
-                    user_cycle(next_state, w, e)
-                });
-            }
-        }),
+        Box::new(
+            move |w: &mut World, e: &mut SimEngine, completion: Completion| {
+                let think_delay = {
+                    let mut st = cb_state.borrow_mut();
+                    st.log.push(completion);
+                    let base = st
+                        .think
+                        .as_ref()
+                        .map(|d| d.sample(&mut w.rng))
+                        .unwrap_or(0.0);
+                    let multiplier = st.think_multiplier.as_ref().map_or(1.0, |cell| cell.get());
+                    base * multiplier
+                };
+                let next_state = Rc::clone(&cb_state);
+                if think_delay > 0.0 {
+                    e.schedule_in(
+                        SimDuration::from_secs_f64(think_delay),
+                        move |w: &mut World, e: &mut SimEngine| user_cycle(next_state, w, e),
+                    );
+                } else {
+                    // Zero think time: defer through the queue instead of
+                    // recursing so long closed-loop runs keep a flat stack.
+                    e.schedule_now(move |w: &mut World, e: &mut SimEngine| {
+                        user_cycle(next_state, w, e)
+                    });
+                }
+            },
+        ),
     );
 }
 

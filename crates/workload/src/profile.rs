@@ -132,7 +132,11 @@ impl ProfileFactory {
             )
         } else {
             RequestProfile::new(
-                vec![StageDemand::pre_only(web), app_demand, StageDemand::pre_only(db)],
+                vec![
+                    StageDemand::pre_only(web),
+                    app_demand,
+                    StageDemand::pre_only(db),
+                ],
                 vec![1, 1, queries],
                 idx as u16,
             )
@@ -176,18 +180,17 @@ mod tests {
 
     #[test]
     fn deterministic_factory_is_noise_free() {
-        let factory = ProfileFactory::rubbos_deterministic()
-            .with_mix(
-                crate::servlets::ServletMix::from_servlets(vec![crate::servlets::Servlet {
-                    name: "Only",
-                    weight: 1.0,
-                    web_mult: 1.0,
-                    app_mult: 1.0,
-                    db_mult: 1.0,
-                    db_queries: 2,
-                }])
-                .unwrap(),
-            );
+        let factory = ProfileFactory::rubbos_deterministic().with_mix(
+            crate::servlets::ServletMix::from_servlets(vec![crate::servlets::Servlet {
+                name: "Only",
+                weight: 1.0,
+                web_mult: 1.0,
+                app_mult: 1.0,
+                db_mult: 1.0,
+                db_queries: 2,
+            }])
+            .unwrap(),
+        );
         let mut rng = SimRng::seed_from(1);
         let a = factory.sample(&mut rng);
         let b = factory.sample(&mut rng);

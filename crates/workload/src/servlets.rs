@@ -43,30 +43,198 @@ impl ServletMix {
     /// Query counts are chosen so the weighted mean is ≈ 2.0.
     pub fn browse_only() -> Self {
         let servlets = vec![
-            Servlet { name: "StoriesOfTheDay",     weight: 14.0, web_mult: 1.0, app_mult: 1.2, db_mult: 1.1, db_queries: 2 },
-            Servlet { name: "ViewStory",           weight: 13.0, web_mult: 1.0, app_mult: 1.1, db_mult: 1.0, db_queries: 2 },
-            Servlet { name: "ViewComment",         weight: 10.0, web_mult: 1.0, app_mult: 0.9, db_mult: 0.9, db_queries: 2 },
-            Servlet { name: "BrowseCategories",    weight: 8.0,  web_mult: 1.0, app_mult: 0.8, db_mult: 0.8, db_queries: 1 },
-            Servlet { name: "BrowseStoriesByCategory", weight: 8.0, web_mult: 1.0, app_mult: 1.1, db_mult: 1.2, db_queries: 2 },
-            Servlet { name: "OlderStories",        weight: 6.0,  web_mult: 1.0, app_mult: 1.0, db_mult: 1.3, db_queries: 2 },
-            Servlet { name: "SearchInStories",     weight: 4.0,  web_mult: 1.0, app_mult: 1.4, db_mult: 1.6, db_queries: 3 },
-            Servlet { name: "SearchInComments",    weight: 3.0,  web_mult: 1.0, app_mult: 1.4, db_mult: 1.7, db_queries: 3 },
-            Servlet { name: "SearchInUsers",       weight: 2.0,  web_mult: 1.0, app_mult: 1.2, db_mult: 1.2, db_queries: 2 },
-            Servlet { name: "ViewUserInfo",        weight: 4.0,  web_mult: 1.0, app_mult: 0.8, db_mult: 0.9, db_queries: 2 },
-            Servlet { name: "AboutMe",             weight: 2.0,  web_mult: 1.0, app_mult: 0.9, db_mult: 1.0, db_queries: 2 },
-            Servlet { name: "StoriesByAuthor",     weight: 3.0,  web_mult: 1.0, app_mult: 1.0, db_mult: 1.1, db_queries: 2 },
-            Servlet { name: "CommentsByAuthor",    weight: 2.0,  web_mult: 1.0, app_mult: 1.0, db_mult: 1.1, db_queries: 2 },
-            Servlet { name: "TopStories",          weight: 4.0,  web_mult: 1.0, app_mult: 1.1, db_mult: 1.0, db_queries: 2 },
-            Servlet { name: "HotTopics",           weight: 3.0,  web_mult: 1.0, app_mult: 1.0, db_mult: 1.0, db_queries: 2 },
-            Servlet { name: "ModeratedComments",   weight: 2.0,  web_mult: 1.0, app_mult: 1.0, db_mult: 1.2, db_queries: 2 },
-            Servlet { name: "StoryPreview",        weight: 2.0,  web_mult: 1.0, app_mult: 0.7, db_mult: 0.6, db_queries: 1 },
-            Servlet { name: "CommentPreview",      weight: 2.0,  web_mult: 1.0, app_mult: 0.7, db_mult: 0.6, db_queries: 1 },
-            Servlet { name: "BrowseStoriesByDate", weight: 3.0,  web_mult: 1.0, app_mult: 1.1, db_mult: 1.2, db_queries: 2 },
-            Servlet { name: "ViewStoryComments",   weight: 3.0,  web_mult: 1.0, app_mult: 1.2, db_mult: 1.3, db_queries: 3 },
-            Servlet { name: "UserIndex",           weight: 1.0,  web_mult: 1.0, app_mult: 0.8, db_mult: 0.8, db_queries: 1 },
-            Servlet { name: "CategoryIndex",       weight: 1.0,  web_mult: 1.0, app_mult: 0.7, db_mult: 0.7, db_queries: 1 },
-            Servlet { name: "StaticFront",         weight: 2.0,  web_mult: 1.2, app_mult: 0.5, db_mult: 0.5, db_queries: 1 },
-            Servlet { name: "PopularityRanking",   weight: 2.0,  web_mult: 1.0, app_mult: 1.3, db_mult: 1.5, db_queries: 3 },
+            Servlet {
+                name: "StoriesOfTheDay",
+                weight: 14.0,
+                web_mult: 1.0,
+                app_mult: 1.2,
+                db_mult: 1.1,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "ViewStory",
+                weight: 13.0,
+                web_mult: 1.0,
+                app_mult: 1.1,
+                db_mult: 1.0,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "ViewComment",
+                weight: 10.0,
+                web_mult: 1.0,
+                app_mult: 0.9,
+                db_mult: 0.9,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "BrowseCategories",
+                weight: 8.0,
+                web_mult: 1.0,
+                app_mult: 0.8,
+                db_mult: 0.8,
+                db_queries: 1,
+            },
+            Servlet {
+                name: "BrowseStoriesByCategory",
+                weight: 8.0,
+                web_mult: 1.0,
+                app_mult: 1.1,
+                db_mult: 1.2,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "OlderStories",
+                weight: 6.0,
+                web_mult: 1.0,
+                app_mult: 1.0,
+                db_mult: 1.3,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "SearchInStories",
+                weight: 4.0,
+                web_mult: 1.0,
+                app_mult: 1.4,
+                db_mult: 1.6,
+                db_queries: 3,
+            },
+            Servlet {
+                name: "SearchInComments",
+                weight: 3.0,
+                web_mult: 1.0,
+                app_mult: 1.4,
+                db_mult: 1.7,
+                db_queries: 3,
+            },
+            Servlet {
+                name: "SearchInUsers",
+                weight: 2.0,
+                web_mult: 1.0,
+                app_mult: 1.2,
+                db_mult: 1.2,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "ViewUserInfo",
+                weight: 4.0,
+                web_mult: 1.0,
+                app_mult: 0.8,
+                db_mult: 0.9,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "AboutMe",
+                weight: 2.0,
+                web_mult: 1.0,
+                app_mult: 0.9,
+                db_mult: 1.0,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "StoriesByAuthor",
+                weight: 3.0,
+                web_mult: 1.0,
+                app_mult: 1.0,
+                db_mult: 1.1,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "CommentsByAuthor",
+                weight: 2.0,
+                web_mult: 1.0,
+                app_mult: 1.0,
+                db_mult: 1.1,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "TopStories",
+                weight: 4.0,
+                web_mult: 1.0,
+                app_mult: 1.1,
+                db_mult: 1.0,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "HotTopics",
+                weight: 3.0,
+                web_mult: 1.0,
+                app_mult: 1.0,
+                db_mult: 1.0,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "ModeratedComments",
+                weight: 2.0,
+                web_mult: 1.0,
+                app_mult: 1.0,
+                db_mult: 1.2,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "StoryPreview",
+                weight: 2.0,
+                web_mult: 1.0,
+                app_mult: 0.7,
+                db_mult: 0.6,
+                db_queries: 1,
+            },
+            Servlet {
+                name: "CommentPreview",
+                weight: 2.0,
+                web_mult: 1.0,
+                app_mult: 0.7,
+                db_mult: 0.6,
+                db_queries: 1,
+            },
+            Servlet {
+                name: "BrowseStoriesByDate",
+                weight: 3.0,
+                web_mult: 1.0,
+                app_mult: 1.1,
+                db_mult: 1.2,
+                db_queries: 2,
+            },
+            Servlet {
+                name: "ViewStoryComments",
+                weight: 3.0,
+                web_mult: 1.0,
+                app_mult: 1.2,
+                db_mult: 1.3,
+                db_queries: 3,
+            },
+            Servlet {
+                name: "UserIndex",
+                weight: 1.0,
+                web_mult: 1.0,
+                app_mult: 0.8,
+                db_mult: 0.8,
+                db_queries: 1,
+            },
+            Servlet {
+                name: "CategoryIndex",
+                weight: 1.0,
+                web_mult: 1.0,
+                app_mult: 0.7,
+                db_mult: 0.7,
+                db_queries: 1,
+            },
+            Servlet {
+                name: "StaticFront",
+                weight: 2.0,
+                web_mult: 1.2,
+                app_mult: 0.5,
+                db_mult: 0.5,
+                db_queries: 1,
+            },
+            Servlet {
+                name: "PopularityRanking",
+                weight: 2.0,
+                web_mult: 1.0,
+                app_mult: 1.3,
+                db_mult: 1.5,
+                db_queries: 3,
+            },
         ];
         Self::from_servlets(servlets).expect("built-in mix is valid")
     }
@@ -126,9 +294,24 @@ impl ServletMix {
     /// `(web, app, db per query)`.
     pub fn mean_multipliers(&self) -> (f64, f64, f64) {
         let total_w: f64 = self.servlets.iter().map(|s| s.weight).sum();
-        let web = self.servlets.iter().map(|s| s.weight * s.web_mult).sum::<f64>() / total_w;
-        let app = self.servlets.iter().map(|s| s.weight * s.app_mult).sum::<f64>() / total_w;
-        let db = self.servlets.iter().map(|s| s.weight * s.db_mult).sum::<f64>() / total_w;
+        let web = self
+            .servlets
+            .iter()
+            .map(|s| s.weight * s.web_mult)
+            .sum::<f64>()
+            / total_w;
+        let app = self
+            .servlets
+            .iter()
+            .map(|s| s.weight * s.app_mult)
+            .sum::<f64>()
+            / total_w;
+        let db = self
+            .servlets
+            .iter()
+            .map(|s| s.weight * s.db_mult)
+            .sum::<f64>()
+            / total_w;
         (web, app, db)
     }
 }

@@ -53,7 +53,10 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Empty => write!(f, "trace has no points"),
             TraceError::UnorderedTimestamps { index } => {
-                write!(f, "trace timestamps must start at 0 and increase (point {index})")
+                write!(
+                    f,
+                    "trace timestamps must start at 0 and increase (point {index})"
+                )
             }
             TraceError::Parse { line } => write!(f, "malformed trace line {line}"),
         }
@@ -145,7 +148,11 @@ impl WorkloadTrace {
 
     /// Peak target across the trace.
     pub fn peak_users(&self) -> u32 {
-        self.points.iter().map(|&(_, u)| u).max().expect("non-empty")
+        self.points
+            .iter()
+            .map(|&(_, u)| u)
+            .max()
+            .expect("non-empty")
     }
 
     /// Scales every target by `factor` (rounding), e.g. to stress the same
@@ -226,9 +233,18 @@ pub fn flash_crowd(base: u32, peak: u32, at_secs: f64, duration_secs: f64) -> Wo
 /// A sampled sine oscillation between `low` and `high` with the given
 /// period, sampled every `sample_secs` over `horizon_secs` (smooth diurnal
 /// pattern).
-pub fn sine(low: u32, high: u32, period_secs: f64, horizon_secs: f64, sample_secs: f64) -> WorkloadTrace {
+pub fn sine(
+    low: u32,
+    high: u32,
+    period_secs: f64,
+    horizon_secs: f64,
+    sample_secs: f64,
+) -> WorkloadTrace {
     assert!(high >= low, "high must be >= low");
-    assert!(period_secs > 0.0 && sample_secs > 0.0, "periods must be positive");
+    assert!(
+        period_secs > 0.0 && sample_secs > 0.0,
+        "periods must be positive"
+    );
     let mut points = Vec::new();
     let mut t = 0.0;
     let mid = f64::from(low + high) / 2.0;

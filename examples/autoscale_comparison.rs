@@ -38,18 +38,18 @@ fn main() {
     };
 
     // A flash crowd: 120 users, spiking to 600 for 90 seconds.
-    let mut config =
-        TraceExperimentConfig::figure5(traces::flash_crowd(120, 600, 60.0, 90.0));
+    let mut config = TraceExperimentConfig::figure5(traces::flash_crowd(120, 600, 60.0, 90.0));
     config.horizon = SimTime::from_secs(300);
 
     let ec2 = run_trace_experiment(&config, |bus| {
         Ec2AutoScale::new(bus, ScalingConfig::default())
     });
-    let dcm = run_trace_experiment(&config, |bus| {
-        Dcm::new(bus, DcmConfig::default(), models)
-    });
+    let dcm = run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models));
 
-    println!("{:<16} {:>10} {:>10} {:>10} {:>12}", "controller", "req/s", "meanRT(s)", "p95RT(s)", "VM-seconds");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12}",
+        "controller", "req/s", "meanRT(s)", "p95RT(s)", "VM-seconds"
+    );
     for run in [&dcm, &ec2] {
         let mut overall = run.overall();
         println!(

@@ -99,7 +99,10 @@ fn schedule_controller(
 
 fn main() {
     println!("150 users, mean think 3 s, 400 s horizon, DCM managing the system\n");
-    println!("{:<22} {:>9}   {:>13}   {:>16}   {:>12}", "workload", "dispersion", "throughput", "mean RT", "p95 RT");
+    println!(
+        "{:<22} {:>9}   {:>13}   {:>16}   {:>12}",
+        "workload", "dispersion", "throughput", "mean RT", "p95 RT"
+    );
     run(None, "Poisson-like (calm)");
     run(Some(MmppConfig::with_intensity(4.0)), "MMPP intensity 4");
     run(Some(MmppConfig::with_intensity(8.0)), "MMPP intensity 8");

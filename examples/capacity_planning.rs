@@ -21,7 +21,11 @@ fn main() {
     let db_s = db_law.effective_service_time(db_law.optimal_concurrency());
 
     println!("per-visit effective service times at each tier's knee:");
-    println!("  web ≈ negligible, app = {:.2} ms, db = {:.2} ms/query\n", app_s * 1e3, db_s * 1e3);
+    println!(
+        "  web ≈ negligible, app = {:.2} ms, db = {:.2} ms/query\n",
+        app_s * 1e3,
+        db_s * 1e3
+    );
 
     let target_load = 250.0; // requests/second the site must sustain
     println!("target: {target_load} req/s of browse-only traffic\n");
@@ -35,9 +39,21 @@ fn main() {
     println!("operational-law sizing: {app_servers} app server(s), {db_servers} db server(s)");
 
     let tiers = [
-        TierDemand { visit_ratio: 1.0, service_time: 6.0e-4, servers: 1 },
-        TierDemand { visit_ratio: 1.0, service_time: app_s, servers: app_servers },
-        TierDemand { visit_ratio: 2.0, service_time: db_s, servers: db_servers },
+        TierDemand {
+            visit_ratio: 1.0,
+            service_time: 6.0e-4,
+            servers: 1,
+        },
+        TierDemand {
+            visit_ratio: 1.0,
+            service_time: app_s,
+            servers: app_servers,
+        },
+        TierDemand {
+            visit_ratio: 2.0,
+            service_time: db_s,
+            servers: db_servers,
+        },
     ];
     let analysis = analyze_bottleneck(&tiers, 1.0);
     println!(

@@ -39,7 +39,10 @@ fn main() {
     println!("  alpha = {:.5} s", m.alpha);
     println!("  beta  = {:.3e} s", m.beta);
     println!("  gamma = {:.3}", m.gamma);
-    println!("  R²    = {:.3}  ({} LM iterations)", report.r_squared, report.iterations);
+    println!(
+        "  R²    = {:.3}  ({} LM iterations)",
+        report.r_squared, report.iterations
+    );
     println!(
         "\noptimal concurrency N* = {}  →  predicted max throughput {:.1} req/s",
         m.optimal_concurrency(),

@@ -74,7 +74,16 @@ fn trace_under(soft: SoftConfig, label: &str) {
 
 fn main() {
     println!("250 users; where does a request's time go?\n");
-    trace_under(SoftConfig::new(1000, 22, 40), "well-sized pools (1000/22/40)");
-    trace_under(SoftConfig::new(1000, 200, 40), "oversized app pool (1000/200/40): app-tier contention");
-    trace_under(SoftConfig::new(1000, 22, 2), "starved conn pool (1000/22/2): waits surface in the app span");
+    trace_under(
+        SoftConfig::new(1000, 22, 40),
+        "well-sized pools (1000/22/40)",
+    );
+    trace_under(
+        SoftConfig::new(1000, 200, 40),
+        "oversized app pool (1000/200/40): app-tier contention",
+    );
+    trace_under(
+        SoftConfig::new(1000, 22, 2),
+        "starved conn pool (1000/22/2): waits surface in the app span",
+    );
 }

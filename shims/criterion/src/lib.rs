@@ -1,0 +1,236 @@
+//! Minimal in-tree shim for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function`, benchmark groups, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: warm up for `warm_up_time`, then run `sample_size`
+//! samples, each a timed batch sized so one batch lasts roughly
+//! `measurement_time / sample_size`. Reports min/mean/median per-iteration
+//! time on stdout in a stable, grep-friendly format:
+//!
+//! ```text
+//! bench: engine_schedule_run_10k ... min 412.3 µs  mean 428.9 µs  median 425.1 µs  (20 samples)
+//! ```
+//!
+//! No statistical regression analysis, HTML reports, or plotting — this is
+//! a deliberately small, dependency-free harness so benches build offline.
+//! Numbers print with enough precision to compare runs by hand or via
+//! `results/perf.json` produced by the `repro` binary.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher {
+            config: self.clone(),
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!(
+                "bench: {name} ... min {}  mean {}  median {}  ({} samples)",
+                format_duration(report.min),
+                format_duration(report.mean),
+                format_duration(report.median),
+                report.samples,
+            ),
+            None => println!("bench: {name} ... no iterations recorded"),
+        }
+        self
+    }
+
+    /// Opens a named benchmark group (names are prefixed `group/`).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// Criterion calls this after all groups; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Closes the group; a no-op here.
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    min: f64,
+    mean: f64,
+    median: f64,
+    samples: usize,
+}
+
+/// Timing handle passed to the closure (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    config: Criterion,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate one iteration's cost.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_started = Instant::now();
+        while Instant::now() < warm_until || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size batches so sample_size batches fill measurement_time.
+        let samples = self.config.sample_size;
+        let batch_budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let batch = ((batch_budget / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let report = Report {
+            min: times[0],
+            mean: times.iter().sum::<f64>() / times.len() as f64,
+            median: times[times.len() / 2],
+            samples,
+        };
+        self.report = Some(report);
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_a_report() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_function(format!("inner_{}", 1), |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(2.0).ends_with(" s"));
+        assert!(format_duration(2e-3).ends_with(" ms"));
+        assert!(format_duration(2e-6).ends_with(" µs"));
+        assert!(format_duration(2e-9).ends_with(" ns"));
+    }
+}

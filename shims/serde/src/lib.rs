@@ -1,0 +1,26 @@
+//! Minimal in-tree shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its result and config
+//! types to advertise that they are plain data, but nothing in-tree actually
+//! serializes through serde (tables and CSVs are rendered by hand). The shim
+//! therefore reduces both traits to markers, which keeps every `#[derive]`
+//! site compiling byte-for-byte unchanged while the workspace builds fully
+//! offline.
+//!
+//! If a future PR needs real serialization, replace this shim with the real
+//! crate (the path override lives in the workspace `Cargo.toml`) — no call
+//! site changes needed.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

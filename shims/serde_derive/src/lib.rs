@@ -1,0 +1,43 @@
+//! Derive macros for the in-tree serde shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are marker traits, so the derives
+//! only need the type's name (and generics, which no in-tree derived type
+//! uses). Input is parsed with plain `proc_macro` token inspection — no
+//! `syn`/`quote`, keeping the workspace dependency-free.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier from a `struct`/`enum`/`union` definition.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+                panic!("serde shim derive: missing type name after `{word}`");
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum/union found in input");
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

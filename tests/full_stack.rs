@@ -33,9 +33,8 @@ fn quick_config(trace: traces::WorkloadTrace, horizon: u64, seed: u64) -> TraceE
 fn trace_runs_conserve_requests_and_resources() {
     for seed in [1, 77] {
         let config = quick_config(traces::large_variation(), 150, seed);
-        let run = run_trace_experiment(&config, |bus| {
-            Dcm::new(bus, DcmConfig::default(), models())
-        });
+        let run =
+            run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models()));
         let c = run.counters;
         assert_eq!(
             c.submitted,
@@ -83,9 +82,8 @@ fn identical_seeds_give_identical_runs() {
 #[test]
 fn dcm_actuates_soft_resources_and_ec2_does_not() {
     let config = quick_config(traces::step(50, 400, 30.0), 150, 5);
-    let dcm_run = run_trace_experiment(&config, |bus| {
-        Dcm::new(bus, DcmConfig::default(), models())
-    });
+    let dcm_run =
+        run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models()));
     let ec2_run = run_trace_experiment(&config, |bus| {
         Ec2AutoScale::new(bus, ScalingConfig::default())
     });
@@ -102,7 +100,11 @@ fn dcm_actuates_soft_resources_and_ec2_does_not() {
             .count()
     };
     assert!(soft(&dcm_run.actions) >= 2, "DCM adjusts pools");
-    assert_eq!(soft(&ec2_run.actions), 0, "the baseline never touches pools");
+    assert_eq!(
+        soft(&ec2_run.actions),
+        0,
+        "the baseline never touches pools"
+    );
     assert!(
         ec2_run
             .actions
@@ -115,9 +117,8 @@ fn dcm_actuates_soft_resources_and_ec2_does_not() {
 #[test]
 fn dcm_beats_hardware_only_scaling_under_burst() {
     let config = quick_config(traces::flash_crowd(100, 550, 40.0, 70.0), 200, 9);
-    let dcm_run = run_trace_experiment(&config, |bus| {
-        Dcm::new(bus, DcmConfig::default(), models())
-    });
+    let dcm_run =
+        run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models()));
     let ec2_run = run_trace_experiment(&config, |bus| {
         Ec2AutoScale::new(bus, ScalingConfig::default())
     });
@@ -261,7 +262,11 @@ fn monitor_outage_leaves_controller_holding() {
             tick(e, c, stop);
         });
     }
-    tick(&mut engine, std::rc::Rc::clone(&controller), SimTime::from_secs(120));
+    tick(
+        &mut engine,
+        std::rc::Rc::clone(&controller),
+        SimTime::from_secs(120),
+    );
     // Load that would normally trigger scale-out arrives AFTER the outage.
     UserPopulation::start_trace_driven(
         &mut world,
@@ -289,9 +294,9 @@ fn least_connections_balances_heterogeneous_backends_better() {
     // in-flight work more evenly than round-robin.
     use dcm_ntier::balancer::BalancerPolicy;
     use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+    use dcm_sim::dist::Dist;
     use dcm_workload::generator::UserPopulation;
     use dcm_workload::profile::ProfileFactory;
-    use dcm_sim::dist::Dist;
 
     let run = |policy: BalancerPolicy| {
         let (mut world, mut engine) = ThreeTierBuilder::new()
@@ -458,15 +463,9 @@ fn dcm_controls_the_four_tier_deployment() {
 fn long_soak_under_oscillating_load_stays_clean() {
     // 2000 s of diurnal-like oscillation: DCM repeatedly scales out and in;
     // nothing may leak, counters must conserve, VM counts stay bounded.
-    let mut config = quick_config(
-        traces::sine(80, 520, 300.0, 2000.0, 10.0),
-        2000,
-        23,
-    );
+    let mut config = quick_config(traces::sine(80, 520, 300.0, 2000.0, 10.0), 2000, 23);
     config.initial_soft = SoftConfig::new(1000, 200, 40);
-    let run = run_trace_experiment(&config, |bus| {
-        Dcm::new(bus, DcmConfig::default(), models())
-    });
+    let run = run_trace_experiment(&config, |bus| Dcm::new(bus, DcmConfig::default(), models()));
     assert_eq!(run.counters.in_flight(), 0);
     assert_eq!(run.counters.rejected, 0);
     // Multiple scale-out AND scale-in cycles happened.
@@ -486,10 +485,17 @@ fn long_soak_under_oscillating_load_stays_clean() {
     // VM counts stayed within the policy cap.
     for tier in [1usize, 2] {
         let max_vms = run.tier_vm_counts[tier].max().unwrap_or(0.0);
-        assert!(max_vms <= 8.0, "tier {tier} exceeded max_servers: {max_vms}");
+        assert!(
+            max_vms <= 8.0,
+            "tier {tier} exceeded max_servers: {max_vms}"
+        );
     }
     // The oscillation is served: overall throughput in a sane band.
     let overall = run.overall();
     assert!(overall.throughput() > 40.0, "X {}", overall.throughput());
-    assert!(overall.sla_attainment(1.0) > 0.7, "SLA {}", overall.sla_attainment(1.0));
+    assert!(
+        overall.sla_attainment(1.0) > 0.7,
+        "SLA {}",
+        overall.sla_attainment(1.0)
+    );
 }
