@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dcm_bench::experiments::{ablation, fig2, fig4, fig5, gamma, table1, Fidelity};
+use dcm_bench::experiments::{ablation, chaos, fig2, fig4, fig5, gamma, table1, Fidelity};
 use dcm_bench::format::TextTable;
 
 struct Cli {
@@ -79,6 +79,8 @@ fn usage() -> String {
      \x20 gamma       bottleneck-tier scaling efficiency (Eq. 4)\n\
      \x20 export-trace write the built-in Large-Variation trace as CSV\n\
      \x20 faults      behaviour under VM boot failures\n\
+     \x20 chaos       crash/straggler injection + retry resilience (writes\n\
+     \x20             results/chaos.json and results/chaos.csv)\n\
      \x20 all         everything above, in order\n\
      flags:\n\
      \x20 --quick       short windows / coarse sweeps\n\
@@ -255,6 +257,7 @@ fn main() -> ExitCode {
         "sensitivity",
         "extensions",
         "faults",
+        "chaos",
     ]
     .iter()
     .any(|&c| wants(c));
@@ -415,6 +418,26 @@ fn main() -> ExitCode {
         out.section("Extensions: reactive vs predictive vs online-refit DCM");
         let result = perf.time("extensions", || ablation::run_extensions(f, models));
         out.table("extensions", &result.table());
+    }
+    if wants("chaos") {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("Chaos: VM crash + straggler injection with retry resilience");
+        let result = perf.time("chaos", || chaos::run_chaos(f, models));
+        out.table("chaos", &result.table());
+        out.findings(&result.findings());
+        let dir = PathBuf::from("results");
+        let write = fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(dir.join("chaos.json"), result.to_json()))
+            .and_then(|()| fs::write(dir.join("chaos.csv"), result.table().to_csv()));
+        match write {
+            Ok(()) => println!(
+                "\nwrote {} and {}",
+                dir.join("chaos.json").display(),
+                dir.join("chaos.csv").display()
+            ),
+            Err(err) => eprintln!("warning: could not write chaos results: {err}"),
+        }
     }
 
     if !matched {

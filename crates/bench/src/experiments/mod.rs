@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md reports).
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

@@ -66,41 +66,81 @@ impl MetricsFeed {
     }
 }
 
+/// Consecutive silent control periods before a tier that *has* capacity is
+/// treated as wedged (a tier with no capacity at all is flagged on the
+/// first silent period — there is nothing to wait for).
+const SILENT_TICKS_FOR_PRESSURE: u32 = 2;
+
+/// Shared VM-scaling pass. Returns the decisions that were actually
+/// applied (a requested action that the agent could not execute — e.g.
+/// scale-in of the last server — is not reported).
+///
+/// A tier absent from `windows` is *silent*. When the whole map is empty
+/// the monitoring pipeline itself produced nothing, so every tier holds
+/// (no evidence of anything). But when other tiers are reporting and a
+/// scalable tier is not, that silence is itself a signal: its servers
+/// crashed or wedged so hard they stopped sampling. Such a tier used to be
+/// skipped — held forever — and is now treated as maximal pressure,
+/// mirroring the wedged-tier `mean_dwell: None` rule below.
 fn vm_decisions(
     world: &mut World,
     engine: &mut SimEngine,
     policy: &mut ThresholdPolicy,
     vm: &mut VmAgent,
     windows: &std::collections::BTreeMap<usize, TierWindow>,
-) {
+    silence: &mut std::collections::HashMap<usize, u32>,
+) -> Vec<(usize, ScaleDecision)> {
     let tiers: Vec<usize> = policy.config().scalable_tiers.clone();
     let trigger = policy.config().trigger;
+    let mut applied = Vec::new();
     for tier in tiers {
-        let Some(window) = windows.get(&tier) else {
-            continue;
-        };
-        let pressure = match trigger {
-            TriggerSignal::CpuUtil => window.mean_cpu_util,
-            TriggerSignal::DwellPressure { sla_secs } => match window.mean_dwell {
-                Some(dwell) => dwell / sla_secs.max(1e-9),
-                // No completions: a wedged-but-loaded tier is maximal
-                // pressure; a genuinely idle one is zero.
-                None if window.mean_concurrency > 1.0 => f64::INFINITY,
-                None => 0.0,
-            },
-        };
         let running = world.system.running_count(tier);
         let booting = world.system.booting_count(tier);
+        let pressure = match windows.get(&tier) {
+            Some(window) => {
+                silence.insert(tier, 0);
+                match trigger {
+                    TriggerSignal::CpuUtil => window.mean_cpu_util,
+                    TriggerSignal::DwellPressure { sla_secs } => match window.mean_dwell {
+                        Some(dwell) => dwell / sla_secs.max(1e-9),
+                        // No completions: a wedged-but-loaded tier is maximal
+                        // pressure; a genuinely idle one is zero.
+                        None if window.mean_concurrency > 1.0 => f64::INFINITY,
+                        None => 0.0,
+                    },
+                }
+            }
+            None => {
+                let streak = silence.entry(tier).or_insert(0);
+                *streak += 1;
+                if windows.is_empty() {
+                    // No metrics from anywhere: the monitor is not
+                    // running. Hold rather than guess.
+                    continue;
+                }
+                let dead = running == 0 && booting == 0;
+                if dead || *streak >= SILENT_TICKS_FOR_PRESSURE {
+                    f64::INFINITY
+                } else {
+                    continue;
+                }
+            }
+        };
         match policy.decide(tier, pressure, running, booting) {
             ScaleDecision::Out => {
-                vm.scale_out(world, engine, tier);
+                if vm.scale_out(world, engine, tier).is_some() {
+                    applied.push((tier, ScaleDecision::Out));
+                }
             }
             ScaleDecision::In => {
-                vm.scale_in(world, engine, tier);
+                if vm.scale_in(world, engine, tier).is_some() {
+                    applied.push((tier, ScaleDecision::In));
+                }
             }
             ScaleDecision::Hold => {}
         }
     }
+    applied
 }
 
 /// The hardware-only baseline: Amazon EC2-AutoScale–style threshold scaling
@@ -110,6 +150,7 @@ pub struct Ec2AutoScale {
     feed: MetricsFeed,
     policy: ThresholdPolicy,
     vm: VmAgent,
+    silence: std::collections::HashMap<usize, u32>,
 }
 
 impl std::fmt::Debug for Ec2AutoScale {
@@ -127,6 +168,7 @@ impl Ec2AutoScale {
             feed: MetricsFeed::new(bus, "ec2-autoscale"),
             policy: ThresholdPolicy::new(config),
             vm: VmAgent::new(),
+            silence: std::collections::HashMap::new(),
         }
     }
 }
@@ -134,7 +176,14 @@ impl Ec2AutoScale {
 impl Controller for Ec2AutoScale {
     fn on_tick(&mut self, world: &mut World, engine: &mut SimEngine) {
         let windows = self.feed.poll_windows();
-        vm_decisions(world, engine, &mut self.policy, &mut self.vm, &windows);
+        vm_decisions(
+            world,
+            engine,
+            &mut self.policy,
+            &mut self.vm,
+            &windows,
+            &mut self.silence,
+        );
     }
 
     fn actions(&self) -> Vec<ActionRecord> {
@@ -195,15 +244,39 @@ impl Default for DcmConfig {
     }
 }
 
+/// Cap on each online-refit point buffer. At one saturated window per 15 s
+/// control period this is a bit over an hour of history — plenty for a
+/// refit, while keeping memory flat on multi-hour runs and letting the fit
+/// track drift instead of being anchored by ancient samples.
+const MAX_FIT_POINTS: usize = 256;
+
 /// Online-refit state: accumulate `(concurrency, throughput)` points from
-/// saturated windows and refit the tier model periodically.
+/// saturated windows and refit the tier model periodically. The buffers
+/// are sliding windows (oldest point evicted past [`MAX_FIT_POINTS`]) and
+/// are cleared wholesale whenever the topology or soft allocation changes,
+/// because points measured under a different configuration lie on a
+/// different throughput curve.
 #[derive(Debug, Clone)]
 struct OnlineFit {
-    app_points: Vec<(f64, f64)>,
-    db_points: Vec<(f64, f64)>,
+    app_points: std::collections::VecDeque<(f64, f64)>,
+    db_points: std::collections::VecDeque<(f64, f64)>,
     refit_every_ticks: u32,
     min_points: usize,
     ticks: u32,
+}
+
+impl OnlineFit {
+    fn push_capped(points: &mut std::collections::VecDeque<(f64, f64)>, point: (f64, f64)) {
+        points.push_back(point);
+        if points.len() > MAX_FIT_POINTS {
+            points.pop_front();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.app_points.clear();
+        self.db_points.clear();
+    }
 }
 
 /// Dynamic Concurrency Management: threshold VM scaling plus model-driven
@@ -236,6 +309,19 @@ pub struct Dcm {
     config: DcmConfig,
     online: Option<OnlineFit>,
     trends: std::collections::HashMap<usize, HoltTrend>,
+    silence: std::collections::HashMap<usize, u32>,
+    /// Capacity DCM believes each scalable tier should have, updated by
+    /// its own scaling decisions. When actual capacity falls below this
+    /// (a VM crashed), the gap is re-provisioned on the next tick without
+    /// waiting for thresholds to re-trip.
+    desired: std::collections::HashMap<usize, usize>,
+    /// Per-tier server count at the previous tick; a change resets that
+    /// tier's Holt smoother (per-server utilization shifts discontinuously
+    /// across scale events, so the old trend is meaningless).
+    last_counts: std::collections::HashMap<usize, usize>,
+    /// `(k_app, k_db, threads, conns)` of the last applied soft
+    /// allocation; a change invalidates the online-refit buffers.
+    last_shape: Option<(usize, usize, u32, u32)>,
 }
 
 impl std::fmt::Debug for Dcm {
@@ -259,6 +345,10 @@ impl Dcm {
             config,
             online: None,
             trends: std::collections::HashMap::new(),
+            silence: std::collections::HashMap::new(),
+            desired: std::collections::HashMap::new(),
+            last_counts: std::collections::HashMap::new(),
+            last_shape: None,
         }
     }
 
@@ -268,8 +358,8 @@ impl Dcm {
     /// samples, the tier model is refitted.
     pub fn with_online_refit(mut self, min_points: usize, refit_every_ticks: u32) -> Self {
         self.online = Some(OnlineFit {
-            app_points: Vec::new(),
-            db_points: Vec::new(),
+            app_points: std::collections::VecDeque::new(),
+            db_points: std::collections::VecDeque::new(),
             refit_every_ticks: refit_every_ticks.max(1),
             min_points: min_points.max(8),
             ticks: 0,
@@ -314,36 +404,57 @@ impl Dcm {
                 continue;
             }
             if tier == app_tier {
-                online
-                    .app_points
-                    .push((w.mean_concurrency, w.total_throughput));
+                OnlineFit::push_capped(
+                    &mut online.app_points,
+                    (w.mean_concurrency, w.total_throughput),
+                );
             } else if tier == db_tier {
-                online
-                    .db_points
-                    .push((w.mean_concurrency, w.total_throughput));
+                OnlineFit::push_capped(
+                    &mut online.db_points,
+                    (w.mean_concurrency, w.total_throughput),
+                );
             }
         }
         if online.ticks % online.refit_every_ticks == 0 {
             use dcm_model::concurrency::{fit_throughput_curve, FitOptions};
             if online.app_points.len() >= online.min_points {
-                if let Ok(report) =
-                    fit_throughput_curve(&online.app_points, 1, FitOptions::default())
-                {
+                if let Ok(report) = fit_throughput_curve(
+                    online.app_points.make_contiguous(),
+                    1,
+                    FitOptions::default(),
+                ) {
                     if report.r_squared > 0.8 {
                         self.models.app = report.model;
                     }
                 }
             }
             if online.db_points.len() >= online.min_points {
-                if let Ok(report) =
-                    fit_throughput_curve(&online.db_points, 1, FitOptions::default())
-                {
+                if let Ok(report) = fit_throughput_curve(
+                    online.db_points.make_contiguous(),
+                    1,
+                    FitOptions::default(),
+                ) {
                     if report.r_squared > 0.8 {
                         self.models.db = report.model;
                     }
                 }
             }
         }
+    }
+
+    /// Buffered online-refit point counts `(app, db)`; `None` when online
+    /// refinement is disabled. Exposed for tests and diagnostics.
+    pub fn online_point_counts(&self) -> Option<(usize, usize)> {
+        self.online
+            .as_ref()
+            .map(|o| (o.app_points.len(), o.db_points.len()))
+    }
+
+    /// Observation count of a tier's Holt smoother; `None` when predictive
+    /// scaling is off or the tier has never reported. Exposed for tests
+    /// and diagnostics.
+    pub fn trend_observations(&self, tier: usize) -> Option<u64> {
+        self.trends.get(&tier).map(|t| t.observations())
     }
 }
 
@@ -357,6 +468,13 @@ impl Controller for Dcm {
         // reacting to genuine saturation must stay instant.
         if let Some(holt) = self.config.predictive {
             for (tier, window) in windows.iter_mut() {
+                // A scale event shifts per-server utilization
+                // discontinuously; extrapolating the old trend across it
+                // produces phantom forecasts, so restart the smoother.
+                let count = world.system.running_count(*tier) + world.system.booting_count(*tier);
+                if self.last_counts.insert(*tier, count) != Some(count) {
+                    self.trends.remove(tier);
+                }
                 let trend = self
                     .trends
                     .entry(*tier)
@@ -365,8 +483,45 @@ impl Controller for Dcm {
                 window.mean_cpu_util = window.mean_cpu_util.max(trend.forecast());
             }
         }
-        // First level: VM scaling, identical policy to the baseline.
-        vm_decisions(world, engine, &mut self.policy, &mut self.vm, &windows);
+        // First level: VM scaling, identical policy to the baseline. DCM
+        // additionally tracks the capacity its own decisions aimed for, so
+        // that lost VMs (crashes) are re-detected and replaced on the very
+        // next tick instead of waiting for thresholds to re-trip.
+        let scalable: Vec<usize> = self.policy.config().scalable_tiers.clone();
+        for &tier in &scalable {
+            let have = world.system.running_count(tier) + world.system.booting_count(tier);
+            self.desired.entry(tier).or_insert(have);
+        }
+        let applied = vm_decisions(
+            world,
+            engine,
+            &mut self.policy,
+            &mut self.vm,
+            &windows,
+            &mut self.silence,
+        );
+        let (min_servers, max_servers) = (
+            self.config.scaling.min_servers,
+            self.config.scaling.max_servers,
+        );
+        for (tier, decision) in applied {
+            let desired = self.desired.entry(tier).or_insert(1);
+            match decision {
+                ScaleDecision::Out => *desired = (*desired + 1).min(max_servers),
+                ScaleDecision::In => *desired = desired.saturating_sub(1).max(min_servers),
+                ScaleDecision::Hold => {}
+            }
+        }
+        for &tier in &scalable {
+            let desired = self.desired[&tier].clamp(min_servers, max_servers);
+            let mut have = world.system.running_count(tier) + world.system.booting_count(tier);
+            while have < desired {
+                if self.vm.scale_out(world, engine, tier).is_none() {
+                    break;
+                }
+                have += 1;
+            }
+        }
         // Second level: soft-resource re-allocation for the (possibly new)
         // topology. Idempotent; the APP-agent skips unchanged sizes.
         let (threads, conns) = self.desired_soft_allocation(world);
@@ -377,6 +532,21 @@ impl Controller for Dcm {
         if self.config.adapt_conns {
             self.app
                 .set_tier_conns(world, engine, self.config.app_tier, conns);
+        }
+        // Online-refit points are only comparable within one configuration:
+        // if the topology or pool sizes changed, flush the buffers.
+        let k_app = world.system.running_count(self.config.app_tier)
+            + world.system.booting_count(self.config.app_tier);
+        let k_db = world.system.running_count(self.config.db_tier)
+            + world.system.booting_count(self.config.db_tier);
+        let shape = (k_app, k_db, threads, conns);
+        if self.last_shape != Some(shape) {
+            if self.last_shape.is_some() {
+                if let Some(online) = self.online.as_mut() {
+                    online.clear();
+                }
+            }
+            self.last_shape = Some(shape);
         }
     }
 
@@ -400,9 +570,13 @@ impl Controller for Dcm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::monitor::new_metrics_bus;
+    use crate::monitor::{new_metrics_bus, METRICS_TOPIC};
+    use dcm_ntier::flow;
     use dcm_ntier::law::reference;
+    use dcm_ntier::metrics::ServerSample;
     use dcm_ntier::topology::ThreeTierBuilder;
+    use dcm_sim::time::SimTime;
+    use std::rc::Rc;
 
     fn models() -> DcmModels {
         let app = reference::tomcat();
@@ -476,5 +650,206 @@ mod tests {
         assert!(ec2.actions().is_empty());
         assert_eq!(world.system.running_count(1), 1);
         assert_eq!(ec2.name(), "EC2-AutoScale");
+    }
+
+    fn sample(server: &str, tier: usize, cpu: f64) -> ServerSample {
+        ServerSample {
+            server: server.into(),
+            tier,
+            window_start: SimTime::ZERO,
+            window_end: SimTime::from_secs(1),
+            cpu_util: cpu,
+            busy_fraction: cpu,
+            active_threads: 10.0,
+            active_conns: None,
+            completed: 50,
+            throughput: 50.0,
+            mean_dwell: None,
+            thread_pool_size: 100,
+            conn_pool_size: None,
+            thread_queue: 0,
+            conn_queue: 0,
+        }
+    }
+
+    fn produce(bus: &MetricsBus, ts_ms: u64, sample: ServerSample) {
+        let key = sample.server.clone();
+        bus.borrow_mut()
+            .produce(METRICS_TOPIC, ts_ms, Some(key), sample)
+            .expect("metrics topic exists");
+    }
+
+    /// Regression: a tier whose every server crashed goes silent; the
+    /// controller used to skip it (`continue`) and hold it dead forever.
+    #[test]
+    fn silent_crashed_tier_triggers_scale_out() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().build();
+        let bus = new_metrics_bus();
+        let mut ec2 = Ec2AutoScale::new(Rc::clone(&bus), ScalingConfig::default());
+        let victim = world.system.tier(1).members()[0];
+        flow::crash_server(&mut world, &mut engine, victim);
+        assert_eq!(world.system.running_count(1), 0);
+        // The web tier keeps reporting, so the monitoring pipeline is
+        // demonstrably alive — tier 1's silence is the signal.
+        produce(&bus, 1_000, sample("web-1", 0, 0.3));
+        ec2.on_tick(&mut world, &mut engine);
+        assert_eq!(
+            world.system.booting_count(1),
+            1,
+            "a dead-silent tier must be re-provisioned, not held forever"
+        );
+    }
+
+    /// A silent tier that still has capacity needs a streak of silent
+    /// periods before it is treated as wedged (one missed window can be a
+    /// sampling hiccup), and an all-empty poll still holds everything.
+    #[test]
+    fn silent_wedged_tier_scales_out_after_streak() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().build();
+        let bus = new_metrics_bus();
+        let mut ec2 = Ec2AutoScale::new(Rc::clone(&bus), ScalingConfig::default());
+        produce(&bus, 1_000, sample("web-1", 0, 0.3));
+        ec2.on_tick(&mut world, &mut engine);
+        assert_eq!(
+            world.system.booting_count(1),
+            0,
+            "one silent period is not evidence of a wedge"
+        );
+        produce(&bus, 2_000, sample("web-1", 0, 0.3));
+        ec2.on_tick(&mut world, &mut engine);
+        assert_eq!(
+            world.system.booting_count(1),
+            1,
+            "consecutive silence on a loaded system means wedged"
+        );
+    }
+
+    /// Regression: DCM remembers the capacity its decisions aimed for and
+    /// replaces a crashed VM on the next tick, even though the surviving
+    /// servers' pressure is below every threshold.
+    #[test]
+    fn dcm_replaces_crashed_vm_within_one_period() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().counts(1, 2, 1).build();
+        let bus = new_metrics_bus();
+        let mut dcm = Dcm::new(Rc::clone(&bus), DcmConfig::default(), models());
+        for name_tier in [("web-1", 0), ("app-1", 1), ("app-2", 1), ("db-1", 2)] {
+            produce(&bus, 1_000, sample(name_tier.0, name_tier.1, 0.5));
+        }
+        dcm.on_tick(&mut world, &mut engine);
+        assert_eq!(world.system.running_count(1), 2);
+        let victim = world.system.tier(1).members()[0];
+        flow::crash_server(&mut world, &mut engine, victim);
+        assert_eq!(world.system.running_count(1), 1);
+        // The survivor reports mid-band load: threshold policy says hold.
+        for name_tier in [("web-1", 0), ("app-2", 1), ("db-1", 2)] {
+            produce(&bus, 2_000, sample(name_tier.0, name_tier.1, 0.5));
+        }
+        dcm.on_tick(&mut world, &mut engine);
+        assert_eq!(
+            world.system.booting_count(1),
+            1,
+            "lost capacity must be re-provisioned without a threshold re-trip"
+        );
+    }
+
+    /// The baseline has no capacity memory: after a partial crash with
+    /// mid-band survivor load it holds — the blind spot DCM closes above.
+    #[test]
+    fn ec2_holds_after_partial_crash_below_threshold() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().counts(1, 2, 1).build();
+        let bus = new_metrics_bus();
+        let mut ec2 = Ec2AutoScale::new(Rc::clone(&bus), ScalingConfig::default());
+        let victim = world.system.tier(1).members()[0];
+        flow::crash_server(&mut world, &mut engine, victim);
+        for name_tier in [("web-1", 0), ("app-2", 1), ("db-1", 2)] {
+            produce(&bus, 1_000, sample(name_tier.0, name_tier.1, 0.5));
+        }
+        ec2.on_tick(&mut world, &mut engine);
+        assert_eq!(world.system.booting_count(1), 0);
+    }
+
+    /// Regression: the online-refit point buffers used to grow without
+    /// bound — a multi-hour saturated run accumulated one point per tier
+    /// per tick forever.
+    #[test]
+    fn online_refit_buffers_stay_bounded() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().build();
+        let bus = new_metrics_bus();
+        let config = DcmConfig {
+            scaling: ScalingConfig {
+                max_servers: 1,
+                ..ScalingConfig::default()
+            },
+            ..DcmConfig::default()
+        };
+        let mut dcm = Dcm::new(Rc::clone(&bus), config, models()).with_online_refit(8, 100_000);
+        for k in 0..600u64 {
+            let ts = (k + 1) * 1_000;
+            produce(&bus, ts, sample("app-1", 1, 0.9));
+            produce(&bus, ts, sample("db-1", 2, 0.9));
+            dcm.on_tick(&mut world, &mut engine);
+        }
+        let (app_pts, db_pts) = dcm.online_point_counts().unwrap();
+        assert!(app_pts > 0 && db_pts > 0, "saturated windows must collect");
+        assert!(app_pts <= MAX_FIT_POINTS, "app buffer unbounded: {app_pts}");
+        assert!(db_pts <= MAX_FIT_POINTS, "db buffer unbounded: {db_pts}");
+    }
+
+    /// Regression: points measured under one topology used to survive into
+    /// the next; they lie on a different throughput curve and poison fits.
+    #[test]
+    fn online_refit_buffers_reset_on_scale_event() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().build();
+        let bus = new_metrics_bus();
+        let mut dcm =
+            Dcm::new(Rc::clone(&bus), DcmConfig::default(), models()).with_online_refit(8, 100_000);
+        for k in 0..3u64 {
+            let ts = (k + 1) * 1_000;
+            produce(&bus, ts, sample("app-1", 1, 0.75));
+            produce(&bus, ts, sample("db-1", 2, 0.75));
+            dcm.on_tick(&mut world, &mut engine);
+        }
+        assert_eq!(dcm.online_point_counts(), Some((3, 3)));
+        // Saturate the app tier: DCM scales out, changing the topology.
+        produce(&bus, 4_000, sample("app-1", 1, 0.9));
+        produce(&bus, 4_000, sample("db-1", 2, 0.75));
+        dcm.on_tick(&mut world, &mut engine);
+        assert_eq!(world.system.booting_count(1), 1);
+        assert_eq!(
+            dcm.online_point_counts(),
+            Some((0, 0)),
+            "points from the old topology must be dropped"
+        );
+    }
+
+    /// Regression: a tier's Holt smoother used to keep extrapolating the
+    /// pre-scale trend across scale events, producing phantom forecasts
+    /// from discontinuous per-server utilization.
+    #[test]
+    fn holt_trend_resets_on_scale_event() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().build();
+        let bus = new_metrics_bus();
+        let config = DcmConfig {
+            predictive: Some(HoltConfig::default()),
+            ..DcmConfig::default()
+        };
+        let mut dcm = Dcm::new(Rc::clone(&bus), config, models());
+        for k in 0..4u64 {
+            let ts = (k + 1) * 1_000;
+            produce(&bus, ts, sample("app-1", 1, 0.2 + 0.05 * k as f64));
+            produce(&bus, ts, sample("db-1", 2, 0.5));
+            dcm.on_tick(&mut world, &mut engine);
+        }
+        assert_eq!(dcm.trend_observations(1), Some(4));
+        // A scale event (operator-driven here) changes the server count.
+        flow::provision_server(&mut world, &mut engine, 1).unwrap();
+        produce(&bus, 5_000, sample("app-1", 1, 0.2));
+        produce(&bus, 5_000, sample("db-1", 2, 0.5));
+        dcm.on_tick(&mut world, &mut engine);
+        assert_eq!(
+            dcm.trend_observations(1),
+            Some(1),
+            "stale trend must not survive a scale event"
+        );
     }
 }

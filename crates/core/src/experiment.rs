@@ -7,12 +7,13 @@ use std::rc::Rc;
 
 use dcm_bus::GroupConsumer;
 use dcm_ntier::request::Completion;
-use dcm_ntier::system::SystemCounters;
+use dcm_ntier::system::{InterTierRetry, SystemCounters};
 use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
 use dcm_ntier::world::{SimEngine, World};
+use dcm_sim::faults::FaultPlan;
 use dcm_sim::stats::TimeSeries;
 use dcm_sim::time::{SimDuration, SimTime};
-use dcm_workload::generator::UserPopulation;
+use dcm_workload::generator::{RetryPolicy, UserPopulation};
 use dcm_workload::profile::ProfileFactory;
 use dcm_workload::report::{windowed_series, LoadReport, WindowedSeries};
 use dcm_workload::traces::WorkloadTrace;
@@ -42,6 +43,17 @@ pub struct TraceExperimentConfig {
     /// Probability that a VM boot fails (failure injection; 0 in the
     /// paper's environment).
     pub boot_failure_prob: f64,
+    /// Scheduled fault injection (crashes, stragglers, transient
+    /// failures); `None` runs the paper's fault-free environment.
+    pub fault_plan: Option<FaultPlan>,
+    /// Client-side retry with exponential backoff and a shared budget;
+    /// `None` means clients give up on the first failure.
+    pub client_retry: Option<RetryPolicy>,
+    /// Per-request client deadline in seconds; `None` waits forever.
+    pub request_deadline_secs: Option<f64>,
+    /// Inter-tier retry (park + backoff when a tier momentarily has no
+    /// routable server); `None` rejects outright as before.
+    pub inter_tier_retry: Option<InterTierRetry>,
 }
 
 impl TraceExperimentConfig {
@@ -56,6 +68,10 @@ impl TraceExperimentConfig {
             control_period: SimDuration::from_secs(15),
             seed: 42,
             boot_failure_prob: 0.0,
+            fault_plan: None,
+            client_retry: None,
+            request_deadline_secs: None,
+            inter_tier_retry: None,
         }
     }
 }
@@ -203,6 +219,10 @@ where
         .seed(config.seed)
         .build();
     world.system.boot_failure_prob = config.boot_failure_prob;
+    world.system.inter_tier_retry = config.inter_tier_retry;
+    if let Some(plan) = &config.fault_plan {
+        dcm_ntier::faults::install_fault_plan(&mut world, &mut engine, plan);
+    }
     let tier_count = world.system.tier_count();
 
     // Monitoring pipeline.
@@ -239,6 +259,12 @@ where
         config.think_time_secs,
         config.horizon,
     );
+    if let Some(policy) = config.client_retry {
+        population.set_client_retry(policy);
+    }
+    if let Some(secs) = config.request_deadline_secs {
+        population.set_request_deadline(SimDuration::from_secs_f64(secs));
+    }
 
     // Controller loop.
     let controller = Rc::new(RefCell::new(make(Rc::clone(&bus))));
@@ -343,6 +369,10 @@ mod tests {
             control_period: SimDuration::from_secs(15),
             seed: 5,
             boot_failure_prob: 0.0,
+            fault_plan: None,
+            client_retry: None,
+            request_deadline_secs: None,
+            inter_tier_retry: None,
         }
     }
 
@@ -392,5 +422,38 @@ mod tests {
             result.actions
         );
         assert!(result.counters.in_flight() == 0);
+    }
+
+    #[test]
+    fn faulted_run_conserves_requests() {
+        let mut config = quick_config(traces::step(20, 200, 30.0));
+        config.fault_plan = Some(
+            FaultPlan::none()
+                .with_crash(40.0, 1, 0)
+                .with_straggler(60.0, 2, 0, 4.0, 20.0)
+                .with_transient_failures(0.005),
+        );
+        config.client_retry = Some(RetryPolicy::default());
+        config.request_deadline_secs = Some(10.0);
+        config.inter_tier_retry = Some(InterTierRetry::default());
+        let result = run_trace_experiment(&config, |bus| {
+            Ec2AutoScale::new(bus, ScalingConfig::default())
+        });
+        assert_eq!(result.counters.in_flight(), 0, "conservation under faults");
+        assert!(
+            result.counters.failed > 0,
+            "the crash must fail in-flight work: {:?}",
+            result.counters
+        );
+        // The app tier lost its only server at t=40; the controller must
+        // have booted a replacement rather than holding a dead tier.
+        assert!(
+            result
+                .actions
+                .iter()
+                .any(|a| matches!(a.action, crate::agents::Action::ScaleOut { tier: 1, .. })),
+            "crashed tier must be re-provisioned: {:?}",
+            result.actions
+        );
     }
 }

@@ -1,0 +1,117 @@
+//! Interpreting a [`FaultPlan`] against a live n-tier world.
+//!
+//! `dcm_sim::faults` describes *when* faults fire and which tier/rank they
+//! strike; this module resolves those ranks against the tier's routable
+//! members at fire time and executes the fault through the flow layer
+//! ([`flow::crash_server`], [`flow::set_server_slowdown`]). Resolving at
+//! fire time (rather than install time) keeps one plan meaningful across
+//! controllers that grow and shrink tiers differently, and means a fault
+//! aimed at a tier that momentarily has no routable member simply misses.
+
+use dcm_sim::faults::{FaultKind, FaultPlan};
+use dcm_sim::time::{SimDuration, SimTime};
+
+use crate::flow;
+use crate::world::{SimEngine, World};
+
+/// Installs every event of `plan` into the engine and arms the plan's
+/// transient per-request failure probability on the system.
+///
+/// Victims are resolved when the event fires: rank `victim` indexes the
+/// tier's routable members modulo their count. Straggler recovery is
+/// scheduled against the concrete server id, so a slowed server recovers
+/// even if membership churned in between (and a crash of the straggler in
+/// the meantime makes the recovery a no-op).
+pub fn install_fault_plan(world: &mut World, engine: &mut SimEngine, plan: &FaultPlan) {
+    world.system.transient_failure_prob = plan.transient_failure_prob;
+    for event in &plan.events {
+        let at = SimTime::from_secs_f64(event.at_secs);
+        let tier = event.tier;
+        let victim = event.victim;
+        match event.kind {
+            FaultKind::Crash => {
+                engine.schedule_at(at, move |w: &mut World, e: &mut SimEngine| {
+                    if let Some(sid) = resolve_victim(w, tier, victim) {
+                        flow::crash_server(w, e, sid);
+                    }
+                });
+            }
+            FaultKind::Straggler {
+                factor,
+                duration_secs,
+            } => {
+                engine.schedule_at(at, move |w: &mut World, e: &mut SimEngine| {
+                    let Some(sid) = resolve_victim(w, tier, victim) else {
+                        return;
+                    };
+                    flow::set_server_slowdown(w, e, sid, factor);
+                    e.schedule_in(
+                        SimDuration::from_secs_f64(duration_secs),
+                        move |w: &mut World, e: &mut SimEngine| {
+                            flow::set_server_slowdown(w, e, sid, 1.0);
+                        },
+                    );
+                });
+            }
+        }
+    }
+}
+
+fn resolve_victim(world: &World, tier: usize, victim: usize) -> Option<crate::ids::ServerId> {
+    if tier >= world.system.tier_count() {
+        return None;
+    }
+    let members = world.system.routable(tier);
+    if members.is_empty() {
+        return None;
+    }
+    Some(members[victim % members.len()].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ThreeTierBuilder;
+
+    #[test]
+    fn crash_event_kills_a_routable_member() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().counts(1, 2, 1).build();
+        let plan = FaultPlan::none().with_crash(10.0, 1, 0);
+        install_fault_plan(&mut world, &mut engine, &plan);
+        assert_eq!(world.system.running_count(1), 2);
+        engine.run_until(&mut world, SimTime::from_secs(11));
+        assert_eq!(world.system.running_count(1), 1);
+    }
+
+    #[test]
+    fn straggler_slows_then_recovers() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().build();
+        let plan = FaultPlan::none().with_straggler(5.0, 1, 0, 4.0, 10.0);
+        install_fault_plan(&mut world, &mut engine, &plan);
+        engine.run_until(&mut world, SimTime::from_secs(6));
+        let sid = world.system.tier(1).members()[0];
+        assert_eq!(world.system.server(sid).unwrap().slowdown(), 4.0);
+        engine.run_until(&mut world, SimTime::from_secs(16));
+        assert_eq!(world.system.server(sid).unwrap().slowdown(), 1.0);
+    }
+
+    #[test]
+    fn fault_on_empty_tier_misses() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().counts(1, 1, 1).build();
+        let plan = FaultPlan::none()
+            .with_crash(5.0, 1, 0)
+            .with_crash(6.0, 1, 0);
+        install_fault_plan(&mut world, &mut engine, &plan);
+        engine.run_until(&mut world, SimTime::from_secs(7));
+        // First crash empties the tier; the second finds no victim.
+        assert_eq!(world.system.running_count(1), 0);
+    }
+
+    #[test]
+    fn transient_prob_is_armed() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().build();
+        let plan = FaultPlan::none().with_transient_failures(0.01);
+        install_fault_plan(&mut world, &mut engine, &plan);
+        assert_eq!(world.system.transient_failure_prob, 0.01);
+    }
+}

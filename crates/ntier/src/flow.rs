@@ -109,6 +109,8 @@ fn submit_inner(
             submitted: engine.now(),
             on_complete: Some(on_complete),
             timeout_event,
+            entry_attempts: 0,
+            retry_event: None,
         },
     );
     enter_tier(world, engine, rid, 0);
@@ -125,7 +127,11 @@ fn abandon(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
 }
 
 /// Routes `rid` into `tier`: picks a server, pushes a frame, and contends
-/// for a thread.
+/// for a thread. When the tier momentarily has no routable server and the
+/// system has an inter-tier retry policy, the request is parked and
+/// re-attempted after an exponential backoff instead of being rejected —
+/// this is what lets a crashed tier heal behind callers' backs while the
+/// controller boots a replacement.
 fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: usize) {
     let candidates = world.system.routable(tier);
     let choice = world
@@ -134,6 +140,30 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: u
         .balancer_mut()
         .choose(&candidates, &mut world.rng);
     let Some(sid) = choice else {
+        if let Some(policy) = world.system.inter_tier_retry {
+            let attempts = world
+                .system
+                .requests
+                .get(&rid)
+                .map_or(0, |r| r.entry_attempts);
+            if attempts + 1 < policy.max_attempts {
+                let backoff =
+                    policy.base_backoff.as_secs_f64() * policy.multiplier.powi(attempts as i32);
+                world.system.counters.retried += 1;
+                let ev = engine.schedule_in(
+                    SimDuration::from_secs_f64(backoff),
+                    move |w: &mut World, e: &mut SimEngine| retry_entry(w, e, rid, tier),
+                );
+                let req = world
+                    .system
+                    .requests
+                    .get_mut(&rid)
+                    .expect("parking a live request");
+                req.entry_attempts = attempts + 1;
+                req.retry_event = Some(ev);
+                return;
+            }
+        }
         unwind_reject(world, engine, rid, tier);
         return;
     };
@@ -144,6 +174,7 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: u
             .requests
             .get_mut(&rid)
             .expect("routing a live request");
+        req.entry_attempts = 0;
         req.frames.push(Frame::arriving(tier, sid, now));
     }
     let granted = world
@@ -157,10 +188,20 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: u
     }
 }
 
-/// The top frame was granted its server thread: start the pre burst.
+/// A retry timer fired for a request parked on a capacity-less tier.
+fn retry_entry(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: usize) {
+    let Some(req) = world.system.requests.get_mut(&rid) else {
+        return; // Abandoned (e.g. client timeout) while parked.
+    };
+    req.retry_event = None;
+    enter_tier(world, engine, rid, tier);
+}
+
+/// The top frame was granted its server thread: start the pre burst (or
+/// fail immediately under an injected transient fault).
 fn thread_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
     let now = engine.now();
-    let (sid, pre) = {
+    let (sid, tier, pre) = {
         let req = world
             .system
             .requests
@@ -173,8 +214,16 @@ fn thread_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
         let frame = req.frames.last_mut().expect("granted frame exists");
         frame.phase = Phase::PreBurst;
         frame.thread_since = now;
-        (frame.server, pre)
+        (frame.server, frame.tier, pre)
     };
+    // Transient per-request fault: drop the request at admission. The
+    // frame is already in PreBurst with no burst started, so the normal
+    // unwind releases the freshly granted thread (cancel_burst is a no-op).
+    let p = world.system.transient_failure_prob;
+    if p > 0.0 && world.rng.next_f64() < p {
+        unwind(world, engine, rid, Outcome::Failed { at_tier: tier });
+        return;
+    }
     world
         .system
         .server_mut(sid)
@@ -404,8 +453,12 @@ fn complete(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: 
         Outcome::Completed => world.system.counters.completed += 1,
         Outcome::Rejected { .. } => world.system.counters.rejected += 1,
         Outcome::TimedOut => world.system.counters.timed_out += 1,
+        Outcome::Failed { .. } => world.system.counters.failed += 1,
     }
     if let Some(ev) = req.timeout_event.take() {
+        engine.cancel(ev);
+    }
+    if let Some(ev) = req.retry_event.take() {
         engine.cancel(ev);
     }
     let completion = Completion {
@@ -428,6 +481,12 @@ fn unwind_reject(world: &mut World, engine: &mut SimEngine, rid: RequestId, at_t
 
 /// Releases every resource the request holds, innermost frame first, then
 /// completes it with `outcome`.
+///
+/// Frames sitting on a *stopped* server (one that just crashed) release
+/// nothing: its pools and CPU are being discarded wholesale, and handing a
+/// permit to a waiter there would revive work on a dead machine. In normal
+/// operation a server only stops once fully drained, so this branch is
+/// reachable only through [`crash_server`].
 fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Outcome) {
     let now = engine.now();
     while let Some(frame) = world
@@ -442,6 +501,20 @@ fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Ou
         let Some(server) = world.system.server_mut(sid) else {
             continue;
         };
+        if server.is_stopped() {
+            if frame.phase != Phase::AwaitThread {
+                world.system.record_span(crate::spans::Span {
+                    request: rid,
+                    tier: frame.tier,
+                    server: frame.server,
+                    arrived_at: frame.arrived_at,
+                    started_at: frame.thread_since,
+                    finished_at: now,
+                    completed: false,
+                });
+            }
+            continue;
+        }
         match frame.phase {
             Phase::AwaitThread => {
                 server.cancel_thread_waiter(rid);
@@ -606,6 +679,63 @@ pub fn decommission_one(
         .mark_draining();
     maybe_finish_drain(world, engine, victim);
     Ok(victim)
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (what the chaos scheduler executes)
+// ---------------------------------------------------------------------------
+
+/// Kills a server instantly: every in-flight request with a frame on it
+/// fails with [`Outcome::Failed`], its pools and pending CPU work are
+/// discarded, and the balancer stops routing to it (health ejection falls
+/// out of [`System::routable`](crate::system::System) filtering on
+/// `Running`). A no-op on an already-stopped server.
+///
+/// Unlike [`decommission_one`] this does not drain: it models a VM dying
+/// mid-flight. The tier's monitor stops sampling the server immediately,
+/// so a tier losing its last member goes *silent* — exactly the controller
+/// blind spot the silent-tier rule in `dcm-core` exists to cover.
+pub fn crash_server(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
+    let now = engine.now();
+    let Some(server) = world.system.server_mut(sid) else {
+        return;
+    };
+    if server.is_stopped() {
+        return;
+    }
+    let tier = server.tier();
+    // Dead first: cancel the CPU timer and leave Running before anything
+    // else observes the server, so no unwound waiter can restart work here.
+    if let Some(ev) = server.completion_event.take() {
+        engine.cancel(ev);
+    }
+    server.mark_stopped(now);
+    let victims: Vec<RequestId> = world
+        .system
+        .requests
+        .iter()
+        .filter(|(_, req)| req.frames.iter().any(|f| f.server == sid))
+        .map(|(rid, _)| *rid)
+        .collect();
+    for rid in victims {
+        // A victim may already have been completed reentrantly (e.g. a
+        // resumed waiter failing transiently) by an earlier unwind.
+        if world.system.requests.contains_key(&rid) {
+            unwind(world, engine, rid, Outcome::Failed { at_tier: tier });
+        }
+    }
+    world.system.retire_server(sid, now);
+}
+
+/// Sets a server's straggler multiplier: future CPU bursts cost
+/// `factor ×` their nominal work (1.0 restores full speed). Bursts already
+/// on the CPU keep their original cost. A no-op on a stopped server.
+pub fn set_server_slowdown(world: &mut World, _engine: &mut SimEngine, sid: ServerId, factor: f64) {
+    if let Some(server) = world.system.server_mut(sid) {
+        if !server.is_stopped() {
+            server.set_slowdown(factor);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

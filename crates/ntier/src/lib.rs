@@ -54,6 +54,7 @@
 
 pub mod balancer;
 pub mod cpu;
+pub mod faults;
 pub mod flow;
 pub mod ids;
 pub mod law;
@@ -76,6 +77,6 @@ pub use request::{Completion, Outcome, RequestProfile, StageDemand};
 pub use server::{Server, ServerSpec, ServerState};
 pub use snapshot::SystemSnapshot;
 pub use spans::Span;
-pub use system::{System, SystemCounters, TierSpec};
+pub use system::{InterTierRetry, System, SystemCounters, TierSpec};
 pub use topology::{SoftConfig, ThreeTierBuilder};
 pub use world::{SimEngine, World};

@@ -214,6 +214,12 @@ pub enum Outcome {
     },
     /// Abandoned by the client after its deadline elapsed.
     TimedOut,
+    /// Lost to a fault: the server processing it crashed mid-flight, or
+    /// the request was dropped by a transient (injected) failure.
+    Failed {
+        /// The tier at which the fault struck.
+        at_tier: usize,
+    },
 }
 
 /// Completion record delivered to the submitter's callback.

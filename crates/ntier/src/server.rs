@@ -71,6 +71,9 @@ pub struct Server {
     conns_integral_mark: f64,
     launched_at: SimTime,
     stopped_at: Option<SimTime>,
+    /// Service-time multiplier for new CPU bursts (1.0 = healthy;
+    /// > 1.0 while the server straggles under an injected slowdown).
+    slowdown: f64,
 }
 
 impl Server {
@@ -104,6 +107,7 @@ impl Server {
             conns_integral_mark: 0.0,
             launched_at: now,
             stopped_at: None,
+            slowdown: 1.0,
         }
     }
 
@@ -286,9 +290,29 @@ impl Server {
         }
     }
 
-    /// Starts a CPU burst for `req`.
+    /// Starts a CPU burst for `req`. While the server straggles, new
+    /// bursts cost `slowdown ×` their nominal work.
     pub fn start_burst(&mut self, now: SimTime, req: RequestId, work: f64) {
-        self.cpu.add_burst(now, req, work);
+        self.cpu.add_burst(now, req, work * self.slowdown);
+    }
+
+    /// The current straggler multiplier (1.0 = healthy).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Sets the straggler multiplier applied to future bursts. Bursts
+    /// already on the CPU keep their original work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown must be finite and positive"
+        );
+        self.slowdown = factor;
     }
 
     /// Removes `req` from the thread-pool wait queue.

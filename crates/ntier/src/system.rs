@@ -86,18 +86,47 @@ pub struct SystemCounters {
     pub rejected: u64,
     /// Requests abandoned by their client at the deadline.
     pub timed_out: u64,
+    /// Requests lost to a crash or transient fault.
+    pub failed: u64,
+    /// Tier-entry attempts that found no routable server and were parked
+    /// for an inter-tier retry instead of being rejected outright.
+    pub retried: u64,
 }
 
 impl SystemCounters {
     /// Requests currently inside the system.
     pub fn in_flight(&self) -> u64 {
-        self.submitted - self.completed - self.rejected - self.timed_out
+        self.submitted - self.completed - self.rejected - self.timed_out - self.failed
     }
 }
 
 /// Callback invoked when a request leaves the system.
 pub type CompletionCallback =
     Box<dyn FnOnce(&mut crate::world::World, &mut crate::world::SimEngine, Completion)>;
+
+/// Inter-tier retry configuration: when a tier momentarily has no routable
+/// server (e.g. its only VM just crashed and the replacement is booting),
+/// the caller parks the request and re-attempts entry after an exponential
+/// backoff instead of rejecting it outright.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InterTierRetry {
+    /// Maximum entry attempts per tier visit (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first re-attempt.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub multiplier: f64,
+}
+
+impl Default for InterTierRetry {
+    fn default() -> Self {
+        InterTierRetry {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(500),
+            multiplier: 2.0,
+        }
+    }
+}
 
 /// An in-flight request: execution plan, call stack, bookkeeping.
 pub struct RequestInFlight {
@@ -111,6 +140,11 @@ pub struct RequestInFlight {
     pub(crate) on_complete: Option<CompletionCallback>,
     /// The client-abandonment timer, if a deadline was set.
     pub(crate) timeout_event: Option<dcm_sim::engine::EventId>,
+    /// Inter-tier entry attempts consumed so far (for retry backoff).
+    pub(crate) entry_attempts: u32,
+    /// A pending inter-tier retry timer, if the request is parked waiting
+    /// for capacity to come back.
+    pub(crate) retry_event: Option<dcm_sim::engine::EventId>,
 }
 
 impl std::fmt::Debug for RequestInFlight {
@@ -135,6 +169,13 @@ pub struct System {
     pub(crate) counters: SystemCounters,
     /// Probability that a VM boot fails (failure injection; default 0).
     pub boot_failure_prob: f64,
+    /// Probability that an individual request admission fails transiently
+    /// at the moment a thread is granted (fault injection; default 0, in
+    /// which case no RNG draw is made at all).
+    pub transient_failure_prob: f64,
+    /// Inter-tier retry policy; `None` rejects immediately when a tier has
+    /// no routable server (the seed behaviour).
+    pub inter_tier_retry: Option<InterTierRetry>,
     pub(crate) span_log: Option<Vec<crate::spans::Span>>,
 }
 
@@ -169,6 +210,8 @@ impl System {
             request_ids: IdAllocator::new(),
             counters: SystemCounters::default(),
             boot_failure_prob: 0.0,
+            transient_failure_prob: 0.0,
+            inter_tier_retry: None,
             span_log: None,
         };
         for (m, &count) in initial.iter().enumerate() {

@@ -91,6 +91,83 @@ proptest! {
         }
     }
 
+    /// FIFO handoff order survives arbitrary interleavings of releases,
+    /// resizes, and mid-queue cancellations; the lifetime counters only
+    /// ever move forward and account for every admission exactly once; and
+    /// a fully drained pool is always back within capacity.
+    #[test]
+    fn pool_fifo_handoff_and_monotone_counters(ops in prop::collection::vec(pool_op(), 1..300)) {
+        let mut pool = Pool::new(4);
+        let mut fifo: std::collections::VecDeque<u64> = Default::default();
+        let mut next_unique = 0u64;
+        let mut acquired_events = 0u64;
+        let mut queued_events = 0u64;
+        let (mut last_acq, mut last_q) = (0u64, 0u64);
+        for op in ops {
+            match op {
+                PoolOp::Acquire => {
+                    next_unique += 1;
+                    if pool.try_acquire(RequestId::new(next_unique)) {
+                        acquired_events += 1;
+                    } else {
+                        fifo.push_back(next_unique);
+                        queued_events += 1;
+                    }
+                }
+                PoolOp::Release => {
+                    if pool.in_use() > 0 {
+                        if let Some(handed) = pool.release() {
+                            prop_assert_eq!(
+                                Some(handed.raw()),
+                                fifo.pop_front(),
+                                "handoff must follow FIFO order"
+                            );
+                            acquired_events += 1;
+                        }
+                    }
+                }
+                PoolOp::Resize(c) => {
+                    for handed in pool.resize(c) {
+                        prop_assert_eq!(
+                            Some(handed.raw()),
+                            fifo.pop_front(),
+                            "grow admissions must follow FIFO order"
+                        );
+                        acquired_events += 1;
+                    }
+                }
+                PoolOp::Cancel => {
+                    // Cancel from the middle of the queue to exercise
+                    // non-head removal; the rest must keep their order.
+                    if !fifo.is_empty() {
+                        let victim = fifo.remove(fifo.len() / 2).unwrap();
+                        prop_assert!(pool.cancel_waiter(RequestId::new(victim)));
+                    }
+                }
+            }
+            prop_assert!(pool.total_acquired() >= last_acq, "total_acquired went backwards");
+            prop_assert!(pool.total_queued() >= last_q, "total_queued went backwards");
+            last_acq = pool.total_acquired();
+            last_q = pool.total_queued();
+        }
+        prop_assert_eq!(pool.total_acquired(), acquired_events);
+        prop_assert_eq!(pool.total_queued(), queued_events);
+        // Drain completely: remaining handoffs arrive in FIFO order, and a
+        // drained pool is within capacity no matter what resizes happened.
+        while pool.in_use() > 0 {
+            if let Some(handed) = pool.release() {
+                prop_assert_eq!(
+                    Some(handed.raw()),
+                    fifo.pop_front(),
+                    "drain handoff must follow FIFO order"
+                );
+            }
+        }
+        prop_assert!(fifo.is_empty(), "every surviving waiter must be admitted");
+        prop_assert_eq!(pool.queued(), 0);
+        prop_assert!(pool.in_use() <= pool.capacity());
+    }
+
     /// `optimal_concurrency` is a true argmax of the saturated-throughput
     /// curve for arbitrary valid laws (including thrash terms).
     #[test]

@@ -64,6 +64,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod faults;
 pub mod rng;
 pub mod runner;
 pub mod stats;
@@ -71,6 +72,7 @@ pub mod time;
 
 pub use dist::{Dist, Sample};
 pub use engine::{Engine, EventId};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use rng::{derive_seed, SimRng};
 pub use runner::{run_ordered, set_jobs};
 pub use time::{SimDuration, SimTime};

@@ -30,6 +30,35 @@ use dcm_sim::time::{SimDuration, SimTime};
 use crate::profile::ProfileFactory;
 use crate::traces::WorkloadTrace;
 
+/// Client-side retry policy: a failed request (rejected, timed out, or
+/// lost to a fault) is resubmitted after an exponential backoff, up to a
+/// per-request attempt cap and a population-wide retry-token budget. The
+/// budget bounds retry amplification: once the tokens run out, failures
+/// surface to the virtual user instead of multiplying load on an already
+/// degraded system.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per logical request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in seconds.
+    pub base_backoff_secs: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_multiplier: f64,
+    /// Population-wide retry-token budget (each retry consumes one).
+    pub budget: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_secs: 0.5,
+            backoff_multiplier: 2.0,
+            budget: 10_000,
+        }
+    }
+}
+
 /// Shared state behind a [`UserPopulation`].
 #[derive(Debug)]
 struct PopState {
@@ -42,6 +71,10 @@ struct PopState {
     log: Vec<Completion>,
     offered: TimeSeries,
     total_spawned: u64,
+    retry: Option<RetryPolicy>,
+    retry_budget_left: u64,
+    retries_issued: u64,
+    deadline: Option<SimDuration>,
 }
 
 /// A population of virtual users driving the system.
@@ -191,6 +224,10 @@ impl UserPopulation {
                 log: Vec::new(),
                 offered,
                 total_spawned: 0,
+                retry: None,
+                retry_budget_left: 0,
+                retries_issued: 0,
+                deadline: None,
             })),
         };
         pop.spawn_to_target(world, engine);
@@ -258,6 +295,35 @@ impl UserPopulation {
     pub fn offered_series(&self) -> TimeSeries {
         self.inner.borrow().offered.clone()
     }
+
+    /// Enables client-side retry for every user of this population.
+    /// Applies to requests whose *completion* arrives after the call, so
+    /// configure it right after `start_*`, before running the engine. The
+    /// completion logged for a retried request carries the *first*
+    /// attempt's submission time (client-perceived latency), and only the
+    /// final attempt is logged.
+    pub fn set_client_retry(&self, policy: RetryPolicy) {
+        let mut st = self.inner.borrow_mut();
+        st.retry_budget_left = policy.budget;
+        st.retry = Some(policy);
+    }
+
+    /// Sets a per-request client deadline: requests not finished within
+    /// `deadline` are abandoned (and, with a retry policy, retried).
+    /// Applies to requests submitted after the call.
+    pub fn set_request_deadline(&self, deadline: SimDuration) {
+        self.inner.borrow_mut().deadline = Some(deadline);
+    }
+
+    /// Retries issued so far (each consumed one budget token).
+    pub fn retries_issued(&self) -> u64 {
+        self.inner.borrow().retries_issued
+    }
+
+    /// Retry-budget tokens remaining.
+    pub fn retry_budget_left(&self) -> u64 {
+        self.inner.borrow().retry_budget_left
+    }
 }
 
 /// One user's submit → complete → think loop.
@@ -271,40 +337,94 @@ fn user_cycle(state: Rc<RefCell<PopState>>, world: &mut World, engine: &mut SimE
         }
         st.factory.sample(&mut world.rng)
     };
+    submit_attempt(state, world, engine, profile, 1, None);
+}
+
+/// Submits one attempt of a logical request. On a non-success outcome with
+/// retry attempts and budget remaining, the same profile is resubmitted
+/// after an exponential backoff; otherwise the (final) completion is
+/// logged — stamped with the first attempt's submission time, so reports
+/// measure client-perceived latency — and the user moves on to thinking.
+fn submit_attempt(
+    state: Rc<RefCell<PopState>>,
+    world: &mut World,
+    engine: &mut SimEngine,
+    profile: dcm_ntier::request::RequestProfile,
+    attempt: u32,
+    first_submitted: Option<SimTime>,
+) {
+    let deadline = state.borrow().deadline;
     let cb_state = Rc::clone(&state);
-    flow::submit(
-        world,
-        engine,
-        profile,
-        Box::new(
-            move |w: &mut World, e: &mut SimEngine, completion: Completion| {
-                let think_delay = {
-                    let mut st = cb_state.borrow_mut();
-                    st.log.push(completion);
-                    let base = st
-                        .think
-                        .as_ref()
-                        .map(|d| d.sample(&mut w.rng))
-                        .unwrap_or(0.0);
-                    let multiplier = st.think_multiplier.as_ref().map_or(1.0, |cell| cell.get());
-                    base * multiplier
-                };
-                let next_state = Rc::clone(&cb_state);
-                if think_delay > 0.0 {
-                    e.schedule_in(
-                        SimDuration::from_secs_f64(think_delay),
-                        move |w: &mut World, e: &mut SimEngine| user_cycle(next_state, w, e),
-                    );
-                } else {
-                    // Zero think time: defer through the queue instead of
-                    // recursing so long closed-loop runs keep a flat stack.
-                    e.schedule_now(move |w: &mut World, e: &mut SimEngine| {
-                        user_cycle(next_state, w, e)
-                    });
+    let retry_profile = profile.clone();
+    let callback: dcm_ntier::system::CompletionCallback = Box::new(
+        move |w: &mut World, e: &mut SimEngine, completion: Completion| {
+            let first = first_submitted.unwrap_or(completion.submitted);
+            let backoff = {
+                let mut st = cb_state.borrow_mut();
+                match st.retry {
+                    Some(policy)
+                        if !completion.is_success()
+                            && attempt < policy.max_attempts
+                            && st.retry_budget_left > 0
+                            && e.now() < st.stop_at =>
+                    {
+                        st.retry_budget_left -= 1;
+                        st.retries_issued += 1;
+                        Some(
+                            policy.base_backoff_secs
+                                * policy.backoff_multiplier.powi(attempt as i32 - 1),
+                        )
+                    }
+                    _ => None,
                 }
-            },
-        ),
+            };
+            if let Some(backoff_secs) = backoff {
+                let next_state = Rc::clone(&cb_state);
+                e.schedule_in(
+                    SimDuration::from_secs_f64(backoff_secs),
+                    move |w: &mut World, e: &mut SimEngine| {
+                        submit_attempt(next_state, w, e, retry_profile, attempt + 1, Some(first));
+                    },
+                );
+                return;
+            }
+            let think_delay = {
+                let mut st = cb_state.borrow_mut();
+                st.log.push(Completion {
+                    submitted: first,
+                    ..completion
+                });
+                let base = st
+                    .think
+                    .as_ref()
+                    .map(|d| d.sample(&mut w.rng))
+                    .unwrap_or(0.0);
+                let multiplier = st.think_multiplier.as_ref().map_or(1.0, |cell| cell.get());
+                base * multiplier
+            };
+            let next_state = Rc::clone(&cb_state);
+            if think_delay > 0.0 {
+                e.schedule_in(
+                    SimDuration::from_secs_f64(think_delay),
+                    move |w: &mut World, e: &mut SimEngine| user_cycle(next_state, w, e),
+                );
+            } else {
+                // Zero think time: defer through the queue instead of
+                // recursing so long closed-loop runs keep a flat stack.
+                e.schedule_now(move |w: &mut World, e: &mut SimEngine| {
+                    user_cycle(next_state, w, e)
+                });
+            }
+        },
     );
+    match deadline {
+        Some(d) => {
+            flow::submit_with_deadline(world, engine, profile, d, callback);
+        }
+        None => {
+            flow::submit(world, engine, profile, callback);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ pub mod servlets;
 pub mod traces;
 
 pub use burstiness::{index_of_dispersion, MmppConfig, MmppModulator};
-pub use generator::UserPopulation;
+pub use generator::{RetryPolicy, UserPopulation};
 pub use profile::ProfileFactory;
 pub use report::{class_breakdown, shared_log, ClassStats, LoadReport, WindowedSeries};
 pub use servlets::{Servlet, ServletMix};

@@ -44,6 +44,7 @@ pub struct LoadReport {
     completed: u64,
     rejected: u64,
     timed_out: u64,
+    failed: u64,
     rt_stats: OnlineStats,
     rt_quantiles: SampleQuantiles,
     response_times: Vec<f64>,
@@ -61,6 +62,7 @@ impl LoadReport {
         let mut completed = 0;
         let mut rejected = 0;
         let mut timed_out = 0;
+        let mut failed = 0;
         let mut rt_stats = OnlineStats::new();
         let mut rt_quantiles = SampleQuantiles::new();
         let mut response_times = Vec::new();
@@ -78,6 +80,7 @@ impl LoadReport {
                 }
                 dcm_ntier::request::Outcome::Rejected { .. } => rejected += 1,
                 dcm_ntier::request::Outcome::TimedOut => timed_out += 1,
+                dcm_ntier::request::Outcome::Failed { .. } => failed += 1,
             }
         }
         LoadReport {
@@ -86,6 +89,7 @@ impl LoadReport {
             completed,
             rejected,
             timed_out,
+            failed,
             rt_stats,
             rt_quantiles,
             response_times,
@@ -105,6 +109,12 @@ impl LoadReport {
     /// Client abandonments in the window.
     pub fn timed_out(&self) -> u64 {
         self.timed_out
+    }
+
+    /// Fault-induced losses (crashed server / transient failure) in the
+    /// window.
+    pub fn failed(&self) -> u64 {
+        self.failed
     }
 
     /// Mean throughput over the window, completions/second.
@@ -140,7 +150,7 @@ impl LoadReport {
     /// count as violations — the paper's SLAs are "bounded response time").
     /// Returns 1.0 for an empty window.
     pub fn sla_attainment(&self, threshold_secs: f64) -> f64 {
-        let total = self.completed + self.rejected + self.timed_out;
+        let total = self.completed + self.rejected + self.timed_out + self.failed;
         if total == 0 {
             return 1.0;
         }
