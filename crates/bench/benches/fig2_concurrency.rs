@@ -37,6 +37,7 @@ fn bench_fig2b_point(c: &mut Criterion) {
         measure: SimDuration::from_secs(8),
         think_time_secs: 3.0,
         seed: 1,
+        ..SteadyStateOptions::default()
     };
     let mut group = c.benchmark_group("fig2b");
     for (label, counts) in [("1_1_1", (1u32, 1u32, 1u32)), ("1_2_1", (1, 2, 1))] {

@@ -13,6 +13,7 @@ fn options() -> SteadyStateOptions {
         measure: SimDuration::from_secs(8),
         think_time_secs: 3.0,
         seed: 1,
+        ..SteadyStateOptions::default()
     }
 }
 

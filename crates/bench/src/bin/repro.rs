@@ -12,7 +12,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dcm_bench::experiments::{ablation, chaos, fig2, fig4, fig5, gamma, table1, Fidelity};
+use dcm_bench::experiments::{
+    ablation, chaos, fig2, fig4, fig5, gamma, table1, validate, Fidelity,
+};
 use dcm_bench::format::TextTable;
 
 struct Cli {
@@ -22,6 +24,7 @@ struct Cli {
     trace: Option<PathBuf>,
     seeds: usize,
     jobs: usize,
+    audit: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -32,9 +35,11 @@ fn parse_args() -> Result<Cli, String> {
     let mut trace = None;
     let mut seeds = 1usize;
     let mut jobs = 0usize; // 0 = auto (available parallelism)
+    let mut audit = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => fidelity = Fidelity::Quick,
+            "--audit" => audit = true,
             "--csv" => {
                 let dir = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(dir));
@@ -61,6 +66,7 @@ fn parse_args() -> Result<Cli, String> {
         trace,
         seeds,
         jobs,
+        audit,
     })
 }
 
@@ -81,9 +87,14 @@ fn usage() -> String {
      \x20 faults      behaviour under VM boot failures\n\
      \x20 chaos       crash/straggler injection + retry resilience (writes\n\
      \x20             results/chaos.json and results/chaos.csv)\n\
+     \x20 validate    DES vs exact queueing theory (MVA oracle; writes\n\
+     \x20             results/validate.json and results/validate.csv,\n\
+     \x20             exits non-zero on any tolerance breach)\n\
      \x20 all         everything above, in order\n\
      flags:\n\
      \x20 --quick       short windows / coarse sweeps\n\
+     \x20 --audit       run every experiment under the conservation auditor\n\
+     \x20               (panics on any violated conservation law)\n\
      \x20 --csv DIR     also write every table as CSV into DIR\n\
      \x20 --trace FILE  drive fig5 with an external `seconds,users` CSV trace\n\
      \x20 --seeds N     replicate fig5 across N seeds, report mean ± 95% CI\n\
@@ -235,6 +246,7 @@ fn main() -> ExitCode {
         csv_dir: cli.csv_dir.clone(),
     };
     dcm_sim::runner::set_jobs(cli.jobs);
+    dcm_core::experiment::set_global_audit(cli.audit);
     let jobs = dcm_sim::runner::jobs();
     let mut perf = Perf::new();
     let f = cli.fidelity;
@@ -440,10 +452,45 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut gate_failed = false;
+    if wants("validate") {
+        matched = true;
+        out.section("Validate: DES vs exact queueing theory (MVA oracle)");
+        let result = perf.time("validate", || validate::run_validate(f));
+        out.table("validate", &result.table());
+        out.findings(&result.findings());
+        let dir = PathBuf::from("results");
+        let write = fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(dir.join("validate.json"), result.to_json()))
+            .and_then(|()| fs::write(dir.join("validate.csv"), result.table().to_csv()));
+        match write {
+            Ok(()) => println!(
+                "\nwrote {} and {}",
+                dir.join("validate.json").display(),
+                dir.join("validate.csv").display()
+            ),
+            Err(err) => eprintln!("warning: could not write validate results: {err}"),
+        }
+        if !result.passed() {
+            eprintln!(
+                "validate: conformance gate FAILED (zero-overhead worst {:.3}% vs \
+                 gate {:.0}%, load-dependent worst {:.3}% vs gate {:.0}%)",
+                100.0 * result.max_rel_err(dcm_oracle::ScenarioKind::ZeroOverhead),
+                100.0 * result.tol_zero,
+                100.0 * result.max_rel_err(dcm_oracle::ScenarioKind::LoadDependent),
+                100.0 * result.tol_law,
+            );
+            gate_failed = true;
+        }
+    }
+
     if !matched {
         eprintln!("unknown command `{}`\n{}", cli.command, usage());
         return ExitCode::FAILURE;
     }
     perf.write(&cli.command, f, jobs);
+    if gate_failed {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

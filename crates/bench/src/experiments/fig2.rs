@@ -105,6 +105,7 @@ pub fn run_fig2b(fidelity: Fidelity) -> Fig2b {
         measure: fidelity.measure(),
         think_time_secs: 3.0,
         seed: 20170602,
+        ..SteadyStateOptions::default()
     };
     let soft = SoftConfig::DEFAULT; // 1000-100-80
                                     // Both curves' runs fan out together; results come back in input order,

@@ -57,6 +57,7 @@ pub fn run_fig4a(fidelity: Fidelity, optimal: u32) -> Fig4 {
         measure: fidelity.measure(),
         think_time_secs: 3.0,
         seed: 20170603,
+        ..SteadyStateOptions::default()
     };
     let users = user_levels(fidelity);
     let curves = sweep_allocations(&sizes, &users, &options, |threads| {
@@ -120,6 +121,7 @@ pub fn run_fig4b(fidelity: Fidelity, optimal_per_server: u32) -> Fig4 {
         measure: fidelity.measure(),
         think_time_secs: 3.0,
         seed: 20170604,
+        ..SteadyStateOptions::default()
     };
     let users = user_levels(fidelity);
     let curves = sweep_allocations(&sizes, &users, &options, |conns| {

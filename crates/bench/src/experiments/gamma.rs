@@ -86,6 +86,7 @@ pub fn run_gamma_sweep(fidelity: Fidelity, max_servers: u32) -> GammaSweep {
         measure: fidelity.measure(),
         think_time_secs: 3.0,
         seed: 20170606,
+        ..SteadyStateOptions::default()
     };
     // Measure every (K, policy) pair in parallel; the efficiency ratios
     // need K=1's throughputs, so they are computed from the ordered results

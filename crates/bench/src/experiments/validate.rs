@@ -1,0 +1,252 @@
+//! Validate: the DES against exact queueing theory.
+//!
+//! Sweeps the [`dcm_oracle`] conformance grid — topologies whose analytic
+//! steady state is known exactly (product-form networks solved by
+//! load-dependent MVA) — and reports the relative error of the simulator's
+//! throughput, per-tier residence, and DB queue length at every
+//! `(scenario, population)` point. Zero-overhead points must land within
+//! 2 %, load-dependent points within 5 %, the asymptotic bounds must never
+//! be violated, and every point's conservation audit must be clean.
+
+use dcm_oracle::{default_grid, run_scenario, ConformancePoint, ScenarioKind};
+use dcm_sim::rng::derive_seed;
+
+use crate::format::{num, TextTable};
+
+use super::Fidelity;
+
+/// Base seed for the conformance sweep (point seeds derive from it).
+const SEED: u64 = 20170607;
+
+/// Tolerances for (zero-overhead, load-dependent) points at each fidelity.
+/// Quick shrinks the measurement windows 10×, so the Monte-Carlo noise
+/// floor rises by ~√10 and the gates widen accordingly.
+fn tolerances(fidelity: Fidelity) -> (f64, f64) {
+    match fidelity {
+        Fidelity::Quick => (0.10, 0.12),
+        Fidelity::Full => (0.02, 0.05),
+    }
+}
+
+/// The conformance sweep results.
+#[derive(Debug, Clone)]
+pub struct Validate {
+    /// Every measured grid point, in grid order.
+    pub points: Vec<ConformancePoint>,
+    /// The zero-overhead tolerance applied.
+    pub tol_zero: f64,
+    /// The load-dependent tolerance applied.
+    pub tol_law: f64,
+}
+
+/// Runs the whole conformance grid (points fan out across workers;
+/// each builds its own world, so results are bit-identical for every
+/// `--jobs` value).
+pub fn run_validate(fidelity: Fidelity) -> Validate {
+    let (tol_zero, tol_law) = tolerances(fidelity);
+    let mut jobs = Vec::new();
+    for (i, scenario) in default_grid().into_iter().enumerate() {
+        let scale = match fidelity {
+            Fidelity::Quick => 0.1,
+            Fidelity::Full => 1.0,
+        };
+        for (j, &population) in scenario.populations.iter().enumerate() {
+            let mut s = scenario.clone();
+            s.warmup *= scale;
+            s.measure *= scale;
+            let seed = derive_seed(SEED, (i as u64) << 8 | j as u64);
+            jobs.push((s, population, seed));
+        }
+    }
+    let points = dcm_sim::runner::run_ordered(jobs, |(scenario, population, seed)| {
+        run_scenario(&scenario, population, seed)
+    });
+    Validate {
+        points,
+        tol_zero,
+        tol_law,
+    }
+}
+
+impl Validate {
+    /// The tolerance gating one point, by its oracle kind.
+    fn tolerance(&self, kind: ScenarioKind) -> f64 {
+        match kind {
+            ScenarioKind::ZeroOverhead => self.tol_zero,
+            ScenarioKind::LoadDependent => self.tol_law,
+        }
+    }
+
+    /// Whether one point satisfies its gate: errors within tolerance,
+    /// bound respected, audit clean.
+    pub fn point_ok(&self, p: &ConformancePoint) -> bool {
+        p.max_rel_err() <= self.tolerance(p.kind) && p.bound_ok && p.audit_violations == 0
+    }
+
+    /// Whether every point passed.
+    pub fn passed(&self) -> bool {
+        self.points.iter().all(|p| self.point_ok(p))
+    }
+
+    /// The largest relative error across points of the given kind.
+    pub fn max_rel_err(&self, kind: ScenarioKind) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.kind == kind)
+            .map(ConformancePoint::max_rel_err)
+            .fold(0.0, f64::max)
+    }
+
+    /// The per-point conformance table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "scenario",
+            "kind",
+            "N",
+            "X des",
+            "X mva",
+            "X err%",
+            "R_web err%",
+            "R_app err%",
+            "R_db err%",
+            "Q_db err%",
+            "bound ok",
+            "audits",
+            "pass",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.scenario.to_string(),
+                kind_label(p.kind).to_string(),
+                p.population.to_string(),
+                num(p.throughput.des, 3),
+                num(p.throughput.mva, 3),
+                num(100.0 * p.throughput.rel_err, 3),
+                num(100.0 * p.residence[0].rel_err, 3),
+                num(100.0 * p.residence[1].rel_err, 3),
+                num(100.0 * p.residence[2].rel_err, 3),
+                num(100.0 * p.db_queue.rel_err, 3),
+                if p.bound_ok { "yes" } else { "NO" }.to_string(),
+                p.audit_violations.to_string(),
+                if self.point_ok(p) { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Stable JSON for `results/validate.json` (hand-rolled; keys and
+    /// shapes are fixed for downstream tooling and the CI tolerance gate).
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"tolerance_zero_overhead\": {:.6},\n",
+            self.tol_zero
+        ));
+        json.push_str(&format!(
+            "  \"tolerance_load_dependent\": {:.6},\n",
+            self.tol_law
+        ));
+        json.push_str(&format!(
+            "  \"max_rel_err_zero_overhead\": {:.6},\n",
+            self.max_rel_err(ScenarioKind::ZeroOverhead)
+        ));
+        json.push_str(&format!(
+            "  \"max_rel_err_load_dependent\": {:.6},\n",
+            self.max_rel_err(ScenarioKind::LoadDependent)
+        ));
+        json.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        json.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"kind\": \"{}\", \"population\": {}, \
+                 \"completions\": {}, \
+                 \"throughput_des\": {:.6}, \"throughput_mva\": {:.6}, \
+                 \"throughput_rel_err\": {:.6}, \
+                 \"residence_rel_err\": [{:.6}, {:.6}, {:.6}], \
+                 \"db_queue_rel_err\": {:.6}, \
+                 \"throughput_bound\": {:.6}, \"bound_ok\": {}, \
+                 \"audit_violations\": {}, \"pass\": {}}}{}\n",
+                p.scenario,
+                kind_label(p.kind),
+                p.population,
+                p.completions,
+                p.throughput.des,
+                p.throughput.mva,
+                p.throughput.rel_err,
+                p.residence[0].rel_err,
+                p.residence[1].rel_err,
+                p.residence[2].rel_err,
+                p.db_queue.rel_err,
+                p.throughput_bound,
+                p.bound_ok,
+                p.audit_violations,
+                self.point_ok(p),
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Self-checks against the conformance claims.
+    pub fn findings(&self) -> Vec<String> {
+        let zero = self.max_rel_err(ScenarioKind::ZeroOverhead);
+        let law = self.max_rel_err(ScenarioKind::LoadDependent);
+        let zero_points = self
+            .points
+            .iter()
+            .filter(|p| p.kind == ScenarioKind::ZeroOverhead)
+            .count();
+        let law_points = self.points.len() - zero_points;
+        let audits: usize = self.points.iter().map(|p| p.audit_violations).sum();
+        vec![
+            format!(
+                "zero-overhead conformance: {zero_points} points, worst error \
+                 {:.3}% (gate {:.0}%) — delay tiers + M/M/c DB match exact MVA",
+                100.0 * zero,
+                100.0 * self.tol_zero
+            ),
+            format!(
+                "load-dependent conformance: {law_points} points, worst error \
+                 {:.3}% (gate {:.0}%) — lawful DB matches MVA driven by the \
+                 ground-truth S*(N)",
+                100.0 * law,
+                100.0 * self.tol_law
+            ),
+            format!(
+                "asymptotic bounds: {} of {} points under X <= min(N/(Z+D), 1/D_max); \
+                 conservation audits: {audits} violations across all windows",
+                self.points.iter().filter(|p| p.bound_ok).count(),
+                self.points.len()
+            ),
+        ]
+    }
+}
+
+fn kind_label(kind: ScenarioKind) -> &'static str {
+    match kind {
+        ScenarioKind::ZeroOverhead => "zero-overhead",
+        ScenarioKind::LoadDependent => "load-dependent",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_validate_passes_and_serializes() {
+        let result = run_validate(Fidelity::Quick);
+        assert!(result.points.len() >= 18, "grid too small");
+        assert!(
+            result.passed(),
+            "conformance gate failed:\n{}",
+            result.table().render()
+        );
+        let json = result.to_json();
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(result.findings().len(), 3);
+        assert_eq!(result.table().len(), result.points.len());
+    }
+}

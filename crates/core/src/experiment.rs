@@ -4,8 +4,10 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use dcm_bus::GroupConsumer;
+use dcm_ntier::audit::ConservationAuditor;
 use dcm_ntier::request::Completion;
 use dcm_ntier::system::{InterTierRetry, SystemCounters};
 use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
@@ -21,6 +23,24 @@ use dcm_workload::traces::WorkloadTrace;
 use crate::agents::ActionRecord;
 use crate::controller::Controller;
 use crate::monitor::{install_monitor, new_metrics_bus, MetricsBus, MonitorConfig, METRICS_TOPIC};
+
+/// Process-wide default for the conservation audit, consulted by the
+/// config constructors ([`TraceExperimentConfig::figure5`],
+/// [`SteadyStateOptions::default`]). Set once at startup (e.g. from a
+/// `--audit` CLI flag) before building configs; individual configs can
+/// still override their own `audit` field.
+static GLOBAL_AUDIT: AtomicBool = AtomicBool::new(false);
+
+/// Makes every subsequently-constructed experiment config carry a
+/// [`ConservationAuditor`] across its run (`assert_clean` at the end).
+pub fn set_global_audit(enabled: bool) {
+    GLOBAL_AUDIT.store(enabled, Ordering::SeqCst);
+}
+
+/// The current process-wide conservation-audit default.
+pub fn global_audit() -> bool {
+    GLOBAL_AUDIT.load(Ordering::SeqCst)
+}
 
 /// Configuration of a trace-driven scaling experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +74,10 @@ pub struct TraceExperimentConfig {
     /// Inter-tier retry (park + backoff when a tier momentarily has no
     /// routable server); `None` rejects outright as before.
     pub inter_tier_retry: Option<InterTierRetry>,
+    /// Run a [`ConservationAuditor`] across the whole run and panic on any
+    /// violated conservation law (flow balance, Little's law, utilization
+    /// law, work conservation).
+    pub audit: bool,
 }
 
 impl TraceExperimentConfig {
@@ -72,6 +96,7 @@ impl TraceExperimentConfig {
             client_retry: None,
             request_deadline_secs: None,
             inter_tier_retry: None,
+            audit: global_audit(),
         }
     }
 }
@@ -134,6 +159,9 @@ pub struct SteadyStateOptions {
     pub think_time_secs: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Run a [`ConservationAuditor`] across the run and panic on any
+    /// violated conservation law.
+    pub audit: bool,
 }
 
 impl Default for SteadyStateOptions {
@@ -143,6 +171,7 @@ impl Default for SteadyStateOptions {
             measure: SimDuration::from_secs(90),
             think_time_secs: 3.0,
             seed: 1,
+            audit: global_audit(),
         }
     }
 }
@@ -174,6 +203,10 @@ pub fn steady_state_throughput(
         .soft(soft)
         .seed(dcm_sim::rng::derive_seed(options.seed, u64::from(users)))
         .build();
+    let auditor = options.audit.then(|| {
+        world.system.enable_tracing();
+        ConservationAuditor::begin(&world.system, engine.now())
+    });
     let warmup_end = SimTime::ZERO + options.warmup;
     let measure_end = warmup_end + options.measure;
     let population = UserPopulation::start_think_time(
@@ -185,6 +218,12 @@ pub fn steady_state_throughput(
         measure_end,
     );
     engine.run_until(&mut world, measure_end);
+    if let Some(auditor) = auditor {
+        let spans = world.system.take_spans();
+        auditor
+            .finish(&world.system, &spans, engine.now())
+            .assert_clean();
+    }
     population.with_completions(|log| {
         let mut report = LoadReport::from_completions(log, warmup_end, measure_end);
         SteadyStateReport {
@@ -223,6 +262,10 @@ where
     if let Some(plan) = &config.fault_plan {
         dcm_ntier::faults::install_fault_plan(&mut world, &mut engine, plan);
     }
+    let auditor = config.audit.then(|| {
+        world.system.enable_tracing();
+        ConservationAuditor::begin(&world.system, engine.now())
+    });
     let tier_count = world.system.tier_count();
 
     // Monitoring pipeline.
@@ -281,6 +324,12 @@ where
         .map(|t| world.system.vm_seconds(t, config.horizon))
         .collect();
     engine.run(&mut world);
+    if let Some(auditor) = auditor {
+        let spans = world.system.take_spans();
+        auditor
+            .finish(&world.system, &spans, engine.now())
+            .assert_clean();
+    }
 
     let recorder = Rc::try_unwrap(recorder)
         .expect("recorder events finished")
@@ -373,6 +422,7 @@ mod tests {
             client_retry: None,
             request_deadline_secs: None,
             inter_tier_retry: None,
+            audit: true,
         }
     }
 

@@ -10,6 +10,10 @@
 //!   prediction `N* = √((S⁰−α)/β)`, and online least-squares fitting from
 //!   `⟨concurrency, throughput⟩` measurements — the Table I training
 //!   procedure.
+//! * [`mva`] — exact load-dependent Mean Value Analysis for closed
+//!   product-form networks (multi-server stations, think-time terminal)
+//!   plus asymptotic operational bounds: the analytic oracle the DES is
+//!   validated against.
 //! * [`lsq`] — Levenberg–Marquardt nonlinear least squares, `R²`, linear
 //!   regression.
 //! * [`linalg`] — the dense solver backing the fitter.
@@ -39,9 +43,11 @@ pub mod concurrency;
 pub mod laws;
 pub mod linalg;
 pub mod lsq;
+pub mod mva;
 
 pub use allocation::{optimal_soft_allocation, SoftAllocation};
 pub use bootstrap::{bootstrap_fit, BootstrapReport};
 pub use concurrency::{fit_throughput_curve, ConcurrencyModel, FitOptions, FitReport};
 pub use laws::{analyze_bottleneck, BottleneckAnalysis, TierDemand};
 pub use lsq::{levenberg_marquardt, linear_regression, r_squared, FitError, LmOptions};
+pub use mva::{law_rate_table, AsymptoticBounds, ClosedNetwork, MvaSolution, Station};

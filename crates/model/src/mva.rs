@@ -1,0 +1,620 @@
+//! Exact Mean Value Analysis for closed product-form networks.
+//!
+//! The oracle behind the DES conformance harness: a closed single-class
+//! network of a think-time terminal (the machine-repairman client model)
+//! plus an arbitrary mix of stations —
+//!
+//! * **delay** (infinite-server) stations: a frictionless simulated server
+//!   whose thread pool never queues is exactly this (every burst progresses
+//!   at full speed regardless of co-residents);
+//! * **multi-server queueing** stations: a finite thread pool of `c`
+//!   threads in front of a frictionless CPU serves like `M/M/c` (rate
+//!   `min(n,c)/S`);
+//! * **load-dependent** stations with an arbitrary completion-rate
+//!   multiplier `r(n)` (rate `r(n)/S`), which is how the paper's
+//!   concurrency law `S*(N)` enters: `n` busy threads on a lawful CPU
+//!   complete at rate `min(n,c)·S⁰/S*(min(n,c))` per mean demand.
+//!
+//! The recursion is the exact load-dependent MVA (Reiser–Lavenberg): for
+//! each population `n = 1..N` it carries the marginal queue-length
+//! distribution `p_m(j | n)` of every non-delay station, so the solution is
+//! exact — no Schweitzer/AMVA approximation anywhere. Cost is
+//! `O(N² · stations)`, trivial for the populations the simulator sweeps.
+//!
+//! [`asymptotic_bounds`] provides the classic operational bounds
+//! `X(N) ≤ min(N/(Z+ΣD), min_m μ_m^max/V_m)` that any measurement must
+//! respect regardless of distributional assumptions.
+
+use serde::{Deserialize, Serialize};
+
+/// One service station of a closed network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Station {
+    /// Infinite-server (pure delay) station: residence per visit is always
+    /// `service_time`, no queueing ever.
+    Delay {
+        /// Visit ratio `V_m` per client request.
+        visit_ratio: f64,
+        /// Mean per-visit service time `S_m` (seconds).
+        service_time: f64,
+    },
+    /// Multi-server FCFS/PS queueing station: completion rate `min(n,c)/S`
+    /// with `n` jobs present.
+    Queueing {
+        /// Visit ratio `V_m` per client request.
+        visit_ratio: f64,
+        /// Mean per-visit service time `S_m` (seconds).
+        service_time: f64,
+        /// Parallel servers (threads) `c`.
+        servers: u32,
+    },
+    /// General load-dependent station: completion rate `r(n)/S` with `n`
+    /// jobs present, where `r(n) = rate[min(n, rate.len()) - 1]`.
+    LoadDependent {
+        /// Visit ratio `V_m` per client request.
+        visit_ratio: f64,
+        /// Mean per-visit service time `S_m` (seconds).
+        service_time: f64,
+        /// Rate multipliers `r(1), r(2), …`; the last entry extends to all
+        /// larger populations.
+        rate: Vec<f64>,
+    },
+}
+
+impl Station {
+    /// The station's visit ratio `V_m`.
+    pub fn visit_ratio(&self) -> f64 {
+        match self {
+            Station::Delay { visit_ratio, .. }
+            | Station::Queueing { visit_ratio, .. }
+            | Station::LoadDependent { visit_ratio, .. } => *visit_ratio,
+        }
+    }
+
+    /// The station's mean per-visit service time `S_m`.
+    pub fn service_time(&self) -> f64 {
+        match self {
+            Station::Delay { service_time, .. }
+            | Station::Queueing { service_time, .. }
+            | Station::LoadDependent { service_time, .. } => *service_time,
+        }
+    }
+
+    /// Service demand `D_m = V_m·S_m` per client request.
+    pub fn demand(&self) -> f64 {
+        self.visit_ratio() * self.service_time()
+    }
+
+    /// Completion rate (jobs/sec) with `n` jobs present; `None` for delay
+    /// stations (whose "rate" is unbounded).
+    fn rate_at(&self, n: u32) -> Option<f64> {
+        if n == 0 {
+            return Some(0.0);
+        }
+        match self {
+            Station::Delay { .. } => None,
+            Station::Queueing {
+                service_time,
+                servers,
+                ..
+            } => Some(f64::from(n.min((*servers).max(1))) / service_time),
+            Station::LoadDependent {
+                service_time, rate, ..
+            } => {
+                let idx = (n as usize).min(rate.len()) - 1;
+                Some(rate[idx] / service_time)
+            }
+        }
+    }
+
+    /// The station's maximum sustainable completion rate, `sup_n μ(n)`;
+    /// `None` (unbounded) for delay stations.
+    pub fn max_rate(&self) -> Option<f64> {
+        match self {
+            Station::Delay { .. } => None,
+            Station::Queueing {
+                service_time,
+                servers,
+                ..
+            } => Some(f64::from((*servers).max(1)) / service_time),
+            Station::LoadDependent {
+                service_time, rate, ..
+            } => rate
+                .iter()
+                .copied()
+                .fold(None, |acc: Option<f64>, r| {
+                    Some(acc.map_or(r, |a| a.max(r)))
+                })
+                .map(|r| r / service_time),
+        }
+    }
+
+    fn is_delay(&self) -> bool {
+        matches!(self, Station::Delay { .. })
+    }
+
+    fn validate(&self) {
+        let v = self.visit_ratio();
+        let s = self.service_time();
+        assert!(v.is_finite() && v >= 0.0, "visit ratio must be >= 0");
+        assert!(s.is_finite() && s > 0.0, "service time must be positive");
+        if let Station::LoadDependent { rate, .. } = self {
+            assert!(!rate.is_empty(), "load-dependent rate table is empty");
+            assert!(
+                rate.iter().all(|r| r.is_finite() && *r > 0.0),
+                "rate multipliers must be positive"
+            );
+        }
+    }
+}
+
+/// A closed single-class network: a think-time terminal plus stations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedNetwork {
+    /// The service stations.
+    pub stations: Vec<Station>,
+    /// Mean think time `Z` at the terminal (seconds, `>= 0`).
+    pub think_time: f64,
+}
+
+impl ClosedNetwork {
+    /// Creates a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty station list, a non-finite/negative think time,
+    /// or any invalid station parameter.
+    pub fn new(stations: Vec<Station>, think_time: f64) -> Self {
+        assert!(!stations.is_empty(), "network needs at least one station");
+        assert!(
+            think_time.is_finite() && think_time >= 0.0,
+            "think time must be >= 0"
+        );
+        for s in &stations {
+            s.validate();
+        }
+        ClosedNetwork {
+            stations,
+            think_time,
+        }
+    }
+
+    /// Total service demand `ΣD_m` per client request.
+    pub fn total_demand(&self) -> f64 {
+        self.stations.iter().map(Station::demand).sum()
+    }
+
+    /// Solves the network exactly for population `n` via load-dependent
+    /// MVA. `n = 0` yields the degenerate all-zero solution.
+    pub fn solve(&self, n: u32) -> MvaSolution {
+        let m = self.stations.len();
+        let cap = n as usize;
+        // Marginal queue-length distributions p[m][j] = P(j jobs at m | pop).
+        let mut p: Vec<Vec<f64>> = self
+            .stations
+            .iter()
+            .map(|s| {
+                if s.is_delay() {
+                    Vec::new()
+                } else {
+                    let mut v = vec![0.0; cap + 1];
+                    v[0] = 1.0;
+                    v
+                }
+            })
+            .collect();
+        let mut residence = vec![0.0; m]; // per-visit R_m at current pop
+        let mut throughput = 0.0;
+
+        for pop in 1..=n {
+            let k = pop as usize;
+            for (i, s) in self.stations.iter().enumerate() {
+                residence[i] = if s.is_delay() {
+                    s.service_time()
+                } else {
+                    // R_m(pop) = Σ_{j=1..pop} (j/μ(j)) · p_m(j-1 | pop-1)
+                    (1..=pop)
+                        .map(|j| {
+                            let mu = s.rate_at(j).expect("non-delay station has a rate");
+                            f64::from(j) / mu * p[i][j as usize - 1]
+                        })
+                        .sum()
+                };
+            }
+            let r_total: f64 = self
+                .stations
+                .iter()
+                .zip(&residence)
+                .map(|(s, r)| s.visit_ratio() * r)
+                .sum();
+            throughput = f64::from(pop) / (self.think_time + r_total);
+            for (i, s) in self.stations.iter().enumerate() {
+                if s.is_delay() {
+                    continue;
+                }
+                for j in (1..=k).rev() {
+                    let mu = s.rate_at(j as u32).expect("non-delay station has a rate");
+                    p[i][j] = throughput * s.visit_ratio() / mu * p[i][j - 1];
+                }
+                let tail: f64 = p[i][1..=k].iter().sum();
+                p[i][0] = (1.0 - tail).max(0.0);
+            }
+        }
+
+        let station_residence: Vec<f64> = self
+            .stations
+            .iter()
+            .zip(&residence)
+            .map(|(s, r)| s.visit_ratio() * r)
+            .collect();
+        let station_queue: Vec<f64> = station_residence.iter().map(|r| throughput * r).collect();
+        let station_utilization: Vec<f64> = self
+            .stations
+            .iter()
+            .map(|s| match s.max_rate() {
+                // Fraction of the station's peak completion rate in use.
+                Some(peak) => throughput * s.visit_ratio() / peak,
+                // Delay station: mean busy servers (unbounded capacity).
+                None => throughput * s.demand(),
+            })
+            .collect();
+        let response_time = if n == 0 {
+            0.0
+        } else {
+            station_residence.iter().sum()
+        };
+        MvaSolution {
+            population: n,
+            throughput: if n == 0 { 0.0 } else { throughput },
+            response_time,
+            station_residence,
+            station_queue,
+            station_utilization,
+        }
+    }
+
+    /// Solves for every population `1..=n` (the full ramp, one exact pass).
+    pub fn solve_ramp(&self, n: u32) -> Vec<MvaSolution> {
+        (1..=n).map(|k| self.solve(k)).collect()
+    }
+
+    /// Classic asymptotic operational bounds for population `n`.
+    pub fn asymptotic_bounds(&self, n: u32) -> AsymptoticBounds {
+        let d_total = self.total_demand();
+        let light = f64::from(n) / (self.think_time + d_total);
+        let cap = self
+            .stations
+            .iter()
+            .filter_map(|s| {
+                let peak = s.max_rate()?;
+                let v = s.visit_ratio();
+                (v > 0.0).then(|| peak / v)
+            })
+            .fold(f64::INFINITY, f64::min);
+        let x_upper = light.min(cap);
+        AsymptoticBounds {
+            population: n,
+            throughput_upper: x_upper,
+            response_lower: d_total.max(f64::from(n) / cap - self.think_time),
+        }
+    }
+}
+
+/// The exact MVA solution at one population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MvaSolution {
+    /// Client population `N`.
+    pub population: u32,
+    /// System throughput `X(N)` (requests/sec).
+    pub throughput: f64,
+    /// End-to-end response time `R(N) = Σ V_m·R_m` (seconds, excl. think).
+    pub response_time: f64,
+    /// Per-station residence per client request, `V_m·R_m` (seconds).
+    pub station_residence: Vec<f64>,
+    /// Per-station mean population `Q_m = X·V_m·R_m`.
+    pub station_queue: Vec<f64>,
+    /// Per-station utilization (fraction of peak rate; mean busy servers
+    /// for delay stations).
+    pub station_utilization: Vec<f64>,
+}
+
+/// Operational asymptotic bounds at one population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsymptoticBounds {
+    /// Client population `N`.
+    pub population: u32,
+    /// `X(N) ≤ min(N/(Z+ΣD), min_m μ_m^max/V_m)`.
+    pub throughput_upper: f64,
+    /// `R(N) ≥ max(ΣD, N·V_b/μ_b^max − Z)`.
+    pub response_lower: f64,
+}
+
+/// Builds the load-dependent rate table for a simulated server whose CPU
+/// follows the paper's concurrency law: `n` jobs at the station occupy
+/// `min(n, threads)` pool threads, each progressing at `S⁰/S*(min(n,threads))`
+/// work-seconds per second, so the completion-rate multiplier is
+/// `min(n,c) · S⁰ / S*(min(n,c))` (per mean demand `S⁰`-shaped work).
+///
+/// `s_star(m)` must return the adjusted service time `S*(m)` for `m ≥ 1`
+/// concurrent threads (pass `ServiceLaw::adjusted_service_time`); `s0` is
+/// the single-thread service time the per-visit demand is expressed in.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `max_population == 0`, or the law returns a
+/// non-positive adjusted time.
+pub fn law_rate_table(
+    s0: f64,
+    threads: u32,
+    max_population: u32,
+    s_star: impl Fn(u32) -> f64,
+) -> Vec<f64> {
+    assert!(threads > 0, "threads must be positive");
+    assert!(max_population > 0, "population must be positive");
+    assert!(s0.is_finite() && s0 > 0.0, "s0 must be positive");
+    (1..=max_population.max(threads))
+        .map(|n| {
+            let m = n.min(threads);
+            let adj = s_star(m);
+            assert!(adj.is_finite() && adj > 0.0, "S*({m}) must be positive");
+            f64::from(m) * s0 / adj
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct birth–death steady state for a single station + terminal:
+    /// states `j = 0..=n` jobs at the station, birth `λ(j) = (n-j)/Z`,
+    /// death `μ(j)`. Returns (X, Q, R_station).
+    fn birth_death(n: u32, z: f64, mu: impl Fn(u32) -> f64) -> (f64, f64, f64) {
+        let n = n as usize;
+        let mut pi = vec![1.0f64; n + 1];
+        for j in 1..=n {
+            let lam = (n - (j - 1)) as f64 / z;
+            pi[j] = pi[j - 1] * lam / mu(j as u32);
+        }
+        let total: f64 = pi.iter().sum();
+        for p in &mut pi {
+            *p /= total;
+        }
+        let x: f64 = (1..=n).map(|j| pi[j] * mu(j as u32)).sum();
+        let q: f64 = (1..=n).map(|j| pi[j] * j as f64).sum();
+        (x, q, q / x)
+    }
+
+    #[test]
+    fn population_one_sees_bare_demands() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::Delay {
+                    visit_ratio: 1.0,
+                    service_time: 0.01,
+                },
+                Station::Queueing {
+                    visit_ratio: 2.0,
+                    service_time: 0.03,
+                    servers: 4,
+                },
+            ],
+            1.0,
+        );
+        let sol = net.solve(1);
+        let d = 0.01 + 2.0 * 0.03;
+        assert!((sol.response_time - d).abs() < 1e-12);
+        assert!((sol.throughput - 1.0 / (1.0 + d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_only_network_is_linear_in_population() {
+        let net = ClosedNetwork::new(
+            vec![Station::Delay {
+                visit_ratio: 3.0,
+                service_time: 0.2,
+            }],
+            2.0,
+        );
+        for n in [1u32, 5, 40, 200] {
+            let sol = net.solve(n);
+            let expect = f64::from(n) / (2.0 + 0.6);
+            assert!(
+                (sol.throughput - expect).abs() / expect < 1e-12,
+                "n={n}: {} vs {expect}",
+                sol.throughput
+            );
+            assert!((sol.response_time - 0.6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_birth_death_for_mm1_station() {
+        let (s, z) = (0.05, 1.0);
+        let net = ClosedNetwork::new(
+            vec![Station::Queueing {
+                visit_ratio: 1.0,
+                service_time: s,
+                servers: 1,
+            }],
+            z,
+        );
+        for n in [1u32, 4, 16, 50] {
+            let sol = net.solve(n);
+            let (x, q, r) = birth_death(n, z, |_| 1.0 / s);
+            assert!(
+                (sol.throughput - x).abs() / x < 1e-10,
+                "n={n}: X {} vs {x}",
+                sol.throughput
+            );
+            assert!((sol.station_queue[0] - q).abs() / q.max(1e-9) < 1e-9);
+            assert!((sol.station_residence[0] - r).abs() / r < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_birth_death_for_mmc_station() {
+        let (s, z, c) = (0.08, 0.5, 4u32);
+        let net = ClosedNetwork::new(
+            vec![Station::Queueing {
+                visit_ratio: 1.0,
+                service_time: s,
+                servers: c,
+            }],
+            z,
+        );
+        for n in [2u32, 8, 30] {
+            let sol = net.solve(n);
+            let (x, _, r) = birth_death(n, z, |j| f64::from(j.min(c)) / s);
+            assert!(
+                (sol.throughput - x).abs() / x < 1e-10,
+                "n={n}: X {} vs {x}",
+                sol.throughput
+            );
+            assert!((sol.station_residence[0] - r).abs() / r < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_birth_death_for_law_rate_station() {
+        // A concurrency-law station: S*(m) = s0 + α(m−1) + βm(m−1).
+        let (s0, alpha, beta) = (0.03, 0.004, 2.0e-5);
+        let s_star = |m: u32| {
+            let m = f64::from(m.max(1));
+            s0 + alpha * (m - 1.0) + beta * m * (m - 1.0)
+        };
+        let threads = 8;
+        let n_max = 24u32;
+        let rate = law_rate_table(s0, threads, n_max, s_star);
+        let z = 0.4;
+        let net = ClosedNetwork::new(
+            vec![Station::LoadDependent {
+                visit_ratio: 1.0,
+                service_time: s0,
+                rate: rate.clone(),
+            }],
+            z,
+        );
+        for n in [3u32, 10, 24] {
+            let sol = net.solve(n);
+            let (x, _, _) = birth_death(n, z, |j| {
+                let m = j.min(threads);
+                f64::from(m) / s_star(m)
+            });
+            assert!(
+                (sol.throughput - x).abs() / x < 1e-10,
+                "n={n}: X {} vs {x}",
+                sol.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn multi_station_queues_sum_to_population_minus_terminal() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::Delay {
+                    visit_ratio: 1.0,
+                    service_time: 0.02,
+                },
+                Station::Queueing {
+                    visit_ratio: 1.0,
+                    service_time: 0.05,
+                    servers: 2,
+                },
+                Station::Queueing {
+                    visit_ratio: 2.0,
+                    service_time: 0.03,
+                    servers: 1,
+                },
+            ],
+            0.7,
+        );
+        for n in [1u32, 6, 20, 60] {
+            let sol = net.solve(n);
+            let at_stations: f64 = sol.station_queue.iter().sum();
+            let thinking = sol.throughput * 0.7;
+            assert!(
+                (at_stations + thinking - f64::from(n)).abs() < 1e-6,
+                "n={n}: {at_stations} + {thinking}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_and_bounded() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::Delay {
+                    visit_ratio: 1.0,
+                    service_time: 0.01,
+                },
+                Station::Queueing {
+                    visit_ratio: 1.0,
+                    service_time: 0.04,
+                    servers: 1,
+                },
+            ],
+            1.0,
+        );
+        let mut last = 0.0;
+        for n in 1..=120u32 {
+            let sol = net.solve(n);
+            let b = net.asymptotic_bounds(n);
+            assert!(sol.throughput >= last - 1e-12, "X must be monotone");
+            assert!(
+                sol.throughput <= b.throughput_upper + 1e-9,
+                "n={n}: X {} exceeds bound {}",
+                sol.throughput,
+                b.throughput_upper
+            );
+            assert!(sol.response_time >= b.response_lower - 1e-9);
+            last = sol.throughput;
+        }
+        // Saturated: the M/M/1 station caps X at 1/S = 25.
+        assert!((net.solve(120).throughput - 25.0).abs() / 25.0 < 1e-3);
+    }
+
+    #[test]
+    fn bounds_cap_is_min_over_stations() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::Queueing {
+                    visit_ratio: 1.0,
+                    service_time: 0.02,
+                    servers: 2, // cap 100/s
+                },
+                Station::Queueing {
+                    visit_ratio: 2.0,
+                    service_time: 0.03,
+                    servers: 1, // cap 1/(2·0.03) ≈ 16.7/s
+                },
+            ],
+            0.5,
+        );
+        let b = net.asymptotic_bounds(1000);
+        assert!((b.throughput_upper - 1.0 / 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "service time must be positive")]
+    fn rejects_zero_service_time() {
+        let _ = ClosedNetwork::new(
+            vec![Station::Delay {
+                visit_ratio: 1.0,
+                service_time: 0.0,
+            }],
+            1.0,
+        );
+    }
+
+    #[test]
+    fn law_rate_table_frictionless_is_mmc() {
+        let rate = law_rate_table(0.05, 3, 10, |_| 0.05);
+        assert_eq!(rate.len(), 10);
+        assert!((rate[0] - 1.0).abs() < 1e-12);
+        assert!((rate[1] - 2.0).abs() < 1e-12);
+        assert!((rate[2] - 3.0).abs() < 1e-12);
+        assert!((rate[9] - 3.0).abs() < 1e-12, "caps at the pool size");
+    }
+}

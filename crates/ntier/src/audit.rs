@@ -1,0 +1,479 @@
+//! Runtime conservation auditing: cross-checks the simulator's independent
+//! accounting paths against the operational laws they must jointly satisfy.
+//!
+//! The DES keeps several *redundant* books: the [`SystemCounters`] outcome
+//! tally vs the live request map, the thread-pool time-weighted occupancy
+//! vs the span log, the CPU busy clock vs the work it delivered. In a
+//! correct simulator these agree to floating-point precision; a bug in any
+//! path (a leaked permit, a double-counted completion, a span emitted with
+//! inverted timestamps, a CPU delivering more work than physically
+//! possible) breaks one of the identities. The [`ConservationAuditor`]
+//! measures a window `[begin, finish]` and reports every broken identity:
+//!
+//! * **flow balance** — every submitted request is in exactly one place:
+//!   `submitted = completed + rejected + timed_out + failed + in-flight`,
+//!   with "in-flight" counted from the live request map, not derived;
+//! * **span ordering** — every span has
+//!   `arrived_at ≤ started_at ≤ finished_at`;
+//! * **Little's law per server** — the pool-accounting occupancy integral
+//!   `∫ threads_in_use dt` equals `X·R` reconstructed from the span log
+//!   (dwell of spans finished in the window, clipped, plus the dwell of
+//!   frames still holding threads);
+//! * **utilization law per server** — with `n` bursts the CPU delivers
+//!   `n/f(n)` work-seconds per second, so over any window
+//!   `busy·min_rate ≤ executed work ≤ busy·peak_rate` and `busy ≤ elapsed`,
+//!   where the rates range over the concurrency levels the CPU actually
+//!   reached;
+//! * **work conservation per server** — a burst can only run on a held
+//!   thread, so `∫ threads dt ≥ busy seconds`.
+//!
+//! Servers that stopped (crashed or drained) during the window are skipped:
+//! a crash tears pools down without releasing permits, so their books
+//! freeze mid-sentence by design. Every check is a pure function over plain
+//! numbers, so each one has a deliberately-broken-invariant test proving it
+//! can fail.
+
+use std::collections::BTreeMap;
+
+use dcm_sim::time::SimTime;
+
+use crate::ids::ServerId;
+use crate::request::Phase;
+use crate::spans::Span;
+use crate::system::{System, SystemCounters};
+
+/// One broken invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which check failed (`flow-balance`, `span-ordering`, `littles-law`,
+    /// `utilization-law`, `work-conservation`).
+    pub check: &'static str,
+    /// What the check was looking at (a server name, `system`, a span).
+    pub subject: String,
+    /// Human-readable mismatch description with both sides of the identity.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.check, self.subject, self.detail)
+    }
+}
+
+/// The outcome of one audited window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Window start.
+    pub window_start: SimTime,
+    /// Window end.
+    pub window_end: SimTime,
+    /// Servers whose books were cross-checked (running at both ends).
+    pub servers_audited: usize,
+    /// Spans inspected.
+    pub spans_audited: usize,
+    /// Every broken identity found; empty means the window is clean.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with a readable list when any invariant was violated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report holds at least one violation.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "conservation audit failed ({} violations over [{:.3}s, {:.3}s]):\n{}",
+            self.violations.len(),
+            self.window_start.as_secs_f64(),
+            self.window_end.as_secs_f64(),
+            self.violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Per-server accounting marks at window start.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerMark {
+    busy_seconds: f64,
+    executed_work: f64,
+    threads_integral: f64,
+}
+
+/// Opt-in conservation auditor over a measurement window.
+///
+/// Usage: enable span tracing, call [`ConservationAuditor::begin`] at the
+/// window start (after draining previously recorded spans), run the
+/// simulation, then pass the spans recorded *since begin* to
+/// [`ConservationAuditor::finish`].
+#[derive(Debug)]
+pub struct ConservationAuditor {
+    begin: SimTime,
+    marks: BTreeMap<ServerId, ServerMark>,
+}
+
+impl ConservationAuditor {
+    /// Snapshots every live server's books at `now`.
+    pub fn begin(system: &System, now: SimTime) -> Self {
+        let marks = system
+            .servers()
+            .filter(|s| !s.is_stopped())
+            .map(|s| {
+                (
+                    s.id(),
+                    ServerMark {
+                        busy_seconds: s.cpu().projected_busy_seconds(now),
+                        executed_work: s.cpu().projected_executed_work(now),
+                        threads_integral: s.threads_time_integral(now),
+                    },
+                )
+            })
+            .collect();
+        ConservationAuditor { begin: now, marks }
+    }
+
+    /// Cross-checks the window `[begin, now]` and reports every broken
+    /// identity. `spans` must be exactly the spans recorded since
+    /// [`ConservationAuditor::begin`].
+    pub fn finish(&self, system: &System, spans: &[Span], now: SimTime) -> AuditReport {
+        let mut violations = Vec::new();
+
+        if let Some(v) = check_flow_balance(&system.counters(), system.live_requests()) {
+            violations.push(v);
+        }
+        violations.extend(check_span_ordering(spans));
+
+        // Servers running at both window ends (stopped servers freeze their
+        // books mid-crash by design — see module docs).
+        let audited: BTreeMap<ServerId, &crate::server::Server> = system
+            .servers()
+            .filter(|s| !s.is_stopped())
+            .map(|s| (s.id(), s))
+            .collect();
+
+        // Span-side occupancy per server: dwell of recorded spans clipped
+        // to the window, plus the dwell of frames still holding threads.
+        let mut span_occ: BTreeMap<ServerId, f64> = audited.keys().map(|&sid| (sid, 0.0)).collect();
+        for span in spans {
+            if let Some(acc) = span_occ.get_mut(&span.server) {
+                *acc += clipped_overlap(span.started_at, span.finished_at, self.begin, now);
+            }
+        }
+        for req in system.requests.values() {
+            for frame in &req.frames {
+                if frame.phase == Phase::AwaitThread {
+                    continue;
+                }
+                if let Some(acc) = span_occ.get_mut(&frame.server) {
+                    *acc += clipped_overlap(frame.thread_since, now, self.begin, now);
+                }
+            }
+        }
+
+        let elapsed = now.saturating_since(self.begin).as_secs_f64();
+        for (&sid, server) in &audited {
+            let mark = self.marks.get(&sid).copied().unwrap_or_default();
+            let busy = server.cpu().projected_busy_seconds(now) - mark.busy_seconds;
+            let executed = server.cpu().projected_executed_work(now) - mark.executed_work;
+            let occupancy = server.threads_time_integral(now) - mark.threads_integral;
+            let (peak_rate, min_rate) = work_rate_range(server);
+            let name = server.name();
+
+            if let Some(v) = check_littles_law(name, occupancy, span_occ[&sid]) {
+                violations.push(v);
+            }
+            violations.extend(check_utilization_law(
+                name, busy, elapsed, executed, peak_rate, min_rate,
+            ));
+            if let Some(v) = check_work_conservation(name, occupancy, busy) {
+                violations.push(v);
+            }
+        }
+
+        AuditReport {
+            window_start: self.begin,
+            window_end: now,
+            servers_audited: audited.len(),
+            spans_audited: spans.len(),
+            violations,
+        }
+    }
+}
+
+/// Overlap of `[from, to]` with the window `[w0, w1]`, clamped at zero.
+fn clipped_overlap(from: SimTime, to: SimTime, w0: SimTime, w1: SimTime) -> f64 {
+    let lo = if from > w0 { from } else { w0 };
+    let hi = if to < w1 { to } else { w1 };
+    hi.saturating_since(lo).as_secs_f64()
+}
+
+/// The range of work-delivery rates `n·(1/f(n))` over every concurrency
+/// level `n` this CPU has actually reached.
+fn work_rate_range(server: &crate::server::Server) -> (f64, f64) {
+    let law = server.cpu().law();
+    let hwm = server.cpu().max_active_bursts().max(1) as u32;
+    let mut peak = 0.0f64;
+    let mut min = f64::INFINITY;
+    for n in 1..=hwm {
+        let rate = f64::from(n) * law.progress_speed(n);
+        peak = peak.max(rate);
+        min = min.min(rate);
+    }
+    (peak, min)
+}
+
+/// Flow balance: `submitted = completed + rejected + timed_out + failed +
+/// live`, where `live` is counted from the request map (not derived).
+pub fn check_flow_balance(counters: &SystemCounters, live_requests: usize) -> Option<Violation> {
+    let resolved = i128::from(counters.completed)
+        + i128::from(counters.rejected)
+        + i128::from(counters.timed_out)
+        + i128::from(counters.failed);
+    let balance = i128::from(counters.submitted) - resolved - live_requests as i128;
+    (balance != 0).then(|| Violation {
+        check: "flow-balance",
+        subject: "system".into(),
+        detail: format!(
+            "submitted {} != completed {} + rejected {} + timed_out {} + failed {} + live {} \
+             (imbalance {balance})",
+            counters.submitted,
+            counters.completed,
+            counters.rejected,
+            counters.timed_out,
+            counters.failed,
+            live_requests,
+        ),
+    })
+}
+
+/// Span ordering: every span satisfies `arrived ≤ started ≤ finished`.
+pub fn check_span_ordering(spans: &[Span]) -> Vec<Violation> {
+    spans
+        .iter()
+        .filter(|s| !(s.arrived_at <= s.started_at && s.started_at <= s.finished_at))
+        .map(|s| Violation {
+            check: "span-ordering",
+            subject: format!("request {} tier {}", s.request, s.tier),
+            detail: format!(
+                "arrived {:.6} / started {:.6} / finished {:.6} out of order",
+                s.arrived_at.as_secs_f64(),
+                s.started_at.as_secs_f64(),
+                s.finished_at.as_secs_f64(),
+            ),
+        })
+        .collect()
+}
+
+/// Little's law: the pool-accounting occupancy integral must equal the
+/// span-reconstructed one (`X·R` over the window) to float precision.
+pub fn check_littles_law(
+    subject: &str,
+    occupancy_integral: f64,
+    span_occupancy_integral: f64,
+) -> Option<Violation> {
+    let diff = (occupancy_integral - span_occupancy_integral).abs();
+    let tol = 1e-6 * occupancy_integral.abs().max(span_occupancy_integral.abs()) + 1e-4;
+    (diff > tol).then(|| Violation {
+        check: "littles-law",
+        subject: subject.into(),
+        detail: format!(
+            "pool occupancy ∫n dt = {occupancy_integral:.6} thread-s but spans reconstruct \
+             {span_occupancy_integral:.6} (diff {diff:.3e} > tol {tol:.3e})"
+        ),
+    })
+}
+
+/// Utilization law: `busy ≤ elapsed` and
+/// `busy·min_rate ≤ executed ≤ busy·peak_rate` for the work-delivery rates
+/// the CPU can actually run at.
+pub fn check_utilization_law(
+    subject: &str,
+    busy_seconds: f64,
+    elapsed: f64,
+    executed_work: f64,
+    peak_rate: f64,
+    min_rate: f64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let tol = |x: f64| 1e-9 * x.abs() + 1e-6;
+    if busy_seconds > elapsed + tol(elapsed) {
+        out.push(Violation {
+            check: "utilization-law",
+            subject: subject.into(),
+            detail: format!("busy {busy_seconds:.6}s exceeds window {elapsed:.6}s"),
+        });
+    }
+    let ceiling = busy_seconds * peak_rate;
+    if executed_work > ceiling + tol(ceiling) {
+        out.push(Violation {
+            check: "utilization-law",
+            subject: subject.into(),
+            detail: format!(
+                "executed {executed_work:.6} work-s exceeds busy·peak = {busy_seconds:.6}·\
+                 {peak_rate:.6} = {ceiling:.6}"
+            ),
+        });
+    }
+    let floor = busy_seconds * min_rate;
+    if executed_work < floor - tol(floor) {
+        out.push(Violation {
+            check: "utilization-law",
+            subject: subject.into(),
+            detail: format!(
+                "executed {executed_work:.6} work-s below busy·min = {busy_seconds:.6}·\
+                 {min_rate:.6} = {floor:.6}"
+            ),
+        });
+    }
+    out
+}
+
+/// Work conservation: a burst only runs on a held thread, so the thread
+/// occupancy integral dominates the CPU busy time.
+pub fn check_work_conservation(
+    subject: &str,
+    threads_integral: f64,
+    busy_seconds: f64,
+) -> Option<Violation> {
+    let tol = 1e-9 * busy_seconds.abs() + 1e-6;
+    (threads_integral < busy_seconds - tol).then(|| Violation {
+        check: "work-conservation",
+        subject: subject.into(),
+        detail: format!(
+            "∫threads dt = {threads_integral:.6} thread-s < cpu busy {busy_seconds:.6}s: \
+             work ran without a thread"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(submitted: u64, completed: u64, failed: u64) -> SystemCounters {
+        SystemCounters {
+            submitted,
+            completed,
+            rejected: 0,
+            timed_out: 0,
+            failed,
+            retried: 0,
+        }
+    }
+
+    #[test]
+    fn flow_balance_accepts_consistent_books() {
+        assert!(check_flow_balance(&counters(10, 7, 1), 2).is_none());
+    }
+
+    #[test]
+    fn flow_balance_flags_leaked_request() {
+        // 10 submitted, 7+1 resolved, but only 1 live: one request vanished.
+        let v = check_flow_balance(&counters(10, 7, 1), 1).expect("must flag");
+        assert_eq!(v.check, "flow-balance");
+        assert!(v.detail.contains("imbalance 1"), "{}", v.detail);
+    }
+
+    #[test]
+    fn flow_balance_flags_double_count() {
+        // More outcomes than submissions.
+        assert!(check_flow_balance(&counters(5, 6, 0), 0).is_some());
+    }
+
+    #[test]
+    fn span_ordering_flags_inverted_timestamps() {
+        let t = SimTime::from_secs_f64;
+        let good = Span {
+            request: crate::ids::RequestId::new(1),
+            tier: 0,
+            server: ServerId::new(1),
+            arrived_at: t(1.0),
+            started_at: t(1.5),
+            finished_at: t(2.0),
+            completed: true,
+        };
+        let started_before_arrival = Span {
+            started_at: t(0.5),
+            ..good
+        };
+        let finished_before_start = Span {
+            finished_at: t(1.2),
+            ..good
+        };
+        assert!(check_span_ordering(&[good]).is_empty());
+        assert_eq!(check_span_ordering(&[started_before_arrival]).len(), 1);
+        assert_eq!(check_span_ordering(&[finished_before_start]).len(), 1);
+        assert_eq!(
+            check_span_ordering(&[good, started_before_arrival, finished_before_start]).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn littles_law_flags_occupancy_mismatch() {
+        assert!(check_littles_law("s", 100.0, 100.0 + 5e-5).is_none());
+        let v = check_littles_law("s", 100.0, 103.0).expect("must flag");
+        assert_eq!(v.check, "littles-law");
+    }
+
+    #[test]
+    fn utilization_law_flags_overdelivery_and_idle_gaps() {
+        // Clean: 10 busy seconds at rates within [0.5, 2.0].
+        assert!(check_utilization_law("s", 10.0, 60.0, 12.0, 2.0, 0.5).is_empty());
+        // Busy exceeding the window (executed stays within its rate band).
+        assert_eq!(
+            check_utilization_law("s", 61.0, 60.0, 40.0, 2.0, 0.5).len(),
+            1
+        );
+        // CPU claims more work than busy·peak allows.
+        assert_eq!(
+            check_utilization_law("s", 10.0, 60.0, 21.0, 2.0, 0.5).len(),
+            1
+        );
+        // CPU claims less work than busy·min guarantees.
+        assert_eq!(
+            check_utilization_law("s", 10.0, 60.0, 4.0, 2.0, 0.5).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn work_conservation_flags_threadless_work() {
+        assert!(check_work_conservation("s", 50.0, 49.0).is_none());
+        let v = check_work_conservation("s", 40.0, 49.0).expect("must flag");
+        assert_eq!(v.check, "work-conservation");
+    }
+
+    #[test]
+    fn report_assert_clean_panics_with_details() {
+        let report = AuditReport {
+            window_start: SimTime::ZERO,
+            window_end: SimTime::from_secs(1),
+            servers_audited: 1,
+            spans_audited: 0,
+            violations: vec![Violation {
+                check: "littles-law",
+                subject: "tomcat-1".into(),
+                detail: "mismatch".into(),
+            }],
+        };
+        assert!(!report.is_clean());
+        let err = std::panic::catch_unwind(|| report.assert_clean())
+            .expect_err("assert_clean must panic");
+        let msg = err.downcast_ref::<String>().expect("panic carries message");
+        assert!(
+            msg.contains("littles-law") && msg.contains("tomcat-1"),
+            "{msg}"
+        );
+    }
+}

@@ -86,6 +86,7 @@ pub struct CpuScheduler {
     seq: u64,
     busy_seconds: f64,
     completed_work: f64,
+    max_active_bursts: usize,
 }
 
 /// Slack (in work-seconds) tolerated when deciding a burst is done, to
@@ -105,6 +106,7 @@ impl CpuScheduler {
             seq: 0,
             busy_seconds: 0.0,
             completed_work: 0.0,
+            max_active_bursts: 0,
         }
     }
 
@@ -131,6 +133,44 @@ impl CpuScheduler {
     /// Cumulative work-seconds of completed bursts.
     pub fn completed_work(&self) -> f64 {
         self.completed_work
+    }
+
+    /// The largest number of bursts ever simultaneously active — the
+    /// concurrency high-water mark bounding every speed the CPU has run at.
+    pub fn max_active_bursts(&self) -> usize {
+        self.max_active_bursts
+    }
+
+    /// [`CpuScheduler::busy_seconds`] projected through `now` without
+    /// mutating the clock (read-only view for auditors).
+    pub fn projected_busy_seconds(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        if self.bursts.is_empty() {
+            self.busy_seconds
+        } else {
+            self.busy_seconds + dt
+        }
+    }
+
+    /// Total work-seconds *executed* through `now`: work credited to
+    /// completed bursts plus the progress already made on bursts still on
+    /// the CPU. Read-only (the clock is projected, not advanced).
+    pub fn projected_executed_work(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        let projected_clock = if self.bursts.is_empty() {
+            self.work_clock
+        } else {
+            self.work_clock + dt * self.speed()
+        };
+        let in_progress: f64 = self
+            .bursts
+            .iter()
+            .map(|&Reverse(b)| {
+                let remaining = (b.target.0 - projected_clock).max(0.0);
+                (b.work.0 - remaining).max(0.0)
+            })
+            .sum();
+        self.completed_work + in_progress
     }
 
     fn speed(&self) -> f64 {
@@ -184,6 +224,7 @@ impl CpuScheduler {
         };
         self.seq += 1;
         self.bursts.push(Reverse(burst));
+        self.max_active_bursts = self.max_active_bursts.max(self.bursts.len());
     }
 
     /// When and for which request the next completion occurs, given no

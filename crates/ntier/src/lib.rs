@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod balancer;
 pub mod cpu;
 pub mod faults;
@@ -68,6 +69,7 @@ pub mod system;
 pub mod topology;
 pub mod world;
 
+pub use audit::{AuditReport, ConservationAuditor, Violation};
 pub use balancer::{Balancer, BalancerPolicy};
 pub use ids::{RequestId, ServerId, TierId, VmId};
 pub use law::ServiceLaw;

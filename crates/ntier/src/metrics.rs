@@ -42,6 +42,12 @@ impl TimeWeighted {
         self.integral
     }
 
+    /// The integral `∫ value dt` projected through `now` without mutating
+    /// the accumulator (read-only view for auditors).
+    pub fn projected_integral(&self, now: SimTime) -> f64 {
+        self.integral + self.value * now.saturating_since(self.last_update).as_secs_f64()
+    }
+
     /// Settles the integral through `now`.
     pub fn settle(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_update).as_secs_f64();

@@ -166,6 +166,14 @@ impl Server {
         self.thread_pool.in_use()
     }
 
+    /// The time integral `∫ threads_in_use dt` since launch, projected
+    /// through `now` (read-only; does not disturb sampling windows). This
+    /// is the pool-accounting side of the Little's-law audit — the span log
+    /// reconstructs the same integral independently.
+    pub fn threads_time_integral(&self, now: SimTime) -> f64 {
+        self.threads_tw.projected_integral(now)
+    }
+
     /// Marks the server running (boot finished).
     pub fn mark_running(&mut self) {
         self.state = ServerState::Running;

@@ -254,7 +254,13 @@ impl System {
         self.servers.values()
     }
 
-    /// Conservation counters.
+    /// Requests currently inside the system, counted from the live request
+    /// map (the independent side of the flow-balance audit).
+    pub fn live_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The outcome counters.
     pub fn counters(&self) -> SystemCounters {
         self.counters
     }

@@ -42,6 +42,18 @@ impl fmt::Display for InvalidHistogramBounds {
 
 impl std::error::Error for InvalidHistogramBounds {}
 
+/// Error merging two [`Histogram`]s with different binning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinningMismatch;
+
+impl fmt::Display for BinningMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histograms must share bounds and bin count to merge")
+    }
+}
+
+impl std::error::Error for BinningMismatch {}
+
 impl Histogram {
     /// Creates a histogram with `bins` equal-width buckets spanning
     /// `[low, high)`.
@@ -167,6 +179,28 @@ impl Histogram {
         }
         let (a, b) = self.bin_range(self.bins.len() - 1);
         Some((a + b) / 2.0)
+    }
+
+    /// Folds `other`'s counts into `self` — the result is exactly the
+    /// histogram that would have recorded both observation streams (bucket
+    /// counts are integers, so merging is associative and commutative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinningMismatch`] unless both histograms share `low`,
+    /// `high`, and the bin count; nothing is modified on error.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), BinningMismatch> {
+        if self.low != other.low || self.high != other.high || self.bins.len() != other.bins.len() {
+            return Err(BinningMismatch);
+        }
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        Ok(())
     }
 
     /// Resets all counts while keeping the binning.

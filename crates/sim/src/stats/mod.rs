@@ -12,7 +12,7 @@ mod replication;
 mod timeseries;
 mod welford;
 
-pub use histogram::{Histogram, InvalidHistogramBounds};
+pub use histogram::{BinningMismatch, Histogram, InvalidHistogramBounds};
 pub use quantile::{P2Quantile, SampleQuantiles};
 pub use replication::{t_critical_95, Replications};
 pub use timeseries::{RateMeter, StepGauge, TimeSeries};

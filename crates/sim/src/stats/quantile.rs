@@ -88,6 +88,14 @@ impl SampleQuantiles {
         self.samples.clear();
         self.sorted = true;
     }
+
+    /// Absorbs `other`'s retained samples — quantiles of the result are
+    /// exactly the quantiles of the concatenated observation streams, in
+    /// any merge order or grouping.
+    pub fn merge(&mut self, other: &SampleQuantiles) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = self.samples.is_empty();
+    }
 }
 
 impl Extend<f64> for SampleQuantiles {

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use dcm_sim::dist::{AliasTable, Dist, Sample};
 use dcm_sim::engine::Engine;
 use dcm_sim::rng::SimRng;
-use dcm_sim::stats::{OnlineStats, RateMeter, SampleQuantiles, StepGauge};
+use dcm_sim::stats::{Histogram, OnlineStats, RateMeter, SampleQuantiles, StepGauge};
 use dcm_sim::time::{SimDuration, SimTime};
 
 proptest! {
@@ -158,6 +158,125 @@ proptest! {
                 prop_assert!(seen[i], "category {i} with mass {} never sampled", w / total);
             }
         }
+    }
+
+    /// Merging histograms equals histogramming the concatenated stream:
+    /// every bucket (including under/overflow) and the total count match
+    /// exactly, and the mean to float tolerance.
+    #[test]
+    fn histogram_merge_is_concatenation(
+        a in prop::collection::vec(-50.0f64..150.0, 0..200),
+        b in prop::collection::vec(-50.0f64..150.0, 0..200),
+    ) {
+        let record_all = |xs: &[f64]| {
+            let mut h = Histogram::new(0.0, 100.0, 16).unwrap();
+            xs.iter().for_each(|&x| h.record(x));
+            h
+        };
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b)).unwrap();
+        let full = record_all(&a.iter().chain(b.iter()).copied().collect::<Vec<_>>());
+        prop_assert_eq!(merged.count(), full.count());
+        prop_assert_eq!(merged.underflow(), full.underflow());
+        prop_assert_eq!(merged.overflow(), full.overflow());
+        for i in 0..merged.num_bins() {
+            prop_assert_eq!(merged.bin_count(i), full.bin_count(i), "bin {}", i);
+        }
+        prop_assert!((merged.mean() - full.mean()).abs() <= 1e-9 * full.mean().abs() + 1e-12);
+    }
+
+    /// Histogram merge is commutative and associative: bucket counts are
+    /// integers, so any merge order yields the identical histogram (sums
+    /// compared to float tolerance via the mean).
+    #[test]
+    fn histogram_merge_is_commutative_and_associative(
+        a in prop::collection::vec(-50.0f64..150.0, 0..120),
+        b in prop::collection::vec(-50.0f64..150.0, 0..120),
+        c in prop::collection::vec(-50.0f64..150.0, 0..120),
+    ) {
+        let record_all = |xs: &[f64]| {
+            let mut h = Histogram::new(0.0, 100.0, 8).unwrap();
+            xs.iter().for_each(|&x| h.record(x));
+            h
+        };
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+        // Commutativity: a+b vs b+a.
+        let mut ab = ha.clone();
+        ab.merge(&hb).unwrap();
+        let mut ba = hb.clone();
+        ba.merge(&ha).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        // Associativity: (a+b)+c vs a+(b+c).
+        let mut left = ab;
+        left.merge(&hc).unwrap();
+        let mut bc = hb.clone();
+        bc.merge(&hc).unwrap();
+        let mut right = ha.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left.count(), right.count());
+        for i in 0..left.num_bins() {
+            prop_assert_eq!(left.bin_count(i), right.bin_count(i), "bin {}", i);
+        }
+        prop_assert!((left.mean() - right.mean()).abs() <= 1e-9 * right.mean().abs() + 1e-12);
+    }
+
+    /// Histogram binning mismatches are rejected without touching the
+    /// receiver.
+    #[test]
+    fn histogram_merge_rejects_mismatched_binning(xs in prop::collection::vec(0.0f64..10.0, 1..50)) {
+        let mut h = Histogram::new(0.0, 10.0, 8).unwrap();
+        xs.iter().for_each(|&x| h.record(x));
+        let before = h.clone();
+        prop_assert!(h.merge(&Histogram::new(0.0, 10.0, 9).unwrap()).is_err());
+        prop_assert!(h.merge(&Histogram::new(0.0, 12.0, 8).unwrap()).is_err());
+        prop_assert_eq!(&h, &before);
+    }
+
+    /// Histogram quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        xs in prop::collection::vec(0.0f64..100.0, 1..300),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..20),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 20).unwrap();
+        xs.iter().for_each(|&x| h.record(x));
+        let mut sorted_q = qs.clone();
+        sorted_q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<f64> = sorted_q.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantile not monotone: {:?}", values);
+        }
+    }
+
+    /// Merging sample buffers conserves the observation count and yields
+    /// exactly the quantiles of the concatenated stream, regardless of how
+    /// the observations were grouped or ordered across buffers.
+    #[test]
+    fn sample_quantile_merge_is_concatenation(
+        a in prop::collection::vec(-1e6f64..1e6, 0..200),
+        b in prop::collection::vec(-1e6f64..1e6, 0..200),
+        c in prop::collection::vec(-1e6f64..1e6, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let collect = |xs: &[f64]| xs.iter().copied().collect::<SampleQuantiles>();
+        let (qa, qb, qc) = (collect(&a), collect(&b), collect(&c));
+        // (a+b)+c in merge order vs c+(b+a) vs one buffer over everything.
+        let mut left = qa.clone();
+        left.merge(&qb);
+        left.merge(&qc);
+        let mut right = qc.clone();
+        let mut ba = qb;
+        ba.merge(&qa);
+        right.merge(&ba);
+        let mut full = collect(&a);
+        full.extend(b.iter().copied());
+        full.extend(c.iter().copied());
+        prop_assert_eq!(left.len(), a.len() + b.len() + c.len());
+        prop_assert_eq!(right.len(), left.len());
+        prop_assert_eq!(full.len(), left.len());
+        // Quantiles over a sorted multiset: identical for every grouping.
+        prop_assert_eq!(left.quantile(q), right.quantile(q));
+        prop_assert_eq!(left.quantile(q), full.quantile(q));
     }
 
     /// run_until never executes events beyond the deadline and leaves the

@@ -142,6 +142,22 @@ impl UserPopulation {
         )
     }
 
+    /// Starts a population with an explicit think-time distribution
+    /// (`None` = closed loop). Delay terminals are insensitive to the think
+    /// distribution in product-form networks, so the conformance harness
+    /// uses a constant think time here to cut measurement variance without
+    /// leaving the model class.
+    pub fn start_with_think_dist(
+        world: &mut World,
+        engine: &mut SimEngine,
+        factory: ProfileFactory,
+        users: u32,
+        think: Option<Dist>,
+        stop_at: SimTime,
+    ) -> Self {
+        Self::start(world, engine, factory, think, users, stop_at)
+    }
+
     /// Like [`UserPopulation::start_think_time`], with an optional shared
     /// think-time multiplier cell (see
     /// [`crate::burstiness::MmppModulator`]) applied to every sampled

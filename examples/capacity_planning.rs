@@ -75,6 +75,7 @@ fn main() {
         measure: SimDuration::from_secs(60),
         think_time_secs: 3.0,
         seed: 5,
+        ..SteadyStateOptions::default()
     };
     // Soft resources at each tier's optimum: app pools at N*_app, conn
     // pools sharing N*_db per db server across app servers.

@@ -147,6 +147,7 @@ fn scale_out_crossover_reproduces_fig2b() {
         measure: SimDuration::from_secs(30),
         think_time_secs: 3.0,
         seed: 3,
+        audit: true,
     };
     let soft = SoftConfig::DEFAULT;
     let baseline = steady_state_throughput((1, 1, 1), soft, 400, &options);
@@ -457,6 +458,87 @@ fn dcm_controls_the_four_tier_deployment() {
     assert_eq!(world.system.counters().in_flight(), 0);
     // The LB tier was never scaled (not in scalable_tiers).
     assert_eq!(world.system.running_count(2), 1);
+}
+
+#[test]
+fn chaos_run_passes_conservation_audit() {
+    // The full chaos schedule — VM crash, straggler episode, transient
+    // failures, client retries, deadlines, inter-tier retries — under the
+    // conservation auditor. run_trace_experiment panics on any violated
+    // conservation law when `audit` is set, so completing is the assertion.
+    let (mut config, _) =
+        dcm_bench::experiments::chaos::chaos_config(dcm_bench::experiments::Fidelity::Quick);
+    config.audit = true;
+    let run = run_trace_experiment(&config, |bus| {
+        Ec2AutoScale::new(bus, ScalingConfig::default())
+    });
+    assert!(run.counters.failed > 0, "chaos must strike in-flight work");
+    assert_eq!(run.counters.in_flight(), 0);
+}
+
+#[test]
+fn spans_reconcile_with_request_outcomes_under_faults() {
+    // Span-conservation regression: with tracing on through a faulted run
+    // (crash + transient failures, so Outcome::Failed occurs), every span
+    // is time-ordered and the span log reconciles with the per-request
+    // outcome counters.
+    use dcm_ntier::faults::install_fault_plan;
+    use dcm_ntier::topology::ThreeTierBuilder;
+    use dcm_sim::faults::FaultPlan;
+    use dcm_workload::generator::UserPopulation;
+    use dcm_workload::profile::ProfileFactory;
+    use std::collections::BTreeMap;
+
+    let (mut world, mut engine) = ThreeTierBuilder::new()
+        .counts(1, 2, 1)
+        .soft(SoftConfig::new(1000, 200, 40))
+        .seed(47)
+        .build();
+    world.system.enable_tracing();
+    let plan = FaultPlan::none()
+        .with_crash(60.0, 1, 1)
+        .with_transient_failures(0.01);
+    install_fault_plan(&mut world, &mut engine, &plan);
+    UserPopulation::start_trace_driven(
+        &mut world,
+        &mut engine,
+        ProfileFactory::rubbos(),
+        &traces::step(60, 200, 30.0),
+        1.0,
+        SimTime::from_secs(120),
+    );
+    engine.run(&mut world);
+
+    let spans = world.system.take_spans();
+    let counters = world.system.counters();
+    assert_eq!(counters.in_flight(), 0);
+    assert!(counters.failed > 0, "faults must produce Outcome::Failed");
+    assert!(
+        dcm_ntier::audit::check_span_ordering(&spans).is_empty(),
+        "every span must satisfy arrived <= started <= finished"
+    );
+
+    // Exactly one completed entry-tier span per completed request, none
+    // for requests that failed; failures leave incomplete spans behind.
+    let mut entry_completions: BTreeMap<dcm_ntier::ids::RequestId, u64> = BTreeMap::new();
+    for s in &spans {
+        if s.tier == 0 && s.completed {
+            *entry_completions.entry(s.request).or_insert(0) += 1;
+        }
+    }
+    assert!(
+        entry_completions.values().all(|&n| n == 1),
+        "a request must complete its entry tier at most once"
+    );
+    assert_eq!(
+        entry_completions.len() as u64,
+        counters.completed,
+        "completed entry-tier spans must match the completion counter"
+    );
+    assert!(
+        spans.iter().any(|s| !s.completed),
+        "failed requests must leave incomplete spans"
+    );
 }
 
 #[test]
