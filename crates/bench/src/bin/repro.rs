@@ -91,6 +91,9 @@ fn usage() -> String {
      \x20             results/validate.json and results/validate.csv,\n\
      \x20             exits non-zero on any tolerance breach)\n\
      \x20 all         everything above, in order\n\
+     \x20 lint        dcm-lint determinism static analysis over the whole\n\
+     \x20             workspace (writes results/lint.json, exits non-zero\n\
+     \x20             on any violation)\n\
      flags:\n\
      \x20 --quick       short windows / coarse sweeps\n\
      \x20 --audit       run every experiment under the conservation auditor\n\
@@ -195,6 +198,32 @@ impl Perf {
     }
 }
 
+/// `repro lint` — run the dcm-lint determinism pass over the workspace,
+/// write `results/lint.json`, and fail on any violation. Equivalent to
+/// `cargo run -p dcm-lint -- --format json`.
+fn run_lint() -> ExitCode {
+    let root = dcm_lint::default_root();
+    let report = match dcm_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("lint: cannot scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_text());
+    let path = root.join("results/lint.json");
+    match fs::create_dir_all(root.join("results")).and_then(|()| fs::write(&path, report.to_json()))
+    {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn rate(events: u64, secs: f64) -> f64 {
     if secs > 0.0 {
         events as f64 / secs
@@ -242,6 +271,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cli.command == "lint" {
+        return run_lint();
+    }
     let out = Output {
         csv_dir: cli.csv_dir.clone(),
     };

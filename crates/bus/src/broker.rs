@@ -1,7 +1,7 @@
 //! The broker: named topics, partitioning, consumer-group offsets.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 use crate::error::BusError;
@@ -73,9 +73,9 @@ struct Topic<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Broker<T> {
-    topics: HashMap<String, Topic<T>>,
+    topics: BTreeMap<String, Topic<T>>,
     // (group, topic, partition) -> committed offset (next offset to read).
-    group_offsets: HashMap<(String, String, u32), u64>,
+    group_offsets: BTreeMap<(String, String, u32), u64>,
 }
 
 impl<T> Default for Broker<T> {
@@ -88,8 +88,8 @@ impl<T> Broker<T> {
     /// Creates a broker with no topics.
     pub fn new() -> Self {
         Broker {
-            topics: HashMap::new(),
-            group_offsets: HashMap::new(),
+            topics: BTreeMap::new(),
+            group_offsets: BTreeMap::new(),
         }
     }
 
@@ -127,7 +127,7 @@ impl<T> Broker<T> {
         self.topics.contains_key(name)
     }
 
-    /// Topic names, unordered.
+    /// Topic names, in sorted order.
     pub fn topics(&self) -> impl Iterator<Item = &str> {
         self.topics.keys().map(String::as_str)
     }

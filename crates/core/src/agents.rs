@@ -116,8 +116,8 @@ impl VmAgent {
 #[derive(Debug, Default)]
 pub struct AppAgent {
     log: Vec<ActionRecord>,
-    current_threads: std::collections::HashMap<usize, u32>,
-    current_conns: std::collections::HashMap<usize, u32>,
+    current_threads: std::collections::BTreeMap<usize, u32>,
+    current_conns: std::collections::BTreeMap<usize, u32>,
 }
 
 impl AppAgent {

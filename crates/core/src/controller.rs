@@ -88,7 +88,7 @@ fn vm_decisions(
     policy: &mut ThresholdPolicy,
     vm: &mut VmAgent,
     windows: &std::collections::BTreeMap<usize, TierWindow>,
-    silence: &mut std::collections::HashMap<usize, u32>,
+    silence: &mut std::collections::BTreeMap<usize, u32>,
 ) -> Vec<(usize, ScaleDecision)> {
     let tiers: Vec<usize> = policy.config().scalable_tiers.clone();
     let trigger = policy.config().trigger;
@@ -150,7 +150,7 @@ pub struct Ec2AutoScale {
     feed: MetricsFeed,
     policy: ThresholdPolicy,
     vm: VmAgent,
-    silence: std::collections::HashMap<usize, u32>,
+    silence: std::collections::BTreeMap<usize, u32>,
 }
 
 impl std::fmt::Debug for Ec2AutoScale {
@@ -168,7 +168,7 @@ impl Ec2AutoScale {
             feed: MetricsFeed::new(bus, "ec2-autoscale"),
             policy: ThresholdPolicy::new(config),
             vm: VmAgent::new(),
-            silence: std::collections::HashMap::new(),
+            silence: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -308,17 +308,17 @@ pub struct Dcm {
     models: DcmModels,
     config: DcmConfig,
     online: Option<OnlineFit>,
-    trends: std::collections::HashMap<usize, HoltTrend>,
-    silence: std::collections::HashMap<usize, u32>,
+    trends: std::collections::BTreeMap<usize, HoltTrend>,
+    silence: std::collections::BTreeMap<usize, u32>,
     /// Capacity DCM believes each scalable tier should have, updated by
     /// its own scaling decisions. When actual capacity falls below this
     /// (a VM crashed), the gap is re-provisioned on the next tick without
     /// waiting for thresholds to re-trip.
-    desired: std::collections::HashMap<usize, usize>,
+    desired: std::collections::BTreeMap<usize, usize>,
     /// Per-tier server count at the previous tick; a change resets that
     /// tier's Holt smoother (per-server utilization shifts discontinuously
     /// across scale events, so the old trend is meaningless).
-    last_counts: std::collections::HashMap<usize, usize>,
+    last_counts: std::collections::BTreeMap<usize, usize>,
     /// `(k_app, k_db, threads, conns)` of the last applied soft
     /// allocation; a change invalidates the online-refit buffers.
     last_shape: Option<(usize, usize, u32, u32)>,
@@ -344,10 +344,10 @@ impl Dcm {
             models,
             config,
             online: None,
-            trends: std::collections::HashMap::new(),
-            silence: std::collections::HashMap::new(),
-            desired: std::collections::HashMap::new(),
-            last_counts: std::collections::HashMap::new(),
+            trends: std::collections::BTreeMap::new(),
+            silence: std::collections::BTreeMap::new(),
+            desired: std::collections::BTreeMap::new(),
+            last_counts: std::collections::BTreeMap::new(),
             last_shape: None,
         }
     }

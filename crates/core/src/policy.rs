@@ -5,7 +5,7 @@
 //! scale-in requires the utilization to stay below the lower threshold for
 //! several *consecutive* periods, avoiding flapping under bursty load.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -87,7 +87,7 @@ impl Default for ScalingConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdPolicy {
     config: ScalingConfig,
-    below_counts: HashMap<usize, u32>,
+    below_counts: BTreeMap<usize, u32>,
 }
 
 impl ThresholdPolicy {
@@ -95,7 +95,7 @@ impl ThresholdPolicy {
     pub fn new(config: ScalingConfig) -> Self {
         ThresholdPolicy {
             config,
-            below_counts: HashMap::new(),
+            below_counts: BTreeMap::new(),
         }
     }
 

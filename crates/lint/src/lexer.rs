@@ -1,0 +1,650 @@
+//! A minimal Rust lexer — just enough structure for token-level lint rules.
+//!
+//! The goal is *not* to parse Rust. The rules in this crate only need a
+//! stream of identifiers and punctuation with accurate line numbers, with
+//! three properties a plain regex scan cannot provide:
+//!
+//! 1. comments and string/char literals never produce identifier tokens
+//!    (so `// uses HashMap` or `"Instant::now"` cannot false-positive),
+//! 2. `// dcm-lint: allow(...)` suppression comments are surfaced as
+//!    structured directives, and
+//! 3. `#[cfg(test)]` item bodies are mapped to token spans so rules can
+//!    exempt test code without a parser.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token classification. Literals keep only what the rules need: string
+/// contents (for empty-`expect("")` detection); numeric and char literals
+/// carry no payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A string literal (contents without quotes, escapes left as written).
+    Str(String),
+    /// A char or numeric literal.
+    Lit,
+    /// A single punctuation character (`+=` arrives as `+` then `=`).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A `// dcm-lint: allow(<rule>) reason="..."` directive found in a
+/// comment. The directive suppresses matching diagnostics on its own line
+/// and on the line immediately below (so it can trail the offending code or
+/// sit on its own line above it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suppression {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Rule names listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// The mandatory justification. `None` when missing or empty — which is
+    /// itself a lint violation (`bad-suppression`).
+    pub reason: Option<String>,
+    /// Set when the comment contained `dcm-lint:` but did not parse as
+    /// `allow(rule, ...) reason="..."`.
+    pub malformed: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` is true when `tokens[i]` lies inside a `#[cfg(test)]`
+    /// item (or the whole file is `#![cfg(test)]`).
+    pub in_test: Vec<bool>,
+    /// Suppression directives, in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lexes `source`, producing tokens, test-span marks, and suppression
+/// directives. Never fails: unterminated literals or comments simply end at
+/// EOF (the lint runs on code that may not compile yet).
+pub fn lex(source: &str) -> LexedFile {
+    let mut tokens = Vec::new();
+    let mut suppressions = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Skip a shebang so `#!/usr/bin/env ...` is not lexed as `# !` tokens.
+    if bytes.starts_with(b"#!") && !bytes.starts_with(b"#![") {
+        while i < bytes.len() && bytes[i] != b'\n' {
+            i += 1;
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                if let Some(sup) = parse_suppression(text, line) {
+                    suppressions.push(sup);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting respected; may hide a directive too.
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                let comment_line = line;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                if let Some(sup) = parse_suppression(&source[start..end], comment_line) {
+                    suppressions.push(sup);
+                }
+            }
+            '"' => {
+                let (content, next_i, newlines) = scan_string(source, i + 1);
+                tokens.push(Token {
+                    kind: TokKind::Str(content),
+                    line,
+                });
+                line += newlines;
+                i = next_i;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'\''`).
+                let rest = &bytes[i + 1..];
+                if rest.first().is_some_and(|&b| b == b'\\') {
+                    // Escaped char literal.
+                    let mut j = i + 2;
+                    if j < bytes.len() {
+                        j += 1; // the escaped character itself
+                    }
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokKind::Lit,
+                        line,
+                    });
+                    i = (j + 1).min(bytes.len());
+                } else {
+                    // Count ident-ish chars after the quote.
+                    let mut j = i + 1;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'\'') && j > i + 1 {
+                        // 'x' — a char literal (possibly 'ab' which is
+                        // invalid Rust; treat as literal anyway).
+                        tokens.push(Token {
+                            kind: TokKind::Lit,
+                            line,
+                        });
+                        i = j + 1;
+                    } else if j > i + 1 {
+                        // Lifetime: emit nothing (rules never look at them).
+                        i = j;
+                    } else {
+                        // `'(' `, `' '` etc. — a char literal of one
+                        // non-ident char.
+                        let mut k = i + 1;
+                        while k < bytes.len() && bytes[k] != b'\'' && bytes[k] != b'\n' {
+                            k += 1;
+                        }
+                        tokens.push(Token {
+                            kind: TokKind::Lit,
+                            line,
+                        });
+                        i = (k + 1).min(bytes.len());
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_alphanumeric() || b == '_' {
+                        j += 1;
+                    } else if b == '.' && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // `1.5` continues the literal; `1..n` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Lit,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &source[start..j];
+                // Raw / byte string prefixes: r", r#", b", br"...
+                let is_str_prefix = matches!(word, "r" | "b" | "br" | "rb");
+                if is_str_prefix && matches!(bytes.get(j), Some(&b'"') | Some(&b'#')) {
+                    let raw = word.contains('r');
+                    if raw {
+                        let mut hashes = 0usize;
+                        let mut k = j;
+                        while bytes.get(k) == Some(&b'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if bytes.get(k) == Some(&b'"') {
+                            let (content, next_i, newlines) =
+                                scan_raw_string(source, k + 1, hashes);
+                            tokens.push(Token {
+                                kind: TokKind::Str(content),
+                                line,
+                            });
+                            line += newlines;
+                            i = next_i;
+                            continue;
+                        }
+                    } else if bytes.get(j) == Some(&b'"') {
+                        let (content, next_i, newlines) = scan_string(source, j + 1);
+                        tokens.push(Token {
+                            kind: TokKind::Str(content),
+                            line,
+                        });
+                        line += newlines;
+                        i = next_i;
+                        continue;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident(word.to_string()),
+                    line,
+                });
+                i = j;
+            }
+            other => {
+                tokens.push(Token {
+                    kind: TokKind::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    let in_test = mark_test_spans(&tokens);
+    LexedFile {
+        tokens,
+        in_test,
+        suppressions,
+    }
+}
+
+/// Scans a non-raw string body starting just past the opening quote.
+/// Returns `(contents, index past closing quote, newlines consumed)`.
+fn scan_string(source: &str, start: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                return (source[start..i].to_string(), i + 1, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (source[start..].to_string(), bytes.len(), newlines)
+}
+
+/// Scans a raw string body (`r#"..."#` with `hashes` hash marks) starting
+/// just past the opening quote.
+fn scan_raw_string(source: &str, start: usize, hashes: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (source[start..i].to_string(), i + 1 + hashes, newlines);
+            }
+        }
+        if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    (source[start..].to_string(), bytes.len(), newlines)
+}
+
+/// Parses a `dcm-lint:` directive out of one comment's text. Returns `None`
+/// for ordinary comments. A directive must *start* the comment (after any
+/// doc-comment markers) — prose that merely mentions the grammar, like this
+/// very sentence's `dcm-lint: allow(...)`, is not a directive.
+fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
+    let text = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let body = text.strip_prefix("dcm-lint:")?.trim();
+    let malformed = |_: &str| Suppression {
+        line,
+        rules: Vec::new(),
+        reason: None,
+        malformed: true,
+    };
+    let Some(rest) = body.strip_prefix("allow") else {
+        return Some(malformed(body));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(malformed(body));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(malformed(body));
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.find('"').map(|end| t[..end].trim().to_string()))
+        .filter(|r| !r.is_empty());
+    let malformed = rules.is_empty();
+    Some(Suppression {
+        line,
+        rules,
+        reason,
+        malformed,
+    })
+}
+
+/// Marks token spans covered by `#[cfg(test)]` items (and everything, for a
+/// file-level `#![cfg(test)]`).
+fn mark_test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if !(j < tokens.len() && tokens[j].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` and look for a `test` ident inside a
+        // `cfg(...)` within the attribute.
+        let attr_start = j + 1;
+        let mut depth = 1i32;
+        let mut k = attr_start;
+        while k < tokens.len() && depth > 0 {
+            if tokens[k].is_punct('[') {
+                depth += 1;
+            } else if tokens[k].is_punct(']') {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        let attr_end = k.saturating_sub(1); // index of `]`
+        let attr = &tokens[attr_start..attr_end.min(tokens.len())];
+        let is_cfg_test = attr.first().is_some_and(|t| t.is_ident("cfg"))
+            && attr.iter().any(|t| t.is_ident("test"));
+        if !is_cfg_test {
+            i = k;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            for flag in in_test.iter_mut() {
+                *flag = true;
+            }
+            return in_test;
+        }
+        // Mark from the attribute through the end of the annotated item:
+        // the body of the next `{...}` block, or through the next `;` for
+        // braceless items (`#[cfg(test)] use ...;`).
+        let mut m = k;
+        let mut found = None;
+        while m < tokens.len() {
+            if tokens[m].is_punct('{') {
+                found = Some(m);
+                break;
+            }
+            if tokens[m].is_punct(';') {
+                found = None;
+                for flag in in_test.iter_mut().take(m + 1).skip(i) {
+                    *flag = true;
+                }
+                break;
+            }
+            m += 1;
+        }
+        if let Some(open) = found {
+            let mut depth = 1i32;
+            let mut e = open + 1;
+            while e < tokens.len() && depth > 0 {
+                if tokens[e].is_punct('{') {
+                    depth += 1;
+                } else if tokens[e].is_punct('}') {
+                    depth -= 1;
+                }
+                e += 1;
+            }
+            for flag in in_test.iter_mut().take(e).skip(i) {
+                *flag = true;
+            }
+            i = e;
+        } else {
+            i = m.max(k);
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in a block /* nested */ comment */
+            let s = "HashMap::new()";
+            let r = r#"SystemTime"#;
+            let real = Vec::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(ids.iter().any(|i| i == "Vec"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        // Lifetimes are swallowed whole (no `a` ident, no stray quote), and
+        // the code around them lexes normally.
+        assert_eq!(
+            ids,
+            vec!["fn", "f", "x", "str", "str", "x"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn char_literals_are_opaque() {
+        let src = "let c = 'x'; let n = '\\n'; let q = '\\''; let tick = '('; ";
+        let lexed = lex(src);
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .count();
+        assert_eq!(lits, 4);
+        assert!(!idents(src).contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\nthree\";\nlet marker = 1;";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker token present");
+        assert_eq!(marker.line, 4);
+    }
+
+    #[test]
+    fn number_literals_do_not_consume_ranges() {
+        let src = "for i in 0..10 { let x = 1.5e-3; }";
+        let lexed = lex(src);
+        // `0..10` must produce two dots between two literals.
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = r#"
+            fn lib_code() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() { body(); }
+            }
+            fn more_lib() {}
+        "#;
+        let lexed = lex(src);
+        let flag_of = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .zip(&lexed.in_test)
+                .find(|(t, _)| t.is_ident(name))
+                .map(|(_, f)| *f)
+                .expect("token present")
+        };
+        assert!(!flag_of("lib_code"));
+        assert!(flag_of("helper"));
+        assert!(flag_of("body"));
+        assert!(!flag_of("more_lib"));
+    }
+
+    #[test]
+    fn cfg_all_test_and_attr_stacking_are_marked() {
+        let src = r#"
+            #[cfg(all(test, feature = "x"))]
+            #[allow(dead_code)]
+            fn only_under_test() { body(); }
+            fn lib_code() {}
+        "#;
+        let lexed = lex(src);
+        let body = lexed
+            .tokens
+            .iter()
+            .zip(&lexed.in_test)
+            .find(|(t, _)| t.is_ident("body"))
+            .map(|(_, f)| *f)
+            .expect("token present");
+        assert!(body);
+    }
+
+    #[test]
+    fn suppression_directive_parses() {
+        let src = r#"
+            let x = m.len(); // dcm-lint: allow(hash-iter-order) reason="len is order-free"
+        "#;
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 1);
+        let sup = &lexed.suppressions[0];
+        assert_eq!(sup.line, 2);
+        assert_eq!(sup.rules, vec!["hash-iter-order".to_string()]);
+        assert_eq!(sup.reason.as_deref(), Some("len is order-free"));
+        assert!(!sup.malformed);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged() {
+        let src = "// dcm-lint: allow(wall-clock)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 1);
+        assert_eq!(lexed.suppressions[0].reason, None);
+        assert!(!lexed.suppressions[0].malformed);
+
+        let bad = lex("// dcm-lint: disable-everything\n");
+        assert!(bad.suppressions[0].malformed);
+    }
+
+    #[test]
+    fn prose_mentions_are_not_directives() {
+        // Doc comments (and plain comments) that merely *mention* the
+        // grammar mid-sentence must not parse as directives — otherwise the
+        // linter flags its own documentation as bad suppressions.
+        let src = "\
+//! 2. `// dcm-lint: allow(...)` suppression comments are surfaced as\n\
+/// A `// dcm-lint: allow(<rule>) reason=\"...\"` directive found in a\n\
+// see dcm-lint: allow docs for details\n\
+//! ```\n\
+//! // dcm-lint: allow(wall-clock) reason=\"demo inside a doc example\"\n\
+//! ```\n";
+        assert!(lex(src).suppressions.is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let src = "// dcm-lint: allow(wall-clock, unwrap-in-lib) reason=\"startup only\"\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.suppressions[0].rules,
+            vec!["wall-clock".to_string(), "unwrap-in-lib".to_string()]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! `dcm-lint` — a determinism & simulation-safety static-analysis pass for
+//! the DCM workspace.
+//!
+//! The repo's headline guarantee is that every experiment is bit-identical
+//! for every `--jobs` value. That property rests on a handful of coding
+//! rules (no hash-order iteration, no wall clocks, seeds derived through
+//! [`derive_seed`], order-stable float reductions) which `cargo test` cannot
+//! see — a nondeterministic controller still passes on any single run. This
+//! crate makes the rules machine-checked:
+//!
+//! * a dependency-free token-level [`lexer`] (comments, strings, and
+//!   `#[cfg(test)]` spans handled properly),
+//! * a [`rules`] engine with crate-scoped severity (strict library crates
+//!   vs relaxed harness/tooling code vs tests),
+//! * inline suppressions — `// dcm-lint: allow(<rule>) reason="..."` — with
+//!   a mandatory reason, forbidden entirely in `sim`/`ntier`/`model`/
+//!   `oracle`, and
+//! * byte-stable text and JSON [`report`]s (CI `cmp`s two runs).
+//!
+//! Run it as `cargo run -p dcm-lint`, or `repro lint` from the bench
+//! harness. Exit code is nonzero iff any strict-scope violation (or bad
+//! suppression) is found.
+//!
+//! [`derive_seed`]: https://docs.rs/dcm-sim
+//!
+//! # Examples
+//!
+//! ```
+//! use dcm_lint::{lint_source, rules::Scope};
+//!
+//! let outcome = lint_source(
+//!     "demo.rs",
+//!     "core",
+//!     Scope::Strict,
+//!     "fn now() -> std::time::Instant { std::time::Instant::now() }",
+//! );
+//! assert_eq!(outcome.diagnostics.len(), 1);
+//! assert_eq!(outcome.diagnostics[0].rule, "wall-clock");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use report::Report;
+pub use rules::{Diagnostic, FileOutcome, Severity};
+
+/// Lints one in-memory source file under an explicit scope. This is the
+/// entry point the fixture tests (and any future editor integration) use.
+pub fn lint_source(path: &str, crate_name: &str, scope: rules::Scope, source: &str) -> FileOutcome {
+    let lexed = lexer::lex(source);
+    rules::check_file(path, crate_name, scope, &lexed)
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking or file reads (a source
+/// file disappearing mid-scan, unreadable permissions, ...), and fails
+/// when the scan finds no Rust sources at all — a wrong `--root` must not
+/// read as a clean bill of health.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = workspace::discover(root)?;
+    if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no Rust sources found under {}", root.display()),
+        ));
+    }
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for file in &files {
+        let source = fs::read_to_string(&file.abs_path)?;
+        let outcome = lint_source(&file.rel_path, &file.crate_name, file.scope, &source);
+        report.diagnostics.extend(outcome.diagnostics);
+        report.suppressions.extend(outcome.used_suppressions);
+    }
+    report.finalize();
+    Ok(report)
+}
+
+/// Convenience used by binaries: locate the workspace root from the
+/// current directory, falling back to this crate's compile-time location
+/// (`crates/lint` → workspace root two levels up).
+pub fn default_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    workspace::find_root(&cwd).unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .components()
+            .collect()
+    })
+}

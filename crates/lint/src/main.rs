@@ -1,0 +1,92 @@
+//! The standalone `dcm-lint` binary.
+//!
+//! ```text
+//! cargo run -p dcm-lint                  # text diagnostics, exit 1 on errors
+//! cargo run -p dcm-lint -- --format json # also writes results/lint.json
+//! cargo run -p dcm-lint -- --root ../dcm --format json --out /tmp/lint.json
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    root: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: None,
+        json: false,
+        out: None,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory")?;
+                cli.root = Some(PathBuf::from(dir));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => cli.json = true,
+                Some("text") => cli.json = false,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--out" => {
+                let path = args.next().ok_or("--out needs a file path")?;
+                cli.out = Some(PathBuf::from(path));
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`\nusage: dcm-lint [--root DIR] [--format text|json] \
+                     [--out FILE]"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = cli.root.unwrap_or_else(dcm_lint::default_root);
+    let report = match dcm_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("dcm-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.json {
+        let json = report.to_json();
+        let out = cli.out.unwrap_or_else(|| root.join("results/lint.json"));
+        if let Some(dir) = out.parent() {
+            if let Err(err) = fs::create_dir_all(dir) {
+                eprintln!("dcm-lint: cannot create {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(err) = fs::write(&out, &json) {
+            eprintln!("dcm-lint: cannot write {}: {err}", out.display());
+            return ExitCode::FAILURE;
+        }
+        print!("{json}");
+        eprintln!("dcm-lint: wrote {}", out.display());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,218 @@
+//! Aggregated lint results and their text / JSON renderings.
+//!
+//! The JSON form is byte-stable for identical inputs: files are visited in
+//! sorted order, diagnostics are sorted by `(path, line, rule)`, paths are
+//! workspace-relative with forward slashes, and nothing time- or
+//! host-dependent is emitted — CI `cmp`s two runs of `results/lint.json`.
+
+use crate::rules::{Diagnostic, Severity, UsedSuppression, RULES};
+
+/// The result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, sorted by `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every suppression that silenced a finding, sorted the same way.
+    pub suppressions: Vec<UsedSuppression>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Number of error-severity findings (these fail the build).
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Suppressions used inside a given crate directory name.
+    pub fn suppressions_in_crate(&self, crate_dir: &str) -> usize {
+        let prefix = format!("crates/{crate_dir}/");
+        self.suppressions
+            .iter()
+            .filter(|s| s.path.starts_with(&prefix))
+            .count()
+    }
+
+    /// Sorts both lists into their canonical output order.
+    pub fn finalize(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.suppressions
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}: {}\n    fix: {}\n",
+                d.path,
+                d.line,
+                d.severity.label(),
+                d.rule,
+                d.message,
+                d.hint
+            ));
+        }
+        for s in &self.suppressions {
+            out.push_str(&format!(
+                "{}:{}: [suppressed] {} — reason: {}\n",
+                s.path, s.line, s.rule, s.reason
+            ));
+        }
+        out.push_str(&format!(
+            "dcm-lint: {} file{} scanned, {} error{}, {} warning{}, {} suppression{}\n",
+            self.files_scanned,
+            plural(self.files_scanned),
+            self.errors(),
+            plural(self.errors()),
+            self.warnings(),
+            plural(self.warnings()),
+            self.suppressions.len(),
+            plural(self.suppressions.len()),
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (see module docs for stability rules).
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n  \"version\": 1,\n");
+        json.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        json.push_str(&format!(
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"suppressions\": {}}},\n",
+            self.errors(),
+            self.warnings(),
+            self.suppressions.len()
+        ));
+        json.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"strict_only\": {}, \"description\": \"{}\"}}{}\n",
+                escape(r.name),
+                r.strict_only,
+                escape(r.description),
+                comma(i, RULES.len())
+            ));
+        }
+        json.push_str("  ],\n  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+                 \"severity\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\"}}{}\n",
+                escape(&d.path),
+                d.line,
+                escape(d.rule),
+                d.severity.label(),
+                escape(&d.message),
+                escape(d.hint),
+                comma(i, self.diagnostics.len())
+            ));
+        }
+        json.push_str("  ],\n  \"suppressions\": [\n");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}{}\n",
+                escape(&s.path),
+                s.line,
+                escape(&s.rule),
+                escape(&s.reason),
+                comma(i, self.suppressions.len())
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn sample() -> Report {
+        let mut report = Report {
+            diagnostics: vec![
+                Diagnostic {
+                    path: "crates/core/src/b.rs".into(),
+                    line: 3,
+                    rule: "wall-clock",
+                    severity: Severity::Error,
+                    message: "`Instant` (wall clock) in simulation code".into(),
+                    hint: "use SimTime",
+                },
+                Diagnostic {
+                    path: "crates/core/src/a.rs".into(),
+                    line: 9,
+                    rule: "todo-markers",
+                    severity: Severity::Warning,
+                    message: "`todo!` in non-test code".into(),
+                    hint: "implement it",
+                },
+            ],
+            suppressions: vec![],
+            files_scanned: 2,
+        };
+        report.finalize();
+        report
+    }
+
+    #[test]
+    fn counts_and_ordering() {
+        let r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.diagnostics[0].path, "crates/core/src/a.rs");
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"errors\": 1"));
+        assert!(
+            a.contains("\\\"\\\""),
+            "expect(\\\"\\\") in rule docs survives escaping"
+        );
+    }
+
+    #[test]
+    fn text_render_mentions_every_finding() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/core/src/b.rs:3: [error] wall-clock"));
+        assert!(text.contains("2 files scanned, 1 error, 1 warning"));
+    }
+}

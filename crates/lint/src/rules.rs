@@ -1,0 +1,900 @@
+//! The rule engine: per-rule token scans, crate-scoped severity, and
+//! suppression handling.
+//!
+//! Every rule works on the token stream of one file ([`crate::lexer`])
+//! plus a tiny per-file binding resolver (which identifiers are hash
+//! containers / channel receivers). No rule ever needs type inference: each
+//! one is written so that what *is* statically visible errs on the side of
+//! the determinism guarantee, and refinements live here — not in
+//! suppression comments.
+
+use crate::lexer::{LexedFile, Suppression, TokKind, Token};
+
+/// Where a file sits in the workspace policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Determinism-critical library code (`sim`, `bus`, `ntier`, `model`,
+    /// `oracle`, `workload`, `core` under `src/`). Violations are errors.
+    Strict,
+    /// Tooling and harness code (`bench`, `lint`, `shims/*`). Violations
+    /// are warnings; strict-only rules do not run at all.
+    Relaxed,
+    /// Test code (`tests/`, `benches/`, `examples/`, `#[cfg(test)]`).
+    /// Only suppression hygiene is checked.
+    Test,
+}
+
+/// Diagnostic severity. Only errors affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Must-fix violation in strict scope.
+    Error,
+    /// Advisory violation in relaxed scope.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (kebab-case).
+    pub rule: &'static str,
+    /// Error in strict scope, warning in relaxed.
+    pub severity: Severity,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+/// A suppression that actually silenced a diagnostic (reported in the JSON
+/// output so CI and reviewers can audit every one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsedSuppression {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Line of the directive.
+    pub line: u32,
+    /// Rule it silenced.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// Static description of one rule, for `--format json` and the docs.
+pub struct RuleSpec {
+    /// Kebab-case rule name used in diagnostics and `allow(...)`.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Runs only in [`Scope::Strict`] files.
+    pub strict_only: bool,
+    /// Fix hint attached to every diagnostic.
+    pub hint: &'static str,
+}
+
+/// Every shipped rule, in stable order.
+pub const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        name: "hash-iter-order",
+        description: "HashMap/HashSet in determinism-critical code: iteration order is \
+                      randomized per process and leaks into results",
+        strict_only: true,
+        hint: "use BTreeMap/BTreeSet, or collect keys and sort before iterating",
+    },
+    RuleSpec {
+        name: "wall-clock",
+        description: "Instant/SystemTime in simulation code: wall-clock reads differ \
+                      between runs (bench-bin instrumentation lives in relaxed scope)",
+        strict_only: true,
+        hint: "simulation code must use dcm_sim::time::SimTime; timing instrumentation \
+               belongs in the bench harness",
+    },
+    RuleSpec {
+        name: "unseeded-rng",
+        description: "RNG from an entropy source, or seed arithmetic that can collide \
+                      (additive offsets alias overlapping sweeps)",
+        strict_only: false,
+        hint: "derive every per-stream seed via dcm_sim::rng::derive_seed(base, stream)",
+    },
+    RuleSpec {
+        name: "float-reduction",
+        description: "sum/fold over an unordered source (hash container or mpsc \
+                      receiver): float addition is not associative, so the result \
+                      depends on arrival order",
+        strict_only: false,
+        hint: "reassemble results in input order first (dcm_sim::runner::run_ordered) \
+               or accumulate into an index-addressed buffer",
+    },
+    RuleSpec {
+        name: "unwrap-in-lib",
+        description: "unwrap()/expect(\"\") in library code: panics without a stated \
+                      invariant (tests may unwrap freely)",
+        strict_only: true,
+        hint: "use expect(\"why this cannot fail\") or propagate the Result/Option",
+    },
+    RuleSpec {
+        name: "todo-markers",
+        description: "todo!/unimplemented! in non-test code",
+        strict_only: false,
+        hint: "implement it, or return an explicit error variant",
+    },
+    RuleSpec {
+        name: "bad-suppression",
+        description: "malformed dcm-lint directive, missing reason, or unknown rule \
+                      name (a suppression must say why)",
+        strict_only: false,
+        hint: "write `// dcm-lint: allow(<rule>) reason=\"...\"` with a real reason",
+    },
+    RuleSpec {
+        name: "forbidden-suppression",
+        description: "suppression directive inside a sim-critical crate (sim, ntier, \
+                      model, oracle) where the determinism guarantee admits no \
+                      exceptions",
+        strict_only: false,
+        hint: "fix the violation instead; these crates must lint clean with zero \
+               suppressions",
+    },
+];
+
+/// Crates whose strict scope admits no suppressions at all.
+pub const NO_SUPPRESS_CRATES: &[&str] = &["sim", "ntier", "model", "oracle"];
+
+fn spec(name: &str) -> &'static RuleSpec {
+    RULES
+        .iter()
+        .find(|r| r.name == name)
+        .expect("rule names used internally are registered in RULES")
+}
+
+fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings that survived suppression, sorted by line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Suppressions that silenced something.
+    pub used_suppressions: Vec<UsedSuppression>,
+}
+
+/// Runs every applicable rule over one lexed file.
+///
+/// `crate_name` is the workspace directory name (`sim`, `core`, ...; empty
+/// for top-level `tests/` and `examples/`). It drives the
+/// no-suppressions-in-sim-critical-crates policy.
+pub fn check_file(path: &str, crate_name: &str, scope: Scope, lexed: &LexedFile) -> FileOutcome {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let severity = match scope {
+        Scope::Strict => Severity::Error,
+        _ => Severity::Warning,
+    };
+
+    if scope != Scope::Test {
+        let toks = &lexed.tokens;
+        let live = |i: usize| !lexed.in_test[i];
+        if scope == Scope::Strict {
+            rule_hash_iter_order(path, toks, &live, &mut raw);
+            rule_wall_clock(path, toks, &live, &mut raw);
+            rule_unwrap_in_lib(path, toks, &live, &mut raw);
+        }
+        rule_unseeded_rng(path, toks, &live, severity, &mut raw);
+        rule_float_reduction(path, toks, &live, severity, &mut raw);
+        rule_todo_markers(path, toks, &live, severity, &mut raw);
+    }
+
+    // Suppression pass: a well-formed directive silences matching
+    // diagnostics on its own line and the line below. Directive hygiene
+    // itself is checked in every scope.
+    let mut out = FileOutcome::default();
+    let forbidden = scope == Scope::Strict && NO_SUPPRESS_CRATES.contains(&crate_name);
+    for sup in &lexed.suppressions {
+        if forbidden {
+            out.diagnostics.push(Diagnostic {
+                path: path.to_string(),
+                line: sup.line,
+                rule: "forbidden-suppression",
+                severity: Severity::Error,
+                message: format!("suppression directive in sim-critical crate `{crate_name}`"),
+                hint: spec("forbidden-suppression").hint,
+            });
+            continue;
+        }
+        if sup.malformed {
+            out.diagnostics.push(bad_suppression(
+                path,
+                sup,
+                "malformed directive; expected `allow(<rule>) reason=\"...\"`".to_string(),
+            ));
+            continue;
+        }
+        if let Some(unknown) = sup.rules.iter().find(|r| !known_rule(r)) {
+            out.diagnostics.push(bad_suppression(
+                path,
+                sup,
+                format!("unknown rule `{unknown}` in allow(...)"),
+            ));
+            continue;
+        }
+        if sup.reason.is_none() {
+            out.diagnostics.push(bad_suppression(
+                path,
+                sup,
+                "suppression without a reason".to_string(),
+            ));
+        }
+    }
+
+    for diag in raw {
+        let silenced = lexed.suppressions.iter().find(|sup| {
+            !sup.malformed
+                && sup.reason.is_some()
+                && sup.rules.iter().any(|r| r == diag.rule)
+                && (sup.line == diag.line || sup.line + 1 == diag.line)
+        });
+        match silenced {
+            Some(sup) if !forbidden => out.used_suppressions.push(UsedSuppression {
+                path: path.to_string(),
+                line: sup.line,
+                rule: diag.rule.to_string(),
+                reason: sup.reason.clone().expect("checked above"),
+            }),
+            _ => out.diagnostics.push(diag),
+        }
+    }
+    out.diagnostics
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+fn bad_suppression(path: &str, sup: &Suppression, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: sup.line,
+        rule: "bad-suppression",
+        severity: Severity::Error,
+        message,
+        hint: spec("bad-suppression").hint,
+    }
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    path: &str,
+    line: u32,
+    rule: &'static str,
+    severity: Severity,
+    message: String,
+) {
+    // One diagnostic per (rule, line): a single `use` line mentioning
+    // HashMap twice is one finding, not two.
+    if out
+        .iter()
+        .any(|d| d.rule == rule && d.line == line && d.path == path)
+    {
+        return;
+    }
+    out.push(Diagnostic {
+        path: path.to_string(),
+        line,
+        rule,
+        severity,
+        message,
+        hint: spec(rule).hint,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules
+// ---------------------------------------------------------------------------
+
+fn rule_hash_iter_order(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
+        if let Some(name) = t.ident() {
+            if name == "HashMap" || name == "HashSet" {
+                push(
+                    out,
+                    path,
+                    t.line,
+                    "hash-iter-order",
+                    Severity::Error,
+                    format!("`{name}` in determinism-critical code"),
+                );
+            }
+        }
+    }
+}
+
+fn rule_wall_clock(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
+        if let Some(name) = t.ident() {
+            if name == "Instant" || name == "SystemTime" {
+                push(
+                    out,
+                    path,
+                    t.line,
+                    "wall-clock",
+                    Severity::Error,
+                    format!("`{name}` (wall clock) in simulation code"),
+                );
+            }
+        }
+    }
+}
+
+fn rule_unwrap_in_lib(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..toks.len() {
+        if !live(i) || !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        if name == "unwrap"
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            push(
+                out,
+                path,
+                toks[i + 1].line,
+                "unwrap-in-lib",
+                Severity::Error,
+                "bare `unwrap()` in library code".to_string(),
+            );
+        }
+        if name == "expect" && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            if let Some(TokKind::Str(s)) = toks.get(i + 3).map(|t| &t.kind) {
+                if s.trim().is_empty() {
+                    push(
+                        out,
+                        path,
+                        toks[i + 1].line,
+                        "unwrap-in-lib",
+                        Severity::Error,
+                        "`expect(\"\")` with an empty justification".to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn rule_todo_markers(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    severity: Severity,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..toks.len() {
+        if !live(i) {
+            continue;
+        }
+        if let Some(name) = toks[i].ident() {
+            if (name == "todo" || name == "unimplemented")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                push(
+                    out,
+                    path,
+                    toks[i].line,
+                    "todo-markers",
+                    severity,
+                    format!("`{name}!` in non-test code"),
+                );
+            }
+        }
+    }
+}
+
+/// Entropy sources plus collision-prone seed arithmetic.
+fn rule_unseeded_rng(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    severity: Severity,
+    out: &mut Vec<Diagnostic>,
+) {
+    const ENTROPY: &[&str] = &[
+        "thread_rng",
+        "ThreadRng",
+        "from_entropy",
+        "OsRng",
+        "getrandom",
+    ];
+    for i in 0..toks.len() {
+        if !live(i) {
+            continue;
+        }
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        if ENTROPY.contains(&name) {
+            push(
+                out,
+                path,
+                toks[i].line,
+                "unseeded-rng",
+                severity,
+                format!("`{name}` draws from process entropy"),
+            );
+            continue;
+        }
+        // `rand::random` — the thread-local entropy shortcut.
+        if name == "rand"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("random"))
+        {
+            push(
+                out,
+                path,
+                toks[i].line,
+                "unseeded-rng",
+                severity,
+                "`rand::random` draws from process entropy".to_string(),
+            );
+            continue;
+        }
+        // Seed arithmetic: `seed_from(base + i)` / `.seed(seed + users)`
+        // aliases overlapping sweeps (seed 42 stream 7 == seed 43 stream 6).
+        let is_seed_call = name == "seed_from"
+            || name == "seed_from_u64"
+            || (name == "seed" && i > 0 && toks[i - 1].is_punct('.'));
+        if is_seed_call && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            let args = argument_span(toks, i + 1);
+            let has_arith = args.iter().any(|t| {
+                t.is_punct('+') || t.is_ident("wrapping_add") || t.is_ident("checked_add")
+            });
+            let derived = args.iter().any(|t| t.is_ident("derive_seed"));
+            if has_arith && !derived {
+                push(
+                    out,
+                    path,
+                    toks[i].line,
+                    "unseeded-rng",
+                    severity,
+                    format!("`{name}(...)` builds a seed by addition; additive offsets collide"),
+                );
+            }
+        }
+    }
+}
+
+/// Tokens between an opening paren at `open` and its matching close paren
+/// (exclusive on both ends).
+fn argument_span(toks: &[Token], open: usize) -> &[Token] {
+    let mut depth = 1i32;
+    let mut j = open + 1;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    &toks[open + 1..j.saturating_sub(1).max(open + 1)]
+}
+
+/// Order-sensitive reductions over unordered sources.
+fn rule_float_reduction(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    severity: Severity,
+    out: &mut Vec<Diagnostic>,
+) {
+    let hash_bindings = collect_hash_bindings(toks);
+    let rx_bindings = collect_receiver_bindings(toks);
+    if hash_bindings.is_empty() && rx_bindings.is_empty() {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        if !live(i) {
+            continue;
+        }
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        let from_hash = hash_bindings.iter().any(|b| b == name);
+        let from_rx = rx_bindings.iter().any(|b| b == name);
+        if !from_hash && !from_rx {
+            continue;
+        }
+        // `x.values().sum()` / `rx.iter().fold(...)`: an iterator chain off
+        // the unordered source that ends in a reduction, within the same
+        // statement.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+            let method = toks.get(i + 2).and_then(Token::ident);
+            let unordered_iter = match method {
+                Some("iter" | "into_iter") => true,
+                Some("values" | "keys" | "drain" | "values_mut") => from_hash,
+                Some("try_iter" | "recv") => from_rx,
+                _ => false,
+            };
+            if unordered_iter {
+                if let Some(line) = reduction_in_statement(toks, i + 2) {
+                    push(
+                        out,
+                        path,
+                        line,
+                        "float-reduction",
+                        severity,
+                        format!(
+                            "reduction over `{name}` ({}): arrival order is not stable",
+                            if from_hash {
+                                "hash container"
+                            } else {
+                                "channel receiver"
+                            }
+                        ),
+                    );
+                }
+            }
+        }
+        // `for v in rx { total += v }` — accumulation inside a loop over the
+        // unordered source.
+        if i >= 1 && toks[i - 1].is_ident("in") {
+            let mut back = i as i64 - 2;
+            let mut is_for = false;
+            while back >= 0 && (i as i64 - back) < 16 {
+                if toks[back as usize].is_ident("for") {
+                    is_for = true;
+                    break;
+                }
+                if toks[back as usize].is_punct(';') || toks[back as usize].is_punct('{') {
+                    break;
+                }
+                back -= 1;
+            }
+            if is_for {
+                if let Some(line) = plus_assign_in_body(toks, i) {
+                    push(
+                        out,
+                        path,
+                        line,
+                        "float-reduction",
+                        severity,
+                        format!("`+=` accumulation while iterating `{name}` in arrival order"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Finds `.sum(` / `.fold(` / `.product(` between `start` and the end of
+/// the current statement. Returns its line.
+fn reduction_in_statement(toks: &[Token], start: usize) -> Option<u32> {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth < 0 {
+                return None;
+            }
+        } else if (t.is_punct(';') || t.is_punct('{')) && depth == 0 {
+            return None;
+        } else if t.is_punct('.') {
+            if let Some(m) = toks.get(j + 1).and_then(Token::ident) {
+                if matches!(m, "sum" | "fold" | "product") {
+                    return Some(toks[j + 1].line);
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Finds a `+=` inside the `{...}` body following a for-loop header whose
+/// `in`-expression contains the flagged source. `at` points into the header.
+fn plus_assign_in_body(toks: &[Token], at: usize) -> Option<u32> {
+    let mut j = at;
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut depth = 1i32;
+    j += 1;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+        } else if toks[j].is_punct('+') && toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+            return Some(toks[j].line);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Identifiers declared as hash containers in this file, via `name:
+/// HashMap<...>` (fields, params, let-bindings) or `let name =
+/// HashMap::new()`.
+fn collect_hash_bindings(toks: &[Token]) -> Vec<String> {
+    let mut bindings = Vec::new();
+    let is_hash = |t: &Token| t.is_ident("HashMap") || t.is_ident("HashSet");
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        // `name : [std :: collections ::] HashMap < ... >` — scan a short
+        // window after the colon, stopping at tokens that end the type
+        // position.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            for t in toks.iter().skip(i + 2).take(8) {
+                if is_hash(t) {
+                    bindings.push(name.to_string());
+                    break;
+                }
+                if t.kind == TokKind::Punct(',')
+                    || t.kind == TokKind::Punct(';')
+                    || t.kind == TokKind::Punct(')')
+                    || t.kind == TokKind::Punct('{')
+                    || t.kind == TokKind::Punct('=')
+                    || t.kind == TokKind::Punct('<')
+                {
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = HashMap::new()` / `= HashSet::from(...)`.
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(bound) = toks.get(j).and_then(Token::ident) else {
+                continue;
+            };
+            if toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                for t in toks.iter().skip(j + 2).take(6) {
+                    if is_hash(t) {
+                        bindings.push(bound.to_string());
+                        break;
+                    }
+                    if t.is_punct(';') || t.is_punct('(') {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    bindings
+}
+
+/// Receiver halves of `let (tx, rx) = mpsc::channel(...)` bindings.
+fn collect_receiver_bindings(toks: &[Token]) -> Vec<String> {
+    let mut bindings = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let (Some(_), Some(comma), Some(rx), Some(close)) = (
+            toks.get(i + 2).and_then(Token::ident),
+            toks.get(i + 3),
+            toks.get(i + 4).and_then(Token::ident),
+            toks.get(i + 5),
+        ) else {
+            continue;
+        };
+        if !comma.is_punct(',') || !close.is_punct(')') {
+            continue;
+        }
+        // Confirm a channel constructor before the statement ends.
+        for t in toks.iter().skip(i + 6).take(14) {
+            if t.is_ident("channel") || t.is_ident("sync_channel") {
+                bindings.push(rx.to_string());
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+        }
+    }
+    bindings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn strict(src: &str) -> FileOutcome {
+        check_file("test.rs", "core", Scope::Strict, &lex(src))
+    }
+
+    fn rules_of(outcome: &FileOutcome) -> Vec<&'static str> {
+        outcome.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn hash_iter_order_fires_and_respects_tests() {
+        let out = strict("use std::collections::HashMap;\nfn f(m: &HashMap<u32,u32>) {}\n");
+        assert_eq!(rules_of(&out), vec!["hash-iter-order", "hash-iter-order"]);
+        assert_eq!(out.diagnostics[0].line, 1);
+        assert_eq!(out.diagnostics[1].line, 2);
+
+        let test_only = strict("#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n}\n");
+        assert!(test_only.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_in_strict_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(rules_of(&strict(src)), vec!["wall-clock"]);
+        let relaxed = check_file("bench.rs", "bench", Scope::Relaxed, &lex(src));
+        assert!(
+            relaxed.diagnostics.is_empty(),
+            "bench instrumentation is allowed"
+        );
+    }
+
+    #[test]
+    fn unseeded_rng_entropy_and_seed_arith() {
+        assert_eq!(
+            rules_of(&strict("fn f() { let r = rand::thread_rng(); }")),
+            vec!["unseeded-rng"]
+        );
+        assert_eq!(
+            rules_of(&strict(
+                "fn f(base: u64, i: u64) { SimRng::seed_from(base + i); }"
+            )),
+            vec!["unseeded-rng"]
+        );
+        // derive_seed makes it clean, as does a plain passthrough.
+        assert!(
+            strict("fn f(b: u64, i: u64) { SimRng::seed_from(derive_seed(b, i)); }")
+                .diagnostics
+                .is_empty()
+        );
+        assert!(strict("fn f(seed: u64) { SimRng::seed_from(seed); }")
+            .diagnostics
+            .is_empty());
+    }
+
+    #[test]
+    fn float_reduction_hash_chain_and_rx_loop() {
+        let src = "fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {\n\
+                   m.values().sum()\n}\n";
+        let out = strict(src);
+        assert!(rules_of(&out).contains(&"float-reduction"));
+
+        let rx = "fn f() -> f64 {\n\
+                  let (tx, rx) = std::sync::mpsc::channel();\n\
+                  let mut total = 0.0;\n\
+                  for x in rx {\n    total += x;\n  }\n  total\n}\n";
+        let out = strict(rx);
+        assert_eq!(rules_of(&out), vec!["float-reduction"]);
+        assert_eq!(out.diagnostics[0].line, 5);
+
+        // Index-addressed reassembly is the blessed pattern: no finding.
+        let ok = "fn f() {\n\
+                  let (tx, rx) = std::sync::mpsc::channel();\n\
+                  let mut slots = vec![0.0; 8];\n\
+                  for (i, x) in rx {\n    slots[i] = x;\n  }\n}\n";
+        assert!(strict(ok).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_lib_and_empty_expect() {
+        let out = strict("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(rules_of(&out), vec!["unwrap-in-lib"]);
+        let out = strict("fn f(x: Option<u32>) -> u32 { x.expect(\"\") }");
+        assert_eq!(rules_of(&out), vec!["unwrap-in-lib"]);
+        assert!(
+            strict("fn f(x: Option<u32>) -> u32 { x.expect(\"always set\") }")
+                .diagnostics
+                .is_empty()
+        );
+        // unwrap_or and unwrap_or_else are fine.
+        assert!(strict("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }")
+            .diagnostics
+            .is_empty());
+    }
+
+    #[test]
+    fn suppression_silences_and_is_recorded() {
+        let src = "fn f() {\n\
+                   // dcm-lint: allow(wall-clock) reason=\"host-side watchdog\"\n\
+                   let t = Instant::now();\n}\n";
+        let out = check_file("w.rs", "core", Scope::Strict, &lex(src));
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.used_suppressions.len(), 1);
+        assert_eq!(out.used_suppressions[0].rule, "wall-clock");
+        assert_eq!(out.used_suppressions[0].reason, "host-side watchdog");
+    }
+
+    #[test]
+    fn suppression_without_reason_fails() {
+        let src = "// dcm-lint: allow(wall-clock)\nfn f() { let t = Instant::now(); }\n";
+        let out = check_file("w.rs", "core", Scope::Strict, &lex(src));
+        let rules = rules_of(&out);
+        assert!(rules.contains(&"bad-suppression"));
+        assert!(
+            rules.contains(&"wall-clock"),
+            "reasonless directive must not silence"
+        );
+    }
+
+    #[test]
+    fn suppression_unknown_rule_fails() {
+        let src = "// dcm-lint: allow(no-such-rule) reason=\"typo\"\nfn f() {}\n";
+        let out = check_file("w.rs", "core", Scope::Strict, &lex(src));
+        assert_eq!(rules_of(&out), vec!["bad-suppression"]);
+    }
+
+    #[test]
+    fn sim_critical_crates_reject_all_suppressions() {
+        let src = "// dcm-lint: allow(todo-markers) reason=\"good reason\"\nfn f() {}\n";
+        let out = check_file("s.rs", "sim", Scope::Strict, &lex(src));
+        assert_eq!(rules_of(&out), vec!["forbidden-suppression"]);
+        // Same directive is fine in core (strict but suppressible).
+        let out = check_file("c.rs", "core", Scope::Strict, &lex(src));
+        assert!(out.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn test_scope_only_checks_directive_hygiene() {
+        let src = "fn t() { let x: Option<u32> = None; x.unwrap(); let i = Instant::now(); }\n\
+                   // dcm-lint: nonsense\n";
+        let out = check_file("t.rs", "core", Scope::Test, &lex(src));
+        assert_eq!(rules_of(&out), vec!["bad-suppression"]);
+    }
+
+    #[test]
+    fn todo_markers_warn_in_relaxed() {
+        let out = check_file("b.rs", "bench", Scope::Relaxed, &lex("fn f() { todo!() }"));
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].severity, Severity::Warning);
+    }
+}

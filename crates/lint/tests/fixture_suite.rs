@@ -1,0 +1,163 @@
+//! Fixture suite: every rule must fire on its seeded `bad.rs` at the exact
+//! documented line, stay quiet on the `clean.rs` twin, and the suppression
+//! machinery must behave per the grammar. Ends with the self-test that the
+//! live workspace lints clean.
+
+use dcm_lint::rules::{Scope, NO_SUPPRESS_CRATES, RULES};
+use dcm_lint::{lint_source, FileOutcome};
+use std::fs;
+use std::path::Path;
+
+fn lint_fixture(rel: &str, crate_name: &str, scope: Scope) -> FileOutcome {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(rel, crate_name, scope, &source)
+}
+
+/// (fixture dir, rule that must fire, line it must fire on).
+const PAIRS: &[(&str, &str, u32)] = &[
+    ("hash_iter_order", "hash-iter-order", 3),
+    ("wall_clock", "wall-clock", 4),
+    ("unseeded_rng", "unseeded-rng", 4),
+    ("float_reduction", "float-reduction", 7),
+    ("unwrap_in_lib", "unwrap-in-lib", 4),
+    ("todo_markers", "todo-markers", 4),
+];
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture_at_the_documented_line() {
+    for &(dir, rule, line) in PAIRS {
+        let out = lint_fixture(&format!("{dir}/bad.rs"), "core", Scope::Strict);
+        assert_eq!(
+            out.diagnostics.len(),
+            1,
+            "{dir}/bad.rs must seed exactly one violation, got {:?}",
+            out.diagnostics
+        );
+        let d = &out.diagnostics[0];
+        assert_eq!(d.rule, rule, "{dir}/bad.rs fired the wrong rule");
+        assert_eq!(
+            d.line, line,
+            "{dir}/bad.rs: `{rule}` fired on the wrong line"
+        );
+        assert_eq!(d.path, format!("{dir}/bad.rs"));
+    }
+}
+
+#[test]
+fn every_clean_twin_is_quiet() {
+    for &(dir, _, _) in PAIRS {
+        let out = lint_fixture(&format!("{dir}/clean.rs"), "core", Scope::Strict);
+        assert!(
+            out.diagnostics.is_empty(),
+            "{dir}/clean.rs must lint clean, got {:?}",
+            out.diagnostics
+        );
+        assert!(out.used_suppressions.is_empty());
+    }
+}
+
+#[test]
+fn pairs_cover_every_behavioural_rule() {
+    // The two suppression-hygiene rules are covered by the tests below;
+    // every other rule in the registry must have a fixture pair.
+    let covered: Vec<&str> = PAIRS.iter().map(|&(_, rule, _)| rule).collect();
+    for rule in RULES {
+        if rule.name == "bad-suppression" || rule.name == "forbidden-suppression" {
+            continue;
+        }
+        assert!(
+            covered.contains(&rule.name),
+            "rule `{}` has no fixture pair",
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn wellformed_directive_silences_same_line() {
+    let out = lint_fixture("suppression/silenced.rs", "core", Scope::Strict);
+    assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    assert_eq!(out.used_suppressions.len(), 1);
+    let s = &out.used_suppressions[0];
+    assert_eq!(s.rule, "wall-clock");
+    assert_eq!(s.line, 5);
+    assert_eq!(s.reason, "fixture: silenced finding");
+}
+
+#[test]
+fn wellformed_directive_silences_line_below() {
+    let out = lint_fixture("suppression/line_above.rs", "core", Scope::Strict);
+    assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    assert_eq!(out.used_suppressions.len(), 1);
+    assert_eq!(out.used_suppressions[0].line, 4);
+}
+
+#[test]
+fn reasonless_directive_is_flagged_and_does_not_silence() {
+    let out = lint_fixture("suppression/missing_reason.rs", "core", Scope::Strict);
+    let rules: Vec<&str> = out.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        vec!["bad-suppression", "wall-clock"],
+        "got {:?}",
+        out.diagnostics
+    );
+    assert!(out.diagnostics.iter().all(|d| d.line == 5));
+    assert!(out.used_suppressions.is_empty());
+}
+
+#[test]
+fn unknown_rule_in_allow_is_flagged() {
+    let out = lint_fixture("suppression/unknown_rule.rs", "core", Scope::Strict);
+    assert_eq!(out.diagnostics.len(), 1);
+    assert_eq!(out.diagnostics[0].rule, "bad-suppression");
+    assert_eq!(out.diagnostics[0].line, 4);
+    assert!(out.diagnostics[0].message.contains("no-such-rule"));
+}
+
+#[test]
+fn any_directive_in_sim_critical_crates_is_an_error() {
+    for crate_name in NO_SUPPRESS_CRATES {
+        let out = lint_fixture("suppression/forbidden.rs", crate_name, Scope::Strict);
+        let rules: Vec<&str> = out.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["forbidden-suppression", "wall-clock"],
+            "crate `{crate_name}`: got {:?}",
+            out.diagnostics
+        );
+        assert!(
+            out.used_suppressions.is_empty(),
+            "crate `{crate_name}` must not honour the directive"
+        );
+    }
+    // ... while `core` (strict, but not sim-critical) honours it.
+    let out = lint_fixture("suppression/forbidden.rs", "core", Scope::Strict);
+    assert!(out.diagnostics.is_empty());
+    assert_eq!(out.used_suppressions.len(), 1);
+}
+
+#[test]
+fn live_workspace_lints_clean_with_no_sim_critical_suppressions() {
+    let root = dcm_lint::default_root();
+    let report = dcm_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    assert_eq!(
+        report.errors(),
+        0,
+        "workspace must lint clean:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.warnings(), 0, "workspace has lint warnings");
+    for crate_dir in NO_SUPPRESS_CRATES {
+        assert_eq!(
+            report.suppressions_in_crate(crate_dir),
+            0,
+            "crate `{crate_dir}` must carry zero suppressions"
+        );
+    }
+}

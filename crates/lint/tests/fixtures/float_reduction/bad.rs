@@ -1,0 +1,9 @@
+//! Fixture: exactly one float-reduction violation (line 7) — summing floats
+//! in channel-arrival order, which varies with worker interleaving.
+
+pub fn total() -> f64 {
+    let (tx, rx) = std::sync::mpsc::channel::<f64>();
+    drop(tx);
+    let sum: f64 = rx.iter().sum();
+    sum
+}

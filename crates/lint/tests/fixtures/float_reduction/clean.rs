@@ -1,0 +1,10 @@
+//! Clean twin: collect index-tagged parts, sort by index, then reduce —
+//! the same pattern `dcm_sim::runner` uses to keep joins order-stable.
+
+pub fn total() -> f64 {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, f64)>();
+    drop(tx);
+    let mut parts: Vec<(usize, f64)> = rx.iter().collect();
+    parts.sort_by_key(|(idx, _)| *idx);
+    parts.into_iter().map(|(_, v)| v).sum()
+}

@@ -1,0 +1,3 @@
+//! Fixture: exactly one hash-iter-order violation (line 3).
+
+pub type Index = std::collections::HashMap<String, usize>;

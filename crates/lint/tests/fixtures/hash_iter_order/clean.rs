@@ -1,0 +1,3 @@
+//! Clean twin: same shape, order-stable container.
+
+pub type Index = std::collections::BTreeMap<String, usize>;

@@ -1,0 +1,7 @@
+//! Fixture: even a well-formed directive is an error when linted as one of
+//! the no-suppression crates (`sim`, `ntier`, `model`, `oracle`).
+
+pub fn startup_stamp() {
+    let t = std::time::Instant::now(); // dcm-lint: allow(wall-clock) reason="not in sim you don't"
+    drop(t);
+}

@@ -1,0 +1,7 @@
+//! Fixture: a directive on its own line silences the line below it.
+
+pub fn startup_stamp() {
+    // dcm-lint: allow(wall-clock) reason="fixture: directive above the code"
+    let t = std::time::Instant::now();
+    drop(t);
+}

@@ -1,0 +1,7 @@
+//! Fixture: a reasonless directive is itself a violation AND does not
+//! silence anything — both diagnostics must surface.
+
+pub fn startup_stamp() {
+    let t = std::time::Instant::now(); // dcm-lint: allow(wall-clock)
+    drop(t);
+}

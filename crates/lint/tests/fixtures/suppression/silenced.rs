@@ -1,0 +1,7 @@
+//! Fixture: a well-formed suppression silences the wall-clock finding on
+//! its own line (linted as crate `core`, where suppressions are legal).
+
+pub fn startup_stamp() {
+    let t = std::time::Instant::now(); // dcm-lint: allow(wall-clock) reason="fixture: silenced finding"
+    drop(t);
+}

@@ -1,0 +1,7 @@
+//! Fixture: allow(...) naming a rule that does not exist.
+
+pub fn fine() {
+    // dcm-lint: allow(no-such-rule) reason="typo'd rule name"
+    let x = 1;
+    let _ = x;
+}

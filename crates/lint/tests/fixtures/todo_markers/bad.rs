@@ -1,0 +1,5 @@
+//! Fixture: exactly one todo-markers violation (line 4).
+
+pub fn capacity_model() -> f64 {
+    todo!("fit the MVA capacity curve")
+}

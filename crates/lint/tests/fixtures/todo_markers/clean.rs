@@ -1,0 +1,5 @@
+//! Clean twin: implemented (however trivially).
+
+pub fn capacity_model() -> f64 {
+    1.0
+}

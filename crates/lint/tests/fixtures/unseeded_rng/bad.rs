@@ -1,0 +1,6 @@
+//! Fixture: exactly one unseeded-rng violation (line 4).
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

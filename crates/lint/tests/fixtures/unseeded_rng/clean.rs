@@ -1,0 +1,7 @@
+//! Clean twin: explicit seed mixed through `derive_seed`, never entropy
+//! and never `base + i` arithmetic.
+
+pub fn roll(base: u64, stream: u64) -> u64 {
+    let mut rng = Rng::with_seed(derive_seed(base, stream));
+    rng.next_u64()
+}

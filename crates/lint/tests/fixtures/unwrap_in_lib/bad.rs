@@ -1,0 +1,5 @@
+//! Fixture: exactly one unwrap-in-lib violation (line 4).
+
+pub fn head(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}

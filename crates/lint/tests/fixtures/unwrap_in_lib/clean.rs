@@ -1,0 +1,5 @@
+//! Clean twin: surface the absence to the caller instead of panicking.
+
+pub fn head(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}

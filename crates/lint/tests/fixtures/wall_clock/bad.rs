@@ -1,0 +1,6 @@
+//! Fixture: exactly one wall-clock violation (line 4).
+
+pub fn elapsed_wall() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

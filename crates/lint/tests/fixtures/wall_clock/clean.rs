@@ -1,0 +1,5 @@
+//! Clean twin: time flows through the simulation clock, not the host's.
+
+pub fn elapsed_sim(now_us: u64, start_us: u64) -> u64 {
+    now_us - start_us
+}
