@@ -1,5 +1,6 @@
 //! Microbenchmarks of the substrate crates: event engine, CPU scheduler,
-//! pools, broker, RNG, statistics, and the model fitter.
+//! pools, broker, RNG, statistics, the span recorder, and the model
+//! fitter.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -9,6 +10,8 @@ use dcm_ntier::cpu::CpuScheduler;
 use dcm_ntier::ids::RequestId;
 use dcm_ntier::law::reference;
 use dcm_ntier::pool::Pool;
+use dcm_ntier::spans::{Span, SpanStatus};
+use dcm_obs::recorder::{SamplerConfig, SpanRecorder};
 use dcm_sim::engine::Engine;
 use dcm_sim::rng::SimRng;
 use dcm_sim::stats::{OnlineStats, P2Quantile};
@@ -152,6 +155,43 @@ fn bench_rng_and_stats(c: &mut Criterion) {
     });
 }
 
+fn bench_recorder(c: &mut Criterion) {
+    let spans: Vec<Span> = (0..10_000u64)
+        .map(|i| Span {
+            request: RequestId::new(i / 3),
+            tier: (i % 3) as usize,
+            server: dcm_ntier::ids::ServerId::new(i % 7),
+            arrived_at: SimTime::from_nanos(i * 1_000),
+            started_at: SimTime::from_nanos(i * 1_000 + 350),
+            finished_at: SimTime::from_nanos(i * 1_000 + 4_200),
+            status: SpanStatus::Completed,
+        })
+        .collect();
+    // The zero-cost-when-disabled claim, as a tracked number.
+    c.bench_function("recorder_off_10k_spans", |b| {
+        b.iter(|| {
+            let mut r = SpanRecorder::off();
+            for s in &spans {
+                r.record(black_box(s));
+            }
+            black_box(r.stats())
+        })
+    });
+    c.bench_function("recorder_sampled_10k_spans", |b| {
+        b.iter(|| {
+            let mut r = SpanRecorder::new(SamplerConfig {
+                rate: 0.1,
+                seed: 7,
+                capacity: 4096,
+            });
+            for s in &spans {
+                r.record(black_box(s));
+            }
+            black_box(r.stats())
+        })
+    });
+}
+
 fn bench_model_fit(c: &mut Criterion) {
     c.bench_function("lm_fit_throughput_curve_120pts", |b| {
         let truth = ConcurrencyModel::new(0.0284, 0.016, 7.0e-5, 1.0, 1);
@@ -177,6 +217,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_engine, bench_cpu_scheduler, bench_pool, bench_broker,
-              bench_rng_and_stats, bench_model_fit
+              bench_rng_and_stats, bench_recorder, bench_model_fit
 }
 criterion_main!(benches);

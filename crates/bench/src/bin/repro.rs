@@ -13,15 +13,18 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use dcm_bench::experiments::{
-    ablation, chaos, fig2, fig4, fig5, gamma, table1, validate, Fidelity,
+    ablation, chaos, fig2, fig4, fig5, gamma, table1, trace_export, validate, Fidelity,
 };
 use dcm_bench::format::TextTable;
+use dcm_obs::PerfLog;
 
 struct Cli {
     command: String,
+    experiment: Option<String>,
     fidelity: Fidelity,
     csv_dir: Option<PathBuf>,
     trace: Option<PathBuf>,
+    obs_dir: PathBuf,
     seeds: usize,
     jobs: usize,
     audit: bool,
@@ -30,9 +33,11 @@ struct Cli {
 fn parse_args() -> Result<Cli, String> {
     let mut args = env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
+    let mut experiment = None;
     let mut fidelity = Fidelity::Full;
     let mut csv_dir = None;
     let mut trace = None;
+    let mut obs_dir = PathBuf::from("results/obs");
     let mut seeds = 1usize;
     let mut jobs = 0usize; // 0 = auto (available parallelism)
     let mut audit = false;
@@ -48,6 +53,10 @@ fn parse_args() -> Result<Cli, String> {
                 let file = args.next().ok_or("--trace needs a CSV file")?;
                 trace = Some(PathBuf::from(file));
             }
+            "--obs" => {
+                let dir = args.next().ok_or("--obs needs a directory")?;
+                obs_dir = PathBuf::from(dir);
+            }
             "--seeds" => {
                 let n = args.next().ok_or("--seeds needs a count")?;
                 seeds = n.parse().map_err(|_| format!("bad seed count `{n}`"))?;
@@ -56,14 +65,24 @@ fn parse_args() -> Result<Cli, String> {
                 let n = args.next().ok_or("--jobs needs a worker count")?;
                 jobs = n.parse().map_err(|_| format!("bad job count `{n}`"))?;
             }
-            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            other => {
+                // `trace` / `explain` take the experiment as a positional.
+                let takes_experiment = command == "trace" || command == "explain";
+                if takes_experiment && experiment.is_none() && !other.starts_with('-') {
+                    experiment = Some(other.to_string());
+                } else {
+                    return Err(format!("unknown flag `{other}`\n{}", usage()));
+                }
+            }
         }
     }
     Ok(Cli {
         command,
+        experiment,
         fidelity,
         csv_dir,
         trace,
+        obs_dir,
         seeds,
         jobs,
         audit,
@@ -90,6 +109,14 @@ fn usage() -> String {
      \x20 validate    DES vs exact queueing theory (MVA oracle; writes\n\
      \x20             results/validate.json and results/validate.csv,\n\
      \x20             exits non-zero on any tolerance breach)\n\
+     \x20 trace <exp>   run fig5 with the dcm-obs pipeline on and export a\n\
+     \x20             Perfetto-loadable Chrome trace, the span CSV, the\n\
+     \x20             controller decision journal (JSON + text), and the\n\
+     \x20             per-period metrics series (byte-identical for every\n\
+     \x20             --jobs value; see --obs)\n\
+     \x20 explain <exp> print the controller decision journal as text:\n\
+     \x20             every scaling and soft-allocation action with the\n\
+     \x20             measurements, fitted model, and reason behind it\n\
      \x20 all         everything above, in order\n\
      \x20 lint        dcm-lint determinism static analysis over the whole\n\
      \x20             workspace (writes results/lint.json, exits non-zero\n\
@@ -100,6 +127,8 @@ fn usage() -> String {
      \x20               (panics on any violated conservation law)\n\
      \x20 --csv DIR     also write every table as CSV into DIR\n\
      \x20 --trace FILE  drive fig5 with an external `seconds,users` CSV trace\n\
+     \x20 --obs DIR     output directory for `trace` artifacts\n\
+     \x20               (default results/obs)\n\
      \x20 --seeds N     replicate fig5 across N seeds, report mean ± 95% CI\n\
      \x20 --jobs N      worker threads for independent runs (0 = all cores);\n\
      \x20               results are bit-identical for every N"
@@ -107,22 +136,19 @@ fn usage() -> String {
 }
 
 /// Per-experiment wall-clock and simulated-event accounting, written to
-/// `results/perf.json` at the end of the run.
+/// `results/perf.json` at the end of the run. The measurements live in a
+/// [`dcm_obs::PerfLog`] (backed by the obs metrics registry); only the
+/// wall-clock `Instant`s stay here — dcm-obs itself is wall-clock-free
+/// under the Strict lint policy.
 struct Perf {
-    entries: Vec<PerfEntry>,
+    log: PerfLog,
     started: Instant,
-}
-
-struct PerfEntry {
-    name: String,
-    wall_secs: f64,
-    events: u64,
 }
 
 impl Perf {
     fn new() -> Self {
         Perf {
-            entries: Vec::new(),
+            log: PerfLog::new(),
             started: Instant::now(),
         }
     }
@@ -139,59 +165,28 @@ impl Perf {
             "  [{name}: {wall_secs:.2} s wall, {events} simulated events, {:.0} events/s]",
             rate(events, wall_secs)
         );
-        self.entries.push(PerfEntry {
-            name: name.to_string(),
-            wall_secs,
-            events,
-        });
+        self.log.record(name, wall_secs, events);
         result
     }
 
-    /// Serializes the collected timings as JSON (hand-rolled; keys and
-    /// shapes are stable for downstream tooling).
-    fn to_json(&self, command: &str, fidelity: Fidelity, jobs: usize) -> String {
-        let mut json = String::from("{\n");
-        json.push_str(&format!("  \"command\": \"{}\",\n", escape(command)));
-        json.push_str(&format!(
-            "  \"fidelity\": \"{}\",\n",
-            if fidelity == Fidelity::Quick {
-                "quick"
-            } else {
-                "full"
-            }
-        ));
-        json.push_str(&format!("  \"jobs\": {jobs},\n"));
-        let total_events: u64 = self.entries.iter().map(|e| e.events).sum();
-        json.push_str(&format!(
-            "  \"total_wall_secs\": {:.6},\n",
-            self.started.elapsed().as_secs_f64()
-        ));
-        json.push_str(&format!("  \"total_events\": {total_events},\n"));
-        json.push_str("  \"experiments\": [\n");
-        for (i, e) in self.entries.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \
-                 \"events_per_sec\": {:.1}}}{}\n",
-                escape(&e.name),
-                e.wall_secs,
-                e.events,
-                rate(e.events, e.wall_secs),
-                if i + 1 < self.entries.len() { "," } else { "" }
-            ));
-        }
-        json.push_str("  ]\n}\n");
-        json
-    }
-
     fn write(&self, command: &str, fidelity: Fidelity, jobs: usize) {
-        if self.entries.is_empty() {
+        if self.log.is_empty() {
             return;
         }
         let dir = PathBuf::from("results");
         let path = dir.join("perf.json");
-        match fs::create_dir_all(&dir)
-            .and_then(|()| fs::write(&path, self.to_json(command, fidelity, jobs)))
-        {
+        let fidelity = if fidelity == Fidelity::Quick {
+            "quick"
+        } else {
+            "full"
+        };
+        let json = self.log.to_json(
+            command,
+            fidelity,
+            jobs,
+            self.started.elapsed().as_secs_f64(),
+        );
+        match fs::create_dir_all(&dir).and_then(|()| fs::write(&path, json)) {
             Ok(()) => println!("\nwrote {}", path.display()),
             Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
         }
@@ -230,10 +225,6 @@ fn rate(events: u64, secs: f64) -> f64 {
     } else {
         0.0
     }
-}
-
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 struct Output {
@@ -302,6 +293,8 @@ fn main() -> ExitCode {
         "extensions",
         "faults",
         "chaos",
+        "trace",
+        "explain",
     ]
     .iter()
     .any(|&c| wants(c));
@@ -401,6 +394,50 @@ fn main() -> ExitCode {
         println!("\n-- EC2-AutoScale timeline (30 s windows) --");
         out.table("fig5_ec2_timeline", &result.timeline_table(&result.ec2, 30));
         out.findings(&result.findings());
+    }
+    if cli.command == "trace" || cli.command == "explain" {
+        matched = true;
+        let models = models.expect("trained above");
+        let experiment = cli.experiment.as_deref().unwrap_or("fig5");
+        if experiment != "fig5" {
+            eprintln!(
+                "unknown experiment `{experiment}` for {} (only `fig5` has an obs pipeline)",
+                cli.command
+            );
+            return ExitCode::FAILURE;
+        }
+        if cli.command == "explain" {
+            out.section("Explain: every controller decision, with its inputs and reason");
+            let export = perf.time("trace", || trace_export::run_trace_export(f, models));
+            for run in [&export.dcm, &export.ec2] {
+                let name = if run.label == "dcm" {
+                    "DCM"
+                } else {
+                    "EC2-AutoScale"
+                };
+                println!("-- {name} decision journal --\n");
+                print!("{}", run.obs.journal.render_explain(false));
+            }
+        } else {
+            out.section("Trace: Fig. 5 with the dcm-obs pipeline enabled");
+            let export = perf.time("trace", || trace_export::run_trace_export(f, models));
+            out.table("trace_stats", &export.table());
+            match export.write_artifacts(&cli.obs_dir) {
+                Ok(paths) => {
+                    println!();
+                    for p in paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(err) => {
+                    eprintln!(
+                        "could not write obs artifacts into {}: {err}",
+                        cli.obs_dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     if wants("ablation") {
         matched = true;

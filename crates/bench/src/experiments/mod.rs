@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod gamma;
 pub mod table1;
+pub mod trace_export;
 pub mod validate;
 
 use dcm_sim::time::SimDuration;

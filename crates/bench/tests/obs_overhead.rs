@@ -1,0 +1,113 @@
+//! Perf gate for the zero-cost-when-disabled claim: offering spans to a
+//! disabled [`SpanRecorder`] must cost at most 2 % over the same loop with
+//! no recorder at all. Run by CI in release mode:
+//!
+//! ```text
+//! cargo test --release -p dcm-bench --test obs_overhead -- --ignored
+//! ```
+//!
+//! The comparison interleaves baseline and recorder batches and takes the
+//! median of an odd number of batches, so one scheduling hiccup cannot
+//! decide the verdict.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dcm_ntier::ids::{RequestId, ServerId};
+use dcm_ntier::spans::{Span, SpanStatus};
+use dcm_obs::recorder::SpanRecorder;
+use dcm_sim::time::SimTime;
+
+const SPANS: usize = 20_000;
+const BATCHES: usize = 31;
+/// Passes per timed batch: one pass is ~20 µs, far below scheduler noise
+/// on a busy CI box; 32 passes makes each sample ~0.7 ms.
+const PASSES_PER_BATCH: usize = 32;
+
+fn make_spans(n: usize) -> Vec<Span> {
+    (0..n as u64)
+        .map(|i| Span {
+            request: RequestId::new(i / 3),
+            tier: (i % 3) as usize,
+            server: ServerId::new(i % 7),
+            arrived_at: SimTime::from_nanos(i * 1_000),
+            started_at: SimTime::from_nanos(i * 1_000 + 350),
+            finished_at: SimTime::from_nanos(i * 1_000 + 4_200),
+            status: SpanStatus::Completed,
+        })
+        .collect()
+}
+
+/// The per-span work the simulation hot path does around the record call
+/// (folding dwell accounting into running sums); identical in both loops.
+#[inline]
+fn fold(acc: u64, span: &Span) -> u64 {
+    acc.wrapping_add(span.finished_at.as_nanos() - span.started_at.as_nanos())
+        .wrapping_add(span.started_at.as_nanos() - span.arrived_at.as_nanos())
+        .wrapping_add(span.request.raw())
+}
+
+fn baseline_pass(spans: &[Span]) -> u64 {
+    let mut acc = 0u64;
+    for span in spans {
+        acc = fold(acc, black_box(span));
+    }
+    acc
+}
+
+fn recorder_pass(spans: &[Span], recorder: &mut SpanRecorder) -> u64 {
+    let mut acc = 0u64;
+    for span in spans {
+        recorder.record(black_box(span));
+        acc = fold(acc, black_box(span));
+    }
+    acc
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+#[test]
+#[ignore = "perf gate; run in CI with --release"]
+fn disabled_recorder_overhead_is_at_most_two_percent() {
+    let spans = make_spans(SPANS);
+    let mut recorder = SpanRecorder::off();
+    // Warm both paths (page in, settle frequency scaling).
+    for _ in 0..3 {
+        black_box(baseline_pass(&spans));
+        black_box(recorder_pass(&spans, &mut recorder));
+    }
+    let mut base = Vec::with_capacity(BATCHES);
+    let mut with_off = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..PASSES_PER_BATCH {
+            black_box(baseline_pass(&spans));
+        }
+        base.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for _ in 0..PASSES_PER_BATCH {
+            black_box(recorder_pass(&spans, &mut recorder));
+        }
+        with_off.push(t.elapsed().as_secs_f64());
+    }
+    assert!(!recorder.is_on(), "recorder must have stayed off");
+    assert_eq!(recorder.stats().seen, 0, "off recorder counted spans");
+    let base_med = median(base);
+    let off_med = median(with_off);
+    let ratio = off_med / base_med;
+    println!(
+        "disabled-recorder overhead: median ratio {ratio:.4} \
+         (baseline {:.2} µs, with off-recorder {:.2} µs per {}-span batch)",
+        base_med * 1e6,
+        off_med * 1e6,
+        SPANS * PASSES_PER_BATCH,
+    );
+    assert!(
+        ratio <= 1.02,
+        "disabled recorder costs {:.2}% (> 2% gate) over the no-recorder baseline",
+        (ratio - 1.0) * 100.0
+    );
+}

@@ -10,9 +10,13 @@
 //! concurrency capped via the Tomcat connection pools at the db model's
 //! `N* × K_db`, split across app servers.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use dcm_bus::GroupConsumer;
 use dcm_model::concurrency::ConcurrencyModel;
 use dcm_ntier::world::{SimEngine, World};
+use dcm_obs::journal::{Decision, DecisionJournal, FitSnapshot, JournalEntry, TierObservation};
 
 use crate::agents::{ActionRecord, AppAgent, VmAgent};
 use crate::aggregate::{aggregate_by_tier, TierWindow};
@@ -31,6 +35,11 @@ pub trait Controller {
 
     /// Short display name for reports.
     fn name(&self) -> &'static str;
+
+    /// Attaches a decision journal: the controller appends one
+    /// [`JournalEntry`] per tick — inputs, model state, decisions, reasons.
+    /// The default implementation journals nothing.
+    fn attach_journal(&mut self, _journal: Rc<RefCell<DecisionJournal>>) {}
 }
 
 /// Shared metric-consumption plumbing.
@@ -71,9 +80,36 @@ impl MetricsFeed {
 /// first silent period — there is nothing to wait for).
 const SILENT_TICKS_FOR_PRESSURE: u32 = 2;
 
-/// Shared VM-scaling pass. Returns the decisions that were actually
-/// applied (a requested action that the agent could not execute — e.g.
-/// scale-in of the last server — is not reported).
+/// Per-tier outcome of the shared VM-scaling pass: the journal-ready
+/// observation, the policy's decision, whether the agent executed it, and
+/// the reason with the numbers that drove it.
+struct TierTickReport {
+    observation: TierObservation,
+    decision: ScaleDecision,
+    applied: bool,
+    reason: String,
+}
+
+impl TierTickReport {
+    fn to_decision(&self) -> Decision {
+        let action = match self.decision {
+            ScaleDecision::Out => "scale-out",
+            ScaleDecision::In => "scale-in",
+            ScaleDecision::Hold => "hold",
+        };
+        Decision {
+            action: action.to_string(),
+            tier: self.observation.tier,
+            value: None,
+            applied: self.applied,
+            reason: self.reason.clone(),
+        }
+    }
+}
+
+/// Shared VM-scaling pass. Returns one report per scalable tier; the
+/// applied flag is false for holds and for requested actions the agent
+/// could not execute (e.g. scale-in of the last server).
 ///
 /// A tier absent from `windows` is *silent*. When the whole map is empty
 /// the monitoring pipeline itself produced nothing, so every tier holds
@@ -89,58 +125,146 @@ fn vm_decisions(
     vm: &mut VmAgent,
     windows: &std::collections::BTreeMap<usize, TierWindow>,
     silence: &mut std::collections::BTreeMap<usize, u32>,
-) -> Vec<(usize, ScaleDecision)> {
+) -> Vec<TierTickReport> {
     let tiers: Vec<usize> = policy.config().scalable_tiers.clone();
     let trigger = policy.config().trigger;
-    let mut applied = Vec::new();
+    let (up, down, down_consecutive) = {
+        let c = policy.config();
+        (c.up_threshold, c.down_threshold, c.down_consecutive)
+    };
+    let mut reports = Vec::new();
     for tier in tiers {
         let running = world.system.running_count(tier);
         let booting = world.system.booting_count(tier);
+        let mut observation = TierObservation {
+            tier,
+            pressure: 0.0,
+            signal: String::new(),
+            utilization: None,
+            throughput: None,
+            concurrency: None,
+            mean_dwell: None,
+            queue: None,
+            running,
+            booting,
+            silent_streak: 0,
+        };
         let pressure = match windows.get(&tier) {
             Some(window) => {
                 silence.insert(tier, 0);
+                observation.utilization = Some(window.mean_cpu_util);
+                observation.throughput = Some(window.total_throughput);
+                observation.concurrency = Some(window.mean_concurrency);
+                observation.mean_dwell = window.mean_dwell;
+                observation.queue = Some(window.mean_thread_queue);
                 match trigger {
-                    TriggerSignal::CpuUtil => window.mean_cpu_util,
-                    TriggerSignal::DwellPressure { sla_secs } => match window.mean_dwell {
-                        Some(dwell) => dwell / sla_secs.max(1e-9),
-                        // No completions: a wedged-but-loaded tier is maximal
-                        // pressure; a genuinely idle one is zero.
-                        None if window.mean_concurrency > 1.0 => f64::INFINITY,
-                        None => 0.0,
-                    },
+                    TriggerSignal::CpuUtil => {
+                        observation.signal = "cpu-util".to_string();
+                        window.mean_cpu_util
+                    }
+                    TriggerSignal::DwellPressure { sla_secs } => {
+                        observation.signal = format!("dwell-pressure(sla={sla_secs}s)");
+                        match window.mean_dwell {
+                            Some(dwell) => dwell / sla_secs.max(1e-9),
+                            // No completions: a wedged-but-loaded tier is
+                            // maximal pressure; a genuinely idle one is zero.
+                            None if window.mean_concurrency > 1.0 => f64::INFINITY,
+                            None => 0.0,
+                        }
+                    }
                 }
             }
             None => {
                 let streak = silence.entry(tier).or_insert(0);
                 *streak += 1;
+                observation.signal = "silent".to_string();
+                observation.silent_streak = *streak;
                 if windows.is_empty() {
                     // No metrics from anywhere: the monitor is not
                     // running. Hold rather than guess.
+                    reports.push(TierTickReport {
+                        observation,
+                        decision: ScaleDecision::Hold,
+                        applied: false,
+                        reason: "no metrics from any tier: monitor silent, holding".to_string(),
+                    });
                     continue;
                 }
                 let dead = running == 0 && booting == 0;
                 if dead || *streak >= SILENT_TICKS_FOR_PRESSURE {
                     f64::INFINITY
                 } else {
+                    let reason = format!(
+                        "tier silent {streak}/{SILENT_TICKS_FOR_PRESSURE} period(s) \
+                         but has capacity; waiting before treating as wedged"
+                    );
+                    reports.push(TierTickReport {
+                        observation,
+                        decision: ScaleDecision::Hold,
+                        applied: false,
+                        reason,
+                    });
                     continue;
                 }
             }
         };
-        match policy.decide(tier, pressure, running, booting) {
+        observation.pressure = pressure;
+        let decision = policy.decide(tier, pressure, running, booting);
+        let streak = policy.below_count(tier);
+        let (applied, reason) = match decision {
             ScaleDecision::Out => {
-                if vm.scale_out(world, engine, tier).is_some() {
-                    applied.push((tier, ScaleDecision::Out));
-                }
+                let why = if pressure.is_finite() {
+                    format!("pressure {pressure:.3} > up_threshold {up:.2}")
+                } else {
+                    "tier silent/dead under load: treated as maximal pressure".to_string()
+                };
+                let ok = vm.scale_out(world, engine, tier).is_some();
+                let reason = if ok {
+                    why
+                } else {
+                    format!("{why}, but provisioning failed")
+                };
+                (ok, reason)
             }
             ScaleDecision::In => {
-                if vm.scale_in(world, engine, tier).is_some() {
-                    applied.push((tier, ScaleDecision::In));
-                }
+                let why = format!(
+                    "pressure {pressure:.3} < down_threshold {down:.2} \
+                     for {down_consecutive} consecutive periods"
+                );
+                let ok = vm.scale_in(world, engine, tier).is_some();
+                let reason = if ok {
+                    why
+                } else {
+                    format!("{why}, but scale-in refused")
+                };
+                (ok, reason)
             }
-            ScaleDecision::Hold => {}
-        }
+            ScaleDecision::Hold => {
+                let why = if pressure > up {
+                    if booting > 0 {
+                        format!("pressure {pressure:.3} above up_threshold {up:.2} but a boot is already pending")
+                    } else {
+                        format!("pressure {pressure:.3} above up_threshold {up:.2} but tier is at max_servers")
+                    }
+                } else if pressure < down {
+                    format!(
+                        "pressure {pressure:.3} < down_threshold {down:.2}, \
+                         cold streak {streak}/{down_consecutive} (slow stop)"
+                    )
+                } else {
+                    format!("pressure {pressure:.3} within [{down:.2}, {up:.2}] band")
+                };
+                (false, why)
+            }
+        };
+        reports.push(TierTickReport {
+            observation,
+            decision,
+            applied,
+            reason,
+        });
     }
-    applied
+    reports
 }
 
 /// The hardware-only baseline: Amazon EC2-AutoScale–style threshold scaling
@@ -151,6 +275,7 @@ pub struct Ec2AutoScale {
     policy: ThresholdPolicy,
     vm: VmAgent,
     silence: std::collections::BTreeMap<usize, u32>,
+    journal: Option<Rc<RefCell<DecisionJournal>>>,
 }
 
 impl std::fmt::Debug for Ec2AutoScale {
@@ -169,6 +294,7 @@ impl Ec2AutoScale {
             policy: ThresholdPolicy::new(config),
             vm: VmAgent::new(),
             silence: std::collections::BTreeMap::new(),
+            journal: None,
         }
     }
 }
@@ -176,7 +302,7 @@ impl Ec2AutoScale {
 impl Controller for Ec2AutoScale {
     fn on_tick(&mut self, world: &mut World, engine: &mut SimEngine) {
         let windows = self.feed.poll_windows();
-        vm_decisions(
+        let reports = vm_decisions(
             world,
             engine,
             &mut self.policy,
@@ -184,6 +310,15 @@ impl Controller for Ec2AutoScale {
             &windows,
             &mut self.silence,
         );
+        if let Some(journal) = &self.journal {
+            journal.borrow_mut().push(JournalEntry {
+                at: engine.now(),
+                controller: "EC2-AutoScale".to_string(),
+                observations: reports.iter().map(|r| r.observation.clone()).collect(),
+                fits: Vec::new(),
+                decisions: reports.iter().map(TierTickReport::to_decision).collect(),
+            });
+        }
     }
 
     fn actions(&self) -> Vec<ActionRecord> {
@@ -192,6 +327,10 @@ impl Controller for Ec2AutoScale {
 
     fn name(&self) -> &'static str {
         "EC2-AutoScale"
+    }
+
+    fn attach_journal(&mut self, journal: Rc<RefCell<DecisionJournal>>) {
+        self.journal = Some(journal);
     }
 }
 
@@ -322,6 +461,12 @@ pub struct Dcm {
     /// `(k_app, k_db, threads, conns)` of the last applied soft
     /// allocation; a change invalidates the online-refit buffers.
     last_shape: Option<(usize, usize, u32, u32)>,
+    /// Provenance of the current app/db models for the journal:
+    /// `("offline", None)` until an online refit is accepted, then
+    /// `("online-refit", Some(r²))`.
+    app_fit: (&'static str, Option<f64>),
+    db_fit: (&'static str, Option<f64>),
+    journal: Option<Rc<RefCell<DecisionJournal>>>,
 }
 
 impl std::fmt::Debug for Dcm {
@@ -349,6 +494,9 @@ impl Dcm {
             desired: std::collections::BTreeMap::new(),
             last_counts: std::collections::BTreeMap::new(),
             last_shape: None,
+            app_fit: ("offline", None),
+            db_fit: ("offline", None),
+            journal: None,
         }
     }
 
@@ -425,6 +573,7 @@ impl Dcm {
                 ) {
                     if report.r_squared > 0.8 {
                         self.models.app = report.model;
+                        self.app_fit = ("online-refit", Some(report.r_squared));
                     }
                 }
             }
@@ -436,6 +585,7 @@ impl Dcm {
                 ) {
                     if report.r_squared > 0.8 {
                         self.models.db = report.model;
+                        self.db_fit = ("online-refit", Some(report.r_squared));
                     }
                 }
             }
@@ -455,6 +605,24 @@ impl Dcm {
     /// and diagnostics.
     pub fn trend_observations(&self, tier: usize) -> Option<u64> {
         self.trends.get(&tier).map(|t| t.observations())
+    }
+}
+
+/// Journal snapshot of one fitted model with its provenance.
+fn fit_snapshot(
+    name: &str,
+    model: &ConcurrencyModel,
+    (source, r_squared): (&'static str, Option<f64>),
+) -> FitSnapshot {
+    FitSnapshot {
+        name: name.to_string(),
+        s0: model.s0,
+        alpha: model.alpha,
+        beta: model.beta,
+        gamma: model.gamma,
+        n_star: model.optimal_concurrency(),
+        r_squared,
+        source: source.to_string(),
     }
 }
 
@@ -492,7 +660,7 @@ impl Controller for Dcm {
             let have = world.system.running_count(tier) + world.system.booting_count(tier);
             self.desired.entry(tier).or_insert(have);
         }
-        let applied = vm_decisions(
+        let reports = vm_decisions(
             world,
             engine,
             &mut self.policy,
@@ -504,34 +672,102 @@ impl Controller for Dcm {
             self.config.scaling.min_servers,
             self.config.scaling.max_servers,
         );
-        for (tier, decision) in applied {
-            let desired = self.desired.entry(tier).or_insert(1);
-            match decision {
+        for report in &reports {
+            if !report.applied {
+                continue;
+            }
+            let desired = self.desired.entry(report.observation.tier).or_insert(1);
+            match report.decision {
                 ScaleDecision::Out => *desired = (*desired + 1).min(max_servers),
                 ScaleDecision::In => *desired = desired.saturating_sub(1).max(min_servers),
                 ScaleDecision::Hold => {}
             }
         }
+        let mut extra_decisions: Vec<Decision> = Vec::new();
         for &tier in &scalable {
             let desired = self.desired[&tier].clamp(min_servers, max_servers);
-            let mut have = world.system.running_count(tier) + world.system.booting_count(tier);
+            let before = world.system.running_count(tier) + world.system.booting_count(tier);
+            let mut have = before;
             while have < desired {
                 if self.vm.scale_out(world, engine, tier).is_none() {
                     break;
                 }
                 have += 1;
             }
+            if before < desired {
+                let booted = have - before;
+                extra_decisions.push(Decision {
+                    action: "replace-lost".to_string(),
+                    tier,
+                    value: Some(desired as u32),
+                    applied: booted > 0,
+                    reason: format!(
+                        "capacity {before} below remembered desired {desired} \
+                         (VM loss); re-provisioned {booted} VM(s)"
+                    ),
+                });
+            }
         }
         // Second level: soft-resource re-allocation for the (possibly new)
         // topology. Idempotent; the APP-agent skips unchanged sizes.
         let (threads, conns) = self.desired_soft_allocation(world);
         if self.config.adapt_threads {
+            let before = self.app.log().len();
             self.app
                 .set_tier_threads(world, engine, self.config.app_tier, threads);
+            if self.app.log().len() > before {
+                extra_decisions.push(Decision {
+                    action: "set-threads".to_string(),
+                    tier: self.config.app_tier,
+                    value: Some(threads),
+                    applied: true,
+                    reason: format!(
+                        "app model N*={} with headroom {:.2} -> {threads} threads/server",
+                        self.models.app.optimal_concurrency(),
+                        self.config.headroom,
+                    ),
+                });
+            }
         }
         if self.config.adapt_conns {
+            let before = self.app.log().len();
             self.app
                 .set_tier_conns(world, engine, self.config.app_tier, conns);
+            if self.app.log().len() > before {
+                let k_app = (world.system.running_count(self.config.app_tier)
+                    + world.system.booting_count(self.config.app_tier))
+                .max(1);
+                let k_db = (world.system.running_count(self.config.db_tier)
+                    + world.system.booting_count(self.config.db_tier))
+                .max(1);
+                extra_decisions.push(Decision {
+                    action: "set-conns".to_string(),
+                    tier: self.config.app_tier,
+                    value: Some(conns),
+                    applied: true,
+                    reason: format!(
+                        "db model N*={} x {k_db} db server(s), headroom {:.2}, \
+                         split across {k_app} app server(s) -> {conns} conns each",
+                        self.models.db.optimal_concurrency(),
+                        self.config.headroom,
+                    ),
+                });
+            }
+        }
+        if let Some(journal) = &self.journal {
+            let mut decisions: Vec<Decision> =
+                reports.iter().map(TierTickReport::to_decision).collect();
+            decisions.extend(extra_decisions);
+            journal.borrow_mut().push(JournalEntry {
+                at: engine.now(),
+                controller: "DCM".to_string(),
+                observations: reports.iter().map(|r| r.observation.clone()).collect(),
+                fits: vec![
+                    fit_snapshot("app", &self.models.app, self.app_fit),
+                    fit_snapshot("db", &self.models.db, self.db_fit),
+                ],
+                decisions,
+            });
         }
         // Online-refit points are only comparable within one configuration:
         // if the topology or pool sizes changed, flush the buffers.
@@ -564,6 +800,10 @@ impl Controller for Dcm {
 
     fn name(&self) -> &'static str {
         "DCM"
+    }
+
+    fn attach_journal(&mut self, journal: Rc<RefCell<DecisionJournal>>) {
+        self.journal = Some(journal);
     }
 }
 

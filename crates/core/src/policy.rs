@@ -145,6 +145,14 @@ impl ThresholdPolicy {
         ScaleDecision::Hold
     }
 
+    /// The slow-stop streak currently accumulated for `tier`: consecutive
+    /// periods spent below `down_threshold` (zero after a scale-in fires or
+    /// any warmer period resets it). Exposed so controllers can journal
+    /// *why* a cold tier is still held.
+    pub fn below_count(&self, tier: usize) -> u32 {
+        self.below_counts.get(&tier).copied().unwrap_or(0)
+    }
+
     /// Resets all per-tier state (e.g. between experiment runs).
     pub fn reset(&mut self) {
         self.below_counts.clear();
@@ -210,6 +218,21 @@ mod tests {
             ..ScalingConfig::default()
         });
         assert_eq!(p.decide(1, 0.9, 2, 0), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn below_count_tracks_the_cold_streak() {
+        let mut p = policy();
+        assert_eq!(p.below_count(1), 0);
+        p.decide(1, 0.1, 2, 0);
+        p.decide(1, 0.1, 2, 0);
+        assert_eq!(p.below_count(1), 2);
+        p.decide(1, 0.6, 2, 0);
+        assert_eq!(p.below_count(1), 0, "warm period resets");
+        for _ in 0..3 {
+            p.decide(1, 0.1, 2, 0);
+        }
+        assert_eq!(p.below_count(1), 0, "firing a scale-in resets");
     }
 
     #[test]

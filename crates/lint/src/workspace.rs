@@ -4,8 +4,8 @@
 //! resolver this lint needs is "which crate and which kind of target does
 //! this file belong to", not full `mod` resolution:
 //!
-//! * `crates/{sim,bus,ntier,model,oracle,workload,core}/src/**` — **strict**
-//!   (the determinism-critical library crates),
+//! * `crates/{sim,bus,ntier,model,oracle,workload,core,obs}/src/**` —
+//!   **strict** (the determinism-critical library crates),
 //! * `crates/{bench,lint}/src/**` and `shims/*/src/**` — **relaxed**
 //!   (harness, tooling, and vendored stand-ins; wall-clock instrumentation
 //!   is legitimate there),
@@ -20,7 +20,9 @@ use std::path::{Path, PathBuf};
 use crate::rules::Scope;
 
 /// Directory names (under `crates/`) of the determinism-critical crates.
-pub const STRICT_CRATES: &[&str] = &["sim", "bus", "ntier", "model", "oracle", "workload", "core"];
+pub const STRICT_CRATES: &[&str] = &[
+    "sim", "bus", "ntier", "model", "oracle", "workload", "core", "obs",
+];
 
 /// One file scheduled for linting.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -149,6 +151,14 @@ mod tests {
         assert_eq!(
             classify("crates/core/src/controller.rs"),
             Some(("core".into(), Scope::Strict))
+        );
+        assert_eq!(
+            classify("crates/obs/src/recorder.rs"),
+            Some(("obs".into(), Scope::Strict))
+        );
+        assert_eq!(
+            classify("crates/obs/tests/trace_golden.rs"),
+            Some(("obs".into(), Scope::Test))
         );
         assert_eq!(
             classify("crates/bench/src/bin/repro.rs"),

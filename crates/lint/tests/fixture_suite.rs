@@ -142,6 +142,31 @@ fn any_directive_in_sim_critical_crates_is_an_error() {
 }
 
 #[test]
+fn recorder_ring_drop_path_is_unwrap_free() {
+    // The fixture mirrors the shape of the dcm-obs eviction path and must
+    // lint clean under Strict as crate `obs`.
+    let out = lint_fixture("obs_ring_drop/clean.rs", "obs", Scope::Strict);
+    assert!(
+        out.diagnostics.is_empty(),
+        "ring drop fixture must lint clean, got {:?}",
+        out.diagnostics
+    );
+    assert!(out.used_suppressions.is_empty());
+    // And the real recorder source itself: the drop path ships with no
+    // unwrap and no suppression directives.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../obs/src/recorder.rs");
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("recorder source {} unreadable: {e}", path.display()));
+    let out = lint_source("crates/obs/src/recorder.rs", "obs", Scope::Strict, &source);
+    assert!(
+        out.diagnostics.is_empty(),
+        "crates/obs/src/recorder.rs must pass Strict, got {:?}",
+        out.diagnostics
+    );
+    assert!(out.used_suppressions.is_empty());
+}
+
+#[test]
 fn live_workspace_lints_clean_with_no_sim_critical_suppressions() {
     let root = dcm_lint::default_root();
     let report = dcm_lint::lint_workspace(&root).expect("workspace scan");

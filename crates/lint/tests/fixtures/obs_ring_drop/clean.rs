@@ -1,0 +1,28 @@
+// Mirror of the dcm-obs recorder's ring-buffer drop path: capacity-zero
+// refusal and oldest-first eviction are handled with explicit `is_some()`
+// checks and counted drops — no unwrap/expect anywhere on the path.
+use std::collections::VecDeque;
+
+pub struct Ring {
+    ring: VecDeque<u64>,
+    capacity: usize,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl Ring {
+    pub fn record(&mut self, span: u64) {
+        if self.capacity == 0 {
+            self.recorded += 1;
+            self.evicted += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            if self.ring.pop_front().is_some() {
+                self.evicted += 1;
+            }
+        }
+        self.ring.push_back(span);
+        self.recorded += 1;
+    }
+}

@@ -15,6 +15,10 @@
 //!   with "in-flight" counted from the live request map, not derived;
 //! * **span ordering** — every span has
 //!   `arrived_at ≤ started_at ≤ finished_at`;
+//! * **span statuses** — a request unwinds at most once, so all its
+//!   non-completed spans carry the same terminal status, and a request
+//!   with any non-completed span cannot also have a *completed* entry-tier
+//!   span (mixed books would mean a request both finished and unwound);
 //! * **Little's law per server** — the pool-accounting occupancy integral
 //!   `∫ threads_in_use dt` equals `X·R` reconstructed from the span log
 //!   (dwell of spans finished in the window, clipped, plus the dwell of
@@ -39,14 +43,14 @@ use dcm_sim::time::SimTime;
 
 use crate::ids::ServerId;
 use crate::request::Phase;
-use crate::spans::Span;
+use crate::spans::{Span, SpanStatus};
 use crate::system::{System, SystemCounters};
 
 /// One broken invariant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
-    /// Which check failed (`flow-balance`, `span-ordering`, `littles-law`,
-    /// `utilization-law`, `work-conservation`).
+    /// Which check failed (`flow-balance`, `span-ordering`, `span-status`,
+    /// `littles-law`, `utilization-law`, `work-conservation`).
     pub check: &'static str,
     /// What the check was looking at (a server name, `system`, a span).
     pub subject: String,
@@ -152,6 +156,7 @@ impl ConservationAuditor {
             violations.push(v);
         }
         violations.extend(check_span_ordering(spans));
+        violations.extend(check_span_statuses(spans));
 
         // Servers running at both window ends (stopped servers freeze their
         // books mid-crash by design — see module docs).
@@ -272,6 +277,58 @@ pub fn check_span_ordering(spans: &[Span]) -> Vec<Violation> {
             ),
         })
         .collect()
+}
+
+/// Span statuses: unwinding happens at most once per request, so every
+/// non-completed span of a request must carry the *same* terminal status,
+/// and a request holding any non-completed span cannot also own a
+/// completed entry-tier (tier-0) span.
+pub fn check_span_statuses(spans: &[Span]) -> Vec<Violation> {
+    #[derive(Default)]
+    struct PerRequest {
+        terminal: Option<SpanStatus>,
+        mixed: bool,
+        completed_root: bool,
+    }
+    let mut book: BTreeMap<crate::ids::RequestId, PerRequest> = BTreeMap::new();
+    for s in spans {
+        let entry = book.entry(s.request).or_default();
+        if s.is_completed() {
+            if s.tier == 0 {
+                entry.completed_root = true;
+            }
+        } else {
+            match entry.terminal {
+                None => entry.terminal = Some(s.status),
+                Some(t) if t != s.status => entry.mixed = true,
+                Some(_) => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (rid, entry) in book {
+        if entry.mixed {
+            out.push(Violation {
+                check: "span-status",
+                subject: format!("request {rid}"),
+                detail: "non-completed spans carry differing terminal statuses \
+                         (a request unwinds at most once)"
+                    .into(),
+            });
+        }
+        if entry.completed_root && entry.terminal.is_some() {
+            out.push(Violation {
+                check: "span-status",
+                subject: format!("request {rid}"),
+                detail: format!(
+                    "completed entry-tier span coexists with {} spans \
+                     (request both finished and unwound)",
+                    entry.terminal.map_or("?", SpanStatus::label),
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// Little's law: the pool-accounting occupancy integral must equal the
@@ -400,7 +457,7 @@ mod tests {
             arrived_at: t(1.0),
             started_at: t(1.5),
             finished_at: t(2.0),
-            completed: true,
+            status: SpanStatus::Completed,
         };
         let started_before_arrival = Span {
             started_at: t(0.5),
@@ -417,6 +474,57 @@ mod tests {
             check_span_ordering(&[good, started_before_arrival, finished_before_start]).len(),
             2
         );
+    }
+
+    fn status_span(req: u64, tier: usize, status: SpanStatus) -> Span {
+        let t = SimTime::from_secs_f64;
+        Span {
+            request: crate::ids::RequestId::new(req),
+            tier,
+            server: ServerId::new(1),
+            arrived_at: t(1.0),
+            started_at: t(1.5),
+            finished_at: t(2.0),
+            status,
+        }
+    }
+
+    #[test]
+    fn span_statuses_accept_consistent_unwind() {
+        // A crashed request: every released frame carries Crashed; a second
+        // request completed normally at both tiers.
+        let spans = [
+            status_span(1, 1, SpanStatus::Crashed),
+            status_span(1, 0, SpanStatus::Crashed),
+            status_span(2, 1, SpanStatus::Completed),
+            status_span(2, 0, SpanStatus::Completed),
+        ];
+        assert!(check_span_statuses(&spans).is_empty());
+    }
+
+    #[test]
+    fn span_statuses_flag_mixed_terminals() {
+        // One request cannot both crash and be abandoned.
+        let spans = [
+            status_span(1, 1, SpanStatus::Crashed),
+            status_span(1, 0, SpanStatus::Abandoned),
+        ];
+        let v = check_span_statuses(&spans);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "span-status");
+        assert!(v[0].detail.contains("differing"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn span_statuses_flag_completed_root_with_unwound_frames() {
+        // Books claim the request finished at the entry tier *and* unwound.
+        let spans = [
+            status_span(1, 0, SpanStatus::Completed),
+            status_span(1, 1, SpanStatus::Rejected),
+        ];
+        let v = check_span_statuses(&spans);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("rejected"), "{}", v[0].detail);
     }
 
     #[test]

@@ -387,7 +387,7 @@ fn finish_frame(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
             arrived_at: frame.arrived_at,
             started_at: frame.thread_since,
             finished_at: now,
-            completed: true,
+            status: crate::spans::SpanStatus::Completed,
         });
         (
             frame.server,
@@ -489,6 +489,7 @@ fn unwind_reject(world: &mut World, engine: &mut SimEngine, rid: RequestId, at_t
 /// reachable only through [`crash_server`].
 fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Outcome) {
     let now = engine.now();
+    let status = crate::spans::SpanStatus::from_outcome(&outcome);
     while let Some(frame) = world
         .system
         .requests
@@ -510,7 +511,7 @@ fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Ou
                     arrived_at: frame.arrived_at,
                     started_at: frame.thread_since,
                     finished_at: now,
-                    completed: false,
+                    status,
                 });
             }
             continue;
@@ -521,11 +522,11 @@ fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Ou
             }
             Phase::AwaitConn => {
                 server.cancel_conn_waiter(rid);
-                release_thread_during_unwind(world, engine, rid, sid, frame, now);
+                release_thread_during_unwind(world, engine, rid, sid, frame, now, status);
             }
             Phase::PreBurst | Phase::PostBurst => {
                 server.cpu_mut().cancel_burst(now, rid);
-                release_thread_during_unwind(world, engine, rid, sid, frame, now);
+                release_thread_during_unwind(world, engine, rid, sid, frame, now, status);
             }
             Phase::InCall => {
                 if frame.holds_conn {
@@ -534,7 +535,7 @@ fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Ou
                         resume_parked(world, engine, next);
                     }
                 }
-                release_thread_during_unwind(world, engine, rid, sid, frame, now);
+                release_thread_during_unwind(world, engine, rid, sid, frame, now, status);
             }
         }
     }
@@ -548,6 +549,7 @@ fn release_thread_during_unwind(
     sid: ServerId,
     frame: Frame,
     now: SimTime,
+    status: crate::spans::SpanStatus,
 ) {
     world.system.record_span(crate::spans::Span {
         request: rid,
@@ -556,7 +558,7 @@ fn release_thread_during_unwind(
         arrived_at: frame.arrived_at,
         started_at: frame.thread_since,
         finished_at: now,
-        completed: false,
+        status,
     });
     let dwell = now.saturating_since(frame.thread_since).as_secs_f64();
     let waiter = world
@@ -629,6 +631,12 @@ pub fn provision_server(
     let sid = world
         .system
         .add_server(TierId(tier), now, ServerState::Starting { ready_at });
+    world.system.record_server_event(crate::spans::ServerEvent {
+        at: now,
+        server: sid,
+        tier,
+        kind: crate::spans::ServerEventKind::BootRequested { ready_at },
+    });
     engine.schedule_at(ready_at, move |w, e| boot_complete(w, e, sid));
     Ok(sid)
 }
@@ -643,12 +651,23 @@ fn boot_complete(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
     if !matches!(server.state(), ServerState::Starting { .. }) {
         return;
     }
+    let tier = server.tier();
     if failed {
         server.mark_stopped(now);
         world.system.retire_server(sid, now);
     } else {
         server.mark_running();
     }
+    world.system.record_server_event(crate::spans::ServerEvent {
+        at: now,
+        server: sid,
+        tier,
+        kind: if failed {
+            crate::spans::ServerEventKind::BootFailed
+        } else {
+            crate::spans::ServerEventKind::BootCompleted
+        },
+    });
     let _ = engine;
 }
 
@@ -677,6 +696,12 @@ pub fn decommission_one(
         .server_mut(victim)
         .expect("routable server exists")
         .mark_draining();
+    world.system.record_server_event(crate::spans::ServerEvent {
+        at: engine.now(),
+        server: victim,
+        tier,
+        kind: crate::spans::ServerEventKind::DrainStarted,
+    });
     maybe_finish_drain(world, engine, victim);
     Ok(victim)
 }
@@ -710,6 +735,12 @@ pub fn crash_server(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
         engine.cancel(ev);
     }
     server.mark_stopped(now);
+    world.system.record_server_event(crate::spans::ServerEvent {
+        at: now,
+        server: sid,
+        tier,
+        kind: crate::spans::ServerEventKind::Crashed,
+    });
     let victims: Vec<RequestId> = world
         .system
         .requests
@@ -730,12 +761,20 @@ pub fn crash_server(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
 /// Sets a server's straggler multiplier: future CPU bursts cost
 /// `factor ×` their nominal work (1.0 restores full speed). Bursts already
 /// on the CPU keep their original cost. A no-op on a stopped server.
-pub fn set_server_slowdown(world: &mut World, _engine: &mut SimEngine, sid: ServerId, factor: f64) {
-    if let Some(server) = world.system.server_mut(sid) {
-        if !server.is_stopped() {
+pub fn set_server_slowdown(world: &mut World, engine: &mut SimEngine, sid: ServerId, factor: f64) {
+    let tier = match world.system.server_mut(sid) {
+        Some(server) if !server.is_stopped() => {
             server.set_slowdown(factor);
+            server.tier()
         }
-    }
+        _ => return,
+    };
+    world.system.record_server_event(crate::spans::ServerEvent {
+        at: engine.now(),
+        server: sid,
+        tier,
+        kind: crate::spans::ServerEventKind::SlowdownSet { factor },
+    });
 }
 
 // ---------------------------------------------------------------------------

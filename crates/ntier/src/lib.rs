@@ -78,7 +78,7 @@ pub use pool::Pool;
 pub use request::{Completion, Outcome, RequestProfile, StageDemand};
 pub use server::{Server, ServerSpec, ServerState};
 pub use snapshot::SystemSnapshot;
-pub use spans::Span;
+pub use spans::{ServerEvent, ServerEventKind, Span, SpanStatus};
 pub use system::{InterTierRetry, System, SystemCounters, TierSpec};
 pub use topology::{SoftConfig, ThreeTierBuilder};
 pub use world::{SimEngine, World};

@@ -1,5 +1,6 @@
 //! Request-span tracing: per-tier timing records for individual requests
-//! (the simulator's analog of distributed tracing).
+//! (the simulator's analog of distributed tracing), plus server lifecycle
+//! events (boots, drains, crashes) for the observability exporters.
 //!
 //! When enabled on the [`System`](crate::system::System), every tier visit
 //! emits a [`Span`] with its queueing and service boundaries. Spans answer
@@ -11,6 +12,45 @@ use dcm_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{RequestId, ServerId};
+use crate::request::Outcome;
+
+/// How a tier visit ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpanStatus {
+    /// The visit ran to completion and replied upstream.
+    Completed,
+    /// The visit unwound because the request was rejected (no routable
+    /// server at some tier).
+    Rejected,
+    /// The visit unwound because the client abandoned the request at its
+    /// deadline.
+    Abandoned,
+    /// The visit was lost to a VM crash or an injected transient fault.
+    Crashed,
+}
+
+impl SpanStatus {
+    /// The span status that unwinding with `outcome` stamps on every
+    /// released frame.
+    pub fn from_outcome(outcome: &Outcome) -> SpanStatus {
+        match outcome {
+            Outcome::Completed => SpanStatus::Completed,
+            Outcome::Rejected { .. } => SpanStatus::Rejected,
+            Outcome::TimedOut => SpanStatus::Abandoned,
+            Outcome::Failed { .. } => SpanStatus::Crashed,
+        }
+    }
+
+    /// Stable lower-case label (used by the exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanStatus::Completed => "completed",
+            SpanStatus::Rejected => "rejected",
+            SpanStatus::Abandoned => "abandoned",
+            SpanStatus::Crashed => "crashed",
+        }
+    }
+}
 
 /// One tier visit of one request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,8 +67,8 @@ pub struct Span {
     pub started_at: SimTime,
     /// When the thread was released.
     pub finished_at: SimTime,
-    /// False when the visit ended by rejection/abandonment unwinding.
-    pub completed: bool,
+    /// How the visit ended.
+    pub status: SpanStatus,
 }
 
 impl Span {
@@ -41,6 +81,63 @@ impl Span {
     pub fn service_time(&self) -> SimDuration {
         self.finished_at.saturating_since(self.started_at)
     }
+
+    /// True when the visit ran to completion (not unwound by rejection,
+    /// abandonment, or a fault).
+    pub fn is_completed(&self) -> bool {
+        self.status == SpanStatus::Completed
+    }
+}
+
+/// What happened to a server (the VM-lifecycle / fault event stream the
+/// trace exporter turns into instant events).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerEventKind {
+    /// A VM boot was requested; the server becomes routable `ready_at`.
+    BootRequested {
+        /// When the preparation period ends.
+        ready_at: SimTime,
+    },
+    /// The preparation period ended and the server joined its tier.
+    BootCompleted,
+    /// The boot failed (injected boot failure); the VM never joined.
+    BootFailed,
+    /// The server stopped accepting requests and began draining.
+    DrainStarted,
+    /// The server crashed mid-flight, failing its in-flight requests.
+    Crashed,
+    /// The server's straggler multiplier changed (1.0 = full speed).
+    SlowdownSet {
+        /// CPU-work multiplier now in effect.
+        factor: f64,
+    },
+}
+
+impl ServerEventKind {
+    /// Stable kebab-case label (used by the exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerEventKind::BootRequested { .. } => "boot-requested",
+            ServerEventKind::BootCompleted => "boot-completed",
+            ServerEventKind::BootFailed => "boot-failed",
+            ServerEventKind::DrainStarted => "drain-started",
+            ServerEventKind::Crashed => "crashed",
+            ServerEventKind::SlowdownSet { .. } => "slowdown-set",
+        }
+    }
+}
+
+/// One timestamped server lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The server.
+    pub server: ServerId,
+    /// The server's tier.
+    pub tier: usize,
+    /// What happened.
+    pub kind: ServerEventKind,
 }
 
 /// All spans of one request, in start order (the trace waterfall).
@@ -68,7 +165,7 @@ pub struct TierTiming {
 /// Aggregates spans into per-tier timing (completed visits only).
 pub fn tier_breakdown(spans: &[Span]) -> std::collections::BTreeMap<usize, TierTiming> {
     let mut acc: std::collections::BTreeMap<usize, (u64, f64, f64)> = Default::default();
-    for s in spans.iter().filter(|s| s.completed) {
+    for s in spans.iter().filter(|s| s.is_completed()) {
         let entry = acc.entry(s.tier).or_default();
         entry.0 += 1;
         entry.1 += s.queue_time().as_secs_f64();
@@ -100,7 +197,7 @@ mod tests {
             arrived_at: SimTime::from_secs_f64(arrive),
             started_at: SimTime::from_secs_f64(start),
             finished_at: SimTime::from_secs_f64(finish),
-            completed: true,
+            status: SpanStatus::Completed,
         }
     }
 
@@ -109,6 +206,27 @@ mod tests {
         let s = span(1, 0, 1.0, 1.5, 3.0);
         assert_eq!(s.queue_time(), SimDuration::from_millis(500));
         assert_eq!(s.service_time(), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn status_maps_from_outcome() {
+        assert_eq!(
+            SpanStatus::from_outcome(&Outcome::Completed),
+            SpanStatus::Completed
+        );
+        assert_eq!(
+            SpanStatus::from_outcome(&Outcome::Rejected { at_tier: 1 }),
+            SpanStatus::Rejected
+        );
+        assert_eq!(
+            SpanStatus::from_outcome(&Outcome::TimedOut),
+            SpanStatus::Abandoned
+        );
+        assert_eq!(
+            SpanStatus::from_outcome(&Outcome::Failed { at_tier: 2 }),
+            SpanStatus::Crashed
+        );
+        assert_eq!(SpanStatus::Abandoned.label(), "abandoned");
     }
 
     #[test]
@@ -141,7 +259,7 @@ mod tests {
     #[test]
     fn incomplete_spans_excluded_from_breakdown() {
         let mut s = span(1, 0, 0.0, 0.1, 0.5);
-        s.completed = false;
+        s.status = SpanStatus::Crashed;
         assert!(tier_breakdown(&[s]).is_empty());
     }
 }

@@ -177,6 +177,7 @@ pub struct System {
     /// no routable server (the seed behaviour).
     pub inter_tier_retry: Option<InterTierRetry>,
     pub(crate) span_log: Option<Vec<crate::spans::Span>>,
+    pub(crate) event_log: Option<Vec<crate::spans::ServerEvent>>,
 }
 
 impl System {
@@ -213,6 +214,7 @@ impl System {
             transient_failure_prob: 0.0,
             inter_tier_retry: None,
             span_log: None,
+            event_log: None,
         };
         for (m, &count) in initial.iter().enumerate() {
             for _ in 0..count {
@@ -288,6 +290,32 @@ impl System {
     pub(crate) fn record_span(&mut self, span: crate::spans::Span) {
         if let Some(log) = self.span_log.as_mut() {
             log.push(span);
+        }
+    }
+
+    /// Starts recording a [`ServerEvent`](crate::spans::ServerEvent) for
+    /// every VM-lifecycle change (boots, drains, crashes, slowdowns). Off by
+    /// default; the stream is tiny (one entry per scaling/fault action).
+    pub fn enable_event_log(&mut self) {
+        self.event_log.get_or_insert_with(Vec::new);
+    }
+
+    /// True when server-event recording is on.
+    pub fn event_log_enabled(&self) -> bool {
+        self.event_log.is_some()
+    }
+
+    /// Takes the recorded server events, leaving recording enabled.
+    pub fn take_server_events(&mut self) -> Vec<crate::spans::ServerEvent> {
+        self.event_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn record_server_event(&mut self, event: crate::spans::ServerEvent) {
+        if let Some(log) = self.event_log.as_mut() {
+            log.push(event);
         }
     }
 

@@ -399,7 +399,7 @@ fn span_tracing_records_tier_waterfalls() {
     assert_eq!(w[1].tier, 1);
     assert_eq!(w[2].tier, 2);
     assert_eq!(w[3].tier, 2);
-    assert!(spans.iter().all(|s| s.completed));
+    assert!(spans.iter().all(|s| s.is_completed()));
     // The app span encloses both db spans (thread held across queries).
     assert!(w[1].started_at <= w[2].arrived_at);
     assert!(w[1].finished_at >= w[3].finished_at);

@@ -1,0 +1,377 @@
+//! The controller decision journal: every control tick records what the
+//! controller *saw* (per-tier measurements, pressure/streak state), what it
+//! *believed* (the fitted concurrency-law parameters and the N* they
+//! imply), what it *did* (scaling and soft-allocation actions), and *why*
+//! (a human-readable reason per decision).
+//!
+//! `repro explain <experiment>` renders the journal as text — "at t=300s
+//! tier=db: scale-out because …" — and `repro trace` writes it as stable
+//! JSON next to the Chrome trace. Infinite pressure (the silent-tier
+//! sentinel) serializes as the JSON string `"inf"`.
+
+use dcm_sim::time::SimTime;
+
+use crate::json::{escape, num, opt_num};
+
+/// What one tier looked like to the controller at a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierObservation {
+    /// Tier index.
+    pub tier: usize,
+    /// The scaling pressure the trigger computed (`f64::INFINITY` when the
+    /// tier is silent/dead and treated as maximally pressured).
+    pub pressure: f64,
+    /// Which signal produced the pressure (`cpu-util`,
+    /// `dwell-pressure(sla=..)`, `silent`).
+    pub signal: String,
+    /// Mean CPU utilization over the window, when the tier reported.
+    pub utilization: Option<f64>,
+    /// Completions per second over the window.
+    pub throughput: Option<f64>,
+    /// Mean in-server concurrency.
+    pub concurrency: Option<f64>,
+    /// Mean request dwell (seconds).
+    pub mean_dwell: Option<f64>,
+    /// Mean thread-pool queue length.
+    pub queue: Option<f64>,
+    /// Routable servers at the tick.
+    pub running: usize,
+    /// Servers still booting at the tick.
+    pub booting: usize,
+    /// Consecutive ticks this tier has been silent (no samples).
+    pub silent_streak: u32,
+}
+
+/// Fitted concurrency-law parameters the controller is acting on,
+/// with provenance (offline-trained vs online-refit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitSnapshot {
+    /// Which model (`app`, `db`).
+    pub name: String,
+    /// Zero-concurrency service time S⁰ (seconds).
+    pub s0: f64,
+    /// Per-thread overhead floor α.
+    pub alpha: f64,
+    /// Quadratic contention coefficient β.
+    pub beta: f64,
+    /// Sub-linear speedup exponent γ.
+    pub gamma: f64,
+    /// The optimal concurrency N* = √((S⁰−α)/β) this fit implies.
+    pub n_star: u32,
+    /// Goodness of fit of the most recent refit (`None` for the offline
+    /// model, whose residual is not retained).
+    pub r_squared: Option<f64>,
+    /// `offline` (trained before the run) or `online-refit`.
+    pub source: String,
+}
+
+/// One decision the controller took (or deliberately held).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Action kind: `scale-out`, `scale-in`, `hold`, `replace-lost`,
+    /// `set-threads`, `set-conns`.
+    pub action: String,
+    /// The tier the decision concerns.
+    pub tier: usize,
+    /// Pool size / VM count payload, when the action carries one.
+    pub value: Option<u32>,
+    /// True when the action was actually executed (a `scale-out` can fail
+    /// when no VM is available; `hold` is never "applied").
+    pub applied: bool,
+    /// Human-readable reason with the numbers that drove the decision.
+    pub reason: String,
+}
+
+/// Everything one control tick recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// When the controller ran.
+    pub at: SimTime,
+    /// Controller name (`DCM`, `EC2-AutoScale`).
+    pub controller: String,
+    /// Per-tier inputs, ascending tier order.
+    pub observations: Vec<TierObservation>,
+    /// Model state backing soft-allocation decisions (empty for
+    /// model-free controllers).
+    pub fits: Vec<FitSnapshot>,
+    /// Decisions, in the order they were taken.
+    pub decisions: Vec<Decision>,
+}
+
+/// The journal: an append-only sequence of [`JournalEntry`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl DecisionJournal {
+    /// An empty journal.
+    pub fn new() -> DecisionJournal {
+        DecisionJournal::default()
+    }
+
+    /// Appends one tick's record.
+    pub fn push(&mut self, entry: JournalEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries, in tick order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no tick has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the journal as stable JSON (fixed field order, fixed float
+    /// formatting; infinite pressure as the string `"inf"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n\"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("{\n");
+            out.push_str(&format!("  \"t\": {:.3},\n", e.at.as_secs_f64()));
+            out.push_str(&format!(
+                "  \"controller\": \"{}\",\n",
+                escape(&e.controller)
+            ));
+            out.push_str("  \"observations\": [\n");
+            for (j, o) in e.observations.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"tier\": {}, \"pressure\": {}, \"signal\": \"{}\", \
+                     \"utilization\": {}, \"throughput\": {}, \"concurrency\": {}, \
+                     \"mean_dwell\": {}, \"queue\": {}, \"running\": {}, \
+                     \"booting\": {}, \"silent_streak\": {}}}{}\n",
+                    o.tier,
+                    num(o.pressure),
+                    escape(&o.signal),
+                    opt_num(o.utilization),
+                    opt_num(o.throughput),
+                    opt_num(o.concurrency),
+                    opt_num(o.mean_dwell),
+                    opt_num(o.queue),
+                    o.running,
+                    o.booting,
+                    o.silent_streak,
+                    if j + 1 < e.observations.len() {
+                        ","
+                    } else {
+                        ""
+                    },
+                ));
+            }
+            out.push_str("  ],\n  \"fits\": [\n");
+            for (j, fit) in e.fits.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"s0\": {}, \"alpha\": {}, \"beta\": {}, \
+                     \"gamma\": {}, \"n_star\": {}, \"r_squared\": {}, \
+                     \"source\": \"{}\"}}{}\n",
+                    escape(&fit.name),
+                    num(fit.s0),
+                    num(fit.alpha),
+                    num(fit.beta),
+                    num(fit.gamma),
+                    fit.n_star,
+                    opt_num(fit.r_squared),
+                    escape(&fit.source),
+                    if j + 1 < e.fits.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("  ],\n  \"decisions\": [\n");
+            for (j, d) in e.decisions.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"action\": \"{}\", \"tier\": {}, \"value\": {}, \
+                     \"applied\": {}, \"reason\": \"{}\"}}{}\n",
+                    escape(&d.action),
+                    d.tier,
+                    d.value
+                        .map_or_else(|| "null".to_string(), |v| v.to_string()),
+                    d.applied,
+                    escape(&d.reason),
+                    if j + 1 < e.decisions.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("  ]\n}");
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders the journal as readable text for `repro explain`: one block
+    /// per tick that *did* something (plus silent-tier pressure events);
+    /// pass `verbose` to include all-hold ticks too.
+    pub fn render_explain(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let acted = e.decisions.iter().any(|d| d.applied || d.action != "hold");
+            if !acted && !verbose {
+                continue;
+            }
+            out.push_str(&format!(
+                "t={:.0}s [{}]\n",
+                e.at.as_secs_f64(),
+                e.controller
+            ));
+            for o in &e.observations {
+                let pressure = if o.pressure.is_finite() {
+                    format!("{:.3}", o.pressure)
+                } else {
+                    "inf".to_string()
+                };
+                out.push_str(&format!(
+                    "  tier={} pressure={} ({}) running={} booting={}",
+                    o.tier, pressure, o.signal, o.running, o.booting,
+                ));
+                if let Some(u) = o.utilization {
+                    out.push_str(&format!(" util={u:.3}"));
+                }
+                if let Some(x) = o.throughput {
+                    out.push_str(&format!(" xput={x:.1}/s"));
+                }
+                if let Some(n) = o.concurrency {
+                    out.push_str(&format!(" conc={n:.1}"));
+                }
+                if let Some(q) = o.queue {
+                    out.push_str(&format!(" queue={q:.1}"));
+                }
+                if o.silent_streak > 0 {
+                    out.push_str(&format!(" silent_streak={}", o.silent_streak));
+                }
+                out.push('\n');
+            }
+            for fit in &e.fits {
+                out.push_str(&format!(
+                    "  model[{}]: S0={:.5} alpha={:.5} beta={:.2e} gamma={:.3} \
+                     N*={} ({}{})\n",
+                    fit.name,
+                    fit.s0,
+                    fit.alpha,
+                    fit.beta,
+                    fit.gamma,
+                    fit.n_star,
+                    fit.source,
+                    fit.r_squared
+                        .map_or_else(String::new, |r2| format!(", r2={r2:.4}")),
+                ));
+            }
+            for d in &e.decisions {
+                if d.action == "hold" && !verbose {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  -> {} tier={}{}{}: {}\n",
+                    d.action,
+                    d.tier,
+                    d.value.map_or_else(String::new, |v| format!(" value={v}")),
+                    if d.applied { "" } else { " (not applied)" },
+                    d.reason,
+                ));
+            }
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("(no scaling decisions recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> JournalEntry {
+        JournalEntry {
+            at: SimTime::from_secs(300),
+            controller: "DCM".into(),
+            observations: vec![TierObservation {
+                tier: 2,
+                pressure: 0.91,
+                signal: "cpu-util".into(),
+                utilization: Some(0.91),
+                throughput: Some(120.5),
+                concurrency: Some(14.0),
+                mean_dwell: Some(0.12),
+                queue: Some(3.5),
+                running: 2,
+                booting: 0,
+                silent_streak: 0,
+            }],
+            fits: vec![FitSnapshot {
+                name: "db".into(),
+                s0: 0.00719,
+                alpha: 0.001,
+                beta: 5e-6,
+                gamma: 1.0,
+                n_star: 35,
+                r_squared: Some(0.97),
+                source: "online-refit".into(),
+            }],
+            decisions: vec![Decision {
+                action: "scale-out".into(),
+                tier: 2,
+                value: None,
+                applied: true,
+                reason: "cpu_util 0.91 > up_threshold 0.80".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_carries_provenance() {
+        let mut j = DecisionJournal::new();
+        j.push(entry());
+        let json = j.to_json();
+        assert!(json.contains("\"t\": 300.000"));
+        assert!(json.contains("\"controller\": \"DCM\""));
+        assert!(json.contains("\"source\": \"online-refit\""));
+        assert!(json.contains("\"r_squared\": 0.970000"));
+        assert!(json.contains("\"action\": \"scale-out\""));
+        // Byte-determinism: rendering twice is identical.
+        assert_eq!(json, j.to_json());
+    }
+
+    #[test]
+    fn infinite_pressure_serializes_as_string() {
+        let mut e = entry();
+        e.observations[0].pressure = f64::INFINITY;
+        e.observations[0].signal = "silent".into();
+        let mut j = DecisionJournal::new();
+        j.push(e);
+        assert!(j.to_json().contains("\"pressure\": \"inf\""));
+        assert!(j.render_explain(true).contains("pressure=inf (silent)"));
+    }
+
+    #[test]
+    fn explain_skips_all_hold_ticks_unless_verbose() {
+        let mut quiet = entry();
+        quiet.decisions = vec![Decision {
+            action: "hold".into(),
+            tier: 2,
+            value: None,
+            applied: false,
+            reason: "pressure in band".into(),
+        }];
+        let mut j = DecisionJournal::new();
+        j.push(quiet);
+        assert_eq!(j.render_explain(false), "(no scaling decisions recorded)\n");
+        assert!(j.render_explain(true).contains("hold tier=2"));
+
+        j.push(entry());
+        let text = j.render_explain(false);
+        assert!(text.contains("t=300s [DCM]"));
+        assert!(text.contains("-> scale-out tier=2: cpu_util 0.91"));
+        assert!(text.contains("model[db]"));
+    }
+}

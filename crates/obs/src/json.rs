@@ -1,0 +1,68 @@
+//! Tiny hand-rolled JSON emission helpers shared by the exporters.
+//!
+//! The repo's committed artifacts are byte-compared in CI, so every writer
+//! here is deterministic by construction: fixed field order, fixed float
+//! formatting, explicit escaping. (No serde_json — the workspace builds
+//! fully offline with in-tree shims only.)
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value: finite values as fixed 6-decimal
+/// numbers, non-finite values as the strings `"inf"` / `"-inf"` / `"nan"`
+/// (JSON has no float specials; the journal uses `"inf"` for the silent-
+/// tier pressure sentinel).
+pub(crate) fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else if v.is_nan() {
+        "\"nan\"".into()
+    } else if v > 0.0 {
+        "\"inf\"".into()
+    } else {
+        "\"-inf\"".into()
+    }
+}
+
+/// Formats an `Option<f64>` as a JSON value (`null` when absent).
+pub(crate) fn opt_num(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn num_formats_finite_and_specials() {
+        assert_eq!(num(1.5), "1.500000");
+        assert_eq!(num(f64::INFINITY), "\"inf\"");
+        assert_eq!(num(f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(num(f64::NAN), "\"nan\"");
+        assert_eq!(opt_num(None), "null");
+        assert_eq!(opt_num(Some(2.0)), "2.000000");
+    }
+}

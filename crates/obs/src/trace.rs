@@ -1,0 +1,313 @@
+//! Trace exporters: Chrome trace-event JSON (loadable in `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev)) and a flat CSV.
+//!
+//! Layout of the Chrome trace:
+//!
+//! * one **process per tier** (`pid = tier + 1`), named after the tier;
+//! * one **track per server** (`tid = server id`), named after the server,
+//!   so scale-out visibly adds tracks mid-trace;
+//! * each span becomes a `"queue"` slice (thread wait, emitted only when
+//!   non-zero) and a `"service"` slice (thread held), both phase `"X"`,
+//!   carrying the request id and terminal status in `args`;
+//! * VM-lifecycle/fault events (boots, drains, crashes, slowdowns) are
+//!   phase `"i"` instants on the affected server's track;
+//! * controller ticks are phase `"i"` instants on a dedicated `controller`
+//!   process (`pid = 1000`), carrying the number of actions taken;
+//! * recorder drop counters are embedded under `otherData` — a truncated
+//!   trace announces itself.
+//!
+//! Timestamps are microseconds (the format's native unit); events are
+//! sorted by `(ts, pid, tid)` so the stream is monotone in `ts`. All output
+//! is byte-deterministic for a fixed input.
+
+use std::collections::BTreeMap;
+
+use dcm_ntier::ids::ServerId;
+use dcm_ntier::spans::{ServerEvent, ServerEventKind, Span};
+use dcm_sim::time::SimTime;
+
+use crate::json::escape;
+use crate::recorder::RecorderStats;
+
+/// Process id offset for tier processes (`pid = tier + TIER_PID_BASE`).
+const TIER_PID_BASE: u64 = 1;
+/// Process id of the synthetic controller track.
+const CONTROLLER_PID: u64 = 1000;
+
+/// One controller activation, shown as an instant on the controller track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlTick {
+    /// When the controller ran.
+    pub at: SimTime,
+    /// Controller name (`DCM`, `EC2-AutoScale`, ...).
+    pub controller: String,
+    /// Number of actions it took this tick.
+    pub actions: usize,
+}
+
+/// Everything the exporters need for one run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Sampled spans, in admission order.
+    pub spans: Vec<Span>,
+    /// Server lifecycle events.
+    pub events: Vec<ServerEvent>,
+    /// Controller activations.
+    pub ticks: Vec<ControlTick>,
+    /// Server id → (name, tier) for every server that ever existed.
+    pub server_names: BTreeMap<ServerId, (String, usize)>,
+    /// Recorder keep/drop accounting.
+    pub stats: RecorderStats,
+}
+
+fn micros(t: SimTime) -> u64 {
+    t.as_nanos() / 1_000
+}
+
+/// The tier label shown as a process name: the common prefix of its server
+/// names (`app-3` → `app`), falling back to the tier index.
+fn tier_label(tier: usize, server_names: &BTreeMap<ServerId, (String, usize)>) -> String {
+    server_names
+        .values()
+        .find(|(_, t)| *t == tier)
+        .map(|(name, _)| {
+            let base = name.rsplit_once('-').map_or(name.as_str(), |(b, _)| b);
+            base.to_string()
+        })
+        .unwrap_or_else(|| format!("tier-{tier}"))
+}
+
+/// Renders the Chrome trace-event JSON document.
+pub fn chrome_trace_json(data: &TraceData) -> String {
+    // (sort key, rendered event). Metadata first (key 0), then timed events
+    // monotone in ts. The sort is stable, so equal keys keep build order.
+    let mut events: Vec<((u64, u64, u64, u64), String)> = Vec::new();
+
+    // Process / thread name metadata.
+    let tiers_seen: std::collections::BTreeSet<usize> =
+        data.server_names.values().map(|(_, tier)| *tier).collect();
+    for &tier in &tiers_seen {
+        let pid = tier as u64 + TIER_PID_BASE;
+        events.push((
+            (0, pid, 0, 0),
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&tier_label(tier, &data.server_names)),
+            ),
+        ));
+    }
+    for (sid, (name, tier)) in &data.server_names {
+        let pid = *tier as u64 + TIER_PID_BASE;
+        let tid = sid.raw();
+        events.push((
+            (0, pid, tid, 1),
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name),
+            ),
+        ));
+    }
+    if !data.ticks.is_empty() {
+        let label = escape(&format!("controller {}", data.ticks[0].controller));
+        events.push((
+            (0, CONTROLLER_PID, 0, 0),
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{CONTROLLER_PID},\"tid\":0,\
+                 \"name\":\"process_name\",\"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+        ));
+    }
+
+    // Span slices.
+    for span in &data.spans {
+        let pid = span.tier as u64 + TIER_PID_BASE;
+        let tid = span.server.raw();
+        let queue_us = micros(span.started_at).saturating_sub(micros(span.arrived_at));
+        let service_us = micros(span.finished_at).saturating_sub(micros(span.started_at));
+        let args = format!(
+            "{{\"request\":{},\"status\":\"{}\"}}",
+            span.request.raw(),
+            span.status.label(),
+        );
+        if queue_us > 0 {
+            let ts = micros(span.arrived_at);
+            events.push((
+                (1, ts, pid, tid),
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+                     \"dur\":{queue_us},\"name\":\"queue\",\"cat\":\"queue\",\
+                     \"args\":{args}}}"
+                ),
+            ));
+        }
+        let ts = micros(span.started_at);
+        events.push((
+            (1, ts, pid, tid),
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+                 \"dur\":{service_us},\"name\":\"service\",\"cat\":\"service\",\
+                 \"args\":{args}}}"
+            ),
+        ));
+    }
+
+    // Lifecycle instants.
+    for ev in &data.events {
+        let pid = ev.tier as u64 + TIER_PID_BASE;
+        let tid = ev.server.raw();
+        let ts = micros(ev.at);
+        let args = match ev.kind {
+            ServerEventKind::BootRequested { ready_at } => {
+                format!("{{\"ready_at_us\":{}}}", micros(ready_at))
+            }
+            ServerEventKind::SlowdownSet { factor } => {
+                format!("{{\"factor\":{}}}", crate::json::num(factor))
+            }
+            _ => "{}".into(),
+        };
+        events.push((
+            (1, ts, pid, tid),
+            format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
+                 \"name\":\"{}\",\"cat\":\"lifecycle\",\"args\":{args}}}",
+                ev.kind.label(),
+            ),
+        ));
+    }
+
+    // Controller ticks.
+    for tick in &data.ticks {
+        let ts = micros(tick.at);
+        events.push((
+            (1, ts, CONTROLLER_PID, 0),
+            format!(
+                "{{\"ph\":\"i\",\"pid\":{CONTROLLER_PID},\"tid\":0,\"ts\":{ts},\
+                 \"s\":\"p\",\"name\":\"control-tick\",\"cat\":\"control\",\
+                 \"args\":{{\"actions\":{}}}}}",
+                tick.actions,
+            ),
+        ));
+    }
+
+    events.sort_by_key(|a| a.0);
+
+    let mut out = String::new();
+    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n");
+    out.push_str(&format!(
+        "\"otherData\": {{\"spans_seen\": {}, \"spans_recorded\": {}, \
+         \"spans_unsampled\": {}, \"spans_evicted\": {}}},\n",
+        data.stats.seen, data.stats.recorded, data.stats.unsampled, data.stats.evicted,
+    ));
+    out.push_str("\"traceEvents\": [\n");
+    for (i, (_, ev)) in events.iter().enumerate() {
+        out.push_str(ev);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the flat span CSV (one row per span, recorder order).
+pub fn spans_csv(data: &TraceData) -> String {
+    let mut out = String::from(
+        "request,tier,server,arrived_s,started_s,finished_s,queue_s,service_s,status\n",
+    );
+    for s in &data.spans {
+        let server = data
+            .server_names
+            .get(&s.server)
+            .map_or_else(|| s.server.to_string(), |(name, _)| name.clone());
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
+            s.request.raw(),
+            s.tier,
+            server,
+            s.arrived_at.as_secs_f64(),
+            s.started_at.as_secs_f64(),
+            s.finished_at.as_secs_f64(),
+            s.queue_time().as_secs_f64(),
+            s.service_time().as_secs_f64(),
+            s.status.label(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcm_ntier::ids::RequestId;
+    use dcm_ntier::spans::SpanStatus;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn data() -> TraceData {
+        let mut server_names = BTreeMap::new();
+        server_names.insert(ServerId::new(0), ("web-1".to_string(), 0));
+        server_names.insert(ServerId::new(1), ("app-1".to_string(), 1));
+        TraceData {
+            spans: vec![Span {
+                request: RequestId::new(3),
+                tier: 1,
+                server: ServerId::new(1),
+                arrived_at: t(1.0),
+                started_at: t(1.5),
+                finished_at: t(2.0),
+                status: SpanStatus::Completed,
+            }],
+            events: vec![ServerEvent {
+                at: t(0.5),
+                server: ServerId::new(1),
+                tier: 1,
+                kind: ServerEventKind::BootCompleted,
+            }],
+            ticks: vec![ControlTick {
+                at: t(1.2),
+                controller: "DCM".into(),
+                actions: 2,
+            }],
+            server_names,
+            stats: RecorderStats {
+                seen: 1,
+                recorded: 1,
+                unsampled: 0,
+                evicted: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_slices_instants_and_metadata() {
+        let json = chrome_trace_json(&data());
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"queue\""));
+        assert!(json.contains("\"name\":\"service\""));
+        assert!(json.contains("\"name\":\"boot-completed\""));
+        assert!(json.contains("\"name\":\"control-tick\""));
+        assert!(json.contains("\"spans_seen\": 1"));
+        // Tier process label derived from the server-name prefix.
+        assert!(json.contains("\"name\":\"app\""));
+    }
+
+    #[test]
+    fn csv_resolves_server_names() {
+        let csv = spans_csv(&data());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("request,tier,server,arrived_s,started_s,finished_s,queue_s,service_s,status")
+        );
+        let row = lines.next().expect("one row");
+        assert!(row.starts_with("3,1,app-1,1.000000,1.500000,2.000000"));
+        assert!(row.ends_with("completed"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Golden-file test for the Chrome trace exporter: a tiny two-tier
+//! scenario rendered byte-for-byte against
+//! `tests/golden/tiny_two_tier.trace.json`, plus structural checks
+//! (phases, monotone timestamps, stable track ids) that hold for any
+//! input the exporter accepts.
+
+use std::collections::BTreeMap;
+
+use dcm_ntier::ids::{RequestId, ServerId};
+use dcm_ntier::spans::{ServerEvent, ServerEventKind, Span, SpanStatus};
+use dcm_obs::recorder::RecorderStats;
+use dcm_obs::trace::{chrome_trace_json, spans_csv, ControlTick, TraceData};
+use dcm_sim::time::SimTime;
+
+const GOLDEN: &str = include_str!("golden/tiny_two_tier.trace.json");
+
+fn us(micros: u64) -> SimTime {
+    SimTime::from_nanos(micros * 1_000)
+}
+
+/// One web server and two app servers; one two-tier request, one rejected
+/// request, a boot, and a control tick. Small enough to audit by eye.
+fn tiny_two_tier() -> TraceData {
+    let mut server_names = BTreeMap::new();
+    server_names.insert(ServerId::new(0), ("web-1".to_string(), 0));
+    server_names.insert(ServerId::new(1), ("app-1".to_string(), 1));
+    server_names.insert(ServerId::new(2), ("app-2".to_string(), 1));
+    TraceData {
+        spans: vec![
+            Span {
+                request: RequestId::new(1),
+                tier: 0,
+                server: ServerId::new(0),
+                arrived_at: us(0),
+                started_at: us(0),
+                finished_at: us(10_000),
+                status: SpanStatus::Completed,
+            },
+            Span {
+                request: RequestId::new(1),
+                tier: 1,
+                server: ServerId::new(1),
+                arrived_at: us(1_000),
+                started_at: us(2_000),
+                finished_at: us(9_000),
+                status: SpanStatus::Completed,
+            },
+            Span {
+                request: RequestId::new(2),
+                tier: 1,
+                server: ServerId::new(2),
+                arrived_at: us(5_000),
+                started_at: us(5_000),
+                finished_at: us(8_000),
+                status: SpanStatus::Rejected,
+            },
+        ],
+        events: vec![ServerEvent {
+            at: us(3_000),
+            server: ServerId::new(2),
+            tier: 1,
+            kind: ServerEventKind::BootRequested {
+                ready_at: us(4_000),
+            },
+        }],
+        ticks: vec![ControlTick {
+            at: us(6_000),
+            controller: "DCM".to_string(),
+            actions: 1,
+        }],
+        server_names,
+        stats: RecorderStats {
+            seen: 4,
+            recorded: 3,
+            unsampled: 1,
+            evicted: 0,
+        },
+    }
+}
+
+#[test]
+fn chrome_trace_matches_the_golden_file() {
+    let json = chrome_trace_json(&tiny_two_tier());
+    assert_eq!(
+        json, GOLDEN,
+        "Chrome trace output drifted from tests/golden/tiny_two_tier.trace.json; \
+         if the schema change is intentional, regenerate the golden file"
+    );
+}
+
+/// Pulls `"key":<number>` out of an event line, if present.
+fn field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn trace_events_use_known_phases_and_monotone_timestamps() {
+    let json = chrome_trace_json(&tiny_two_tier());
+    let mut last_ts = 0u64;
+    let mut saw = (false, false, false); // (M, X, i)
+    for line in json.lines().filter(|l| l.starts_with('{') && l.len() > 2) {
+        if !line.contains("\"ph\":") {
+            continue; // header lines
+        }
+        let phase = if line.contains("\"ph\":\"M\"") {
+            saw.0 = true;
+            'M'
+        } else if line.contains("\"ph\":\"X\"") {
+            saw.1 = true;
+            'X'
+        } else if line.contains("\"ph\":\"i\"") {
+            saw.2 = true;
+            'i'
+        } else {
+            panic!("unknown phase in {line}");
+        };
+        if phase == 'M' {
+            assert_eq!(field(line, "ts"), None, "metadata carries no timestamp");
+            continue;
+        }
+        let ts = field(line, "ts").expect("timed event has ts");
+        assert!(ts >= last_ts, "ts went backwards: {ts} after {last_ts}");
+        last_ts = ts;
+        if phase == 'X' {
+            assert!(field(line, "dur").is_some(), "slice without dur: {line}");
+        }
+    }
+    assert_eq!(saw, (true, true, true), "all three phases present");
+}
+
+#[test]
+fn track_ids_are_stable_per_server() {
+    let json = chrome_trace_json(&tiny_two_tier());
+    // app-1 is ServerId 1 on tier 1: every one of its events must carry
+    // pid=2, tid=1 — scale-out adds tracks but never renumbers them.
+    for line in json.lines().filter(|l| l.contains("\"request\":1")) {
+        if line.contains("\"pid\":2") {
+            assert_eq!(field(line, "tid"), Some(1), "app-1 track moved: {line}");
+        } else {
+            assert_eq!(field(line, "pid"), Some(1), "web-1 process moved: {line}");
+            assert_eq!(field(line, "tid"), Some(0));
+        }
+    }
+}
+
+#[test]
+fn span_csv_matches_the_scenario() {
+    let csv = spans_csv(&tiny_two_tier());
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 4, "header + three spans");
+    assert_eq!(
+        lines[0],
+        "request,tier,server,arrived_s,started_s,finished_s,queue_s,service_s,status"
+    );
+    assert_eq!(
+        lines[2],
+        "1,1,app-1,0.001000,0.002000,0.009000,0.001000,0.007000,completed"
+    );
+    assert!(lines[3].ends_with("rejected"));
+}

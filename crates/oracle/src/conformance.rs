@@ -285,7 +285,7 @@ fn tier_residences(spans: &[Span], t0: SimTime) -> (f64, f64, f64) {
         let dur = s.finished_at.saturating_since(s.arrived_at).as_secs_f64();
         per_request.entry(s.request).or_insert([0.0; 3])[s.tier] += dur;
         if s.tier == 0 {
-            eligible.insert(s.request, s.completed && s.arrived_at >= t0);
+            eligible.insert(s.request, s.is_completed() && s.arrived_at >= t0);
         }
     }
     let mut sums = [0.0f64; 3];

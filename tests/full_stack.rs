@@ -517,12 +517,16 @@ fn spans_reconcile_with_request_outcomes_under_faults() {
         dcm_ntier::audit::check_span_ordering(&spans).is_empty(),
         "every span must satisfy arrived <= started <= finished"
     );
+    assert!(
+        dcm_ntier::audit::check_span_statuses(&spans).is_empty(),
+        "terminal span statuses must be consistent per request"
+    );
 
     // Exactly one completed entry-tier span per completed request, none
     // for requests that failed; failures leave incomplete spans behind.
     let mut entry_completions: BTreeMap<dcm_ntier::ids::RequestId, u64> = BTreeMap::new();
     for s in &spans {
-        if s.tier == 0 && s.completed {
+        if s.tier == 0 && s.is_completed() {
             *entry_completions.entry(s.request).or_insert(0) += 1;
         }
     }
@@ -536,8 +540,14 @@ fn spans_reconcile_with_request_outcomes_under_faults() {
         "completed entry-tier spans must match the completion counter"
     );
     assert!(
-        spans.iter().any(|s| !s.completed),
+        spans.iter().any(|s| !s.is_completed()),
         "failed requests must leave incomplete spans"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.status == dcm_ntier::spans::SpanStatus::Crashed),
+        "the injected crash must stamp Crashed spans"
     );
 }
 
