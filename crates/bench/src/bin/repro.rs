@@ -13,7 +13,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use dcm_bench::experiments::{
-    ablation, chaos, fig2, fig4, fig5, gamma, table1, trace_export, validate, Fidelity,
+    ablation, chaos, fig2, fig4, fig5, fleet, gamma, queuebench, table1, trace_export, validate,
+    Fidelity,
 };
 use dcm_bench::format::TextTable;
 use dcm_obs::PerfLog;
@@ -28,6 +29,8 @@ struct Cli {
     seeds: usize,
     jobs: usize,
     audit: bool,
+    paths: Vec<PathBuf>,
+    max_drop: f64,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -41,6 +44,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut seeds = 1usize;
     let mut jobs = 0usize; // 0 = auto (available parallelism)
     let mut audit = false;
+    let mut paths = Vec::new();
+    let mut max_drop = 0.15;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => fidelity = Fidelity::Quick,
@@ -65,11 +70,19 @@ fn parse_args() -> Result<Cli, String> {
                 let n = args.next().ok_or("--jobs needs a worker count")?;
                 jobs = n.parse().map_err(|_| format!("bad job count `{n}`"))?;
             }
+            "--max-drop" => {
+                let pct = args.next().ok_or("--max-drop needs a percentage")?;
+                let pct: f64 = pct.parse().map_err(|_| format!("bad percentage `{pct}`"))?;
+                max_drop = pct / 100.0;
+            }
             other => {
-                // `trace` / `explain` take the experiment as a positional.
+                // `trace` / `explain` take the experiment as a positional;
+                // `perfgate` takes two perf-log paths.
                 let takes_experiment = command == "trace" || command == "explain";
                 if takes_experiment && experiment.is_none() && !other.starts_with('-') {
                     experiment = Some(other.to_string());
+                } else if command == "perfgate" && !other.starts_with('-') {
+                    paths.push(PathBuf::from(other));
                 } else {
                     return Err(format!("unknown flag `{other}`\n{}", usage()));
                 }
@@ -86,6 +99,8 @@ fn parse_args() -> Result<Cli, String> {
         seeds,
         jobs,
         audit,
+        paths,
+        max_drop,
     })
 }
 
@@ -108,7 +123,23 @@ fn usage() -> String {
      \x20             results/chaos.json and results/chaos.csv)\n\
      \x20 validate    DES vs exact queueing theory (MVA oracle; writes\n\
      \x20             results/validate.json and results/validate.csv,\n\
-     \x20             exits non-zero on any tolerance breach)\n\
+     \x20             exits non-zero on any tolerance breach; every point\n\
+     \x20             is also re-run with cohort-aggregated users and held\n\
+     \x20             to the same gates)\n\
+     \x20 fleet       fleet-scale DES: up to 1,000 servers per tier and 1M\n\
+     \x20             cohort-aggregated users (writes results/fleet.json\n\
+     \x20             and results/fleet.csv — virtual-time quantities only,\n\
+     \x20             byte-identical for every --jobs value)\n\
+     \x20 queuebench  event-queue microbenchmarks: calendar engine vs a\n\
+     \x20             binary-heap reference (hold / cancel-heavy /\n\
+     \x20             timeout-churn; wall-clock rates go to perf.json)\n\
+     \x20 perf        the performance baseline: training + trace +\n\
+     \x20             queuebench + fleet in one run, accumulated into\n\
+     \x20             results/perf.json (the file CI gates against)\n\
+     \x20 perfgate <baseline.json> <current.json>\n\
+     \x20             events/s regression gate: exits non-zero when any\n\
+     \x20             baseline experiment lost more than --max-drop (15 %)\n\
+     \x20             of its rate or disappeared\n\
      \x20 trace <exp>   run fig5 with the dcm-obs pipeline on and export a\n\
      \x20             Perfetto-loadable Chrome trace, the span CSV, the\n\
      \x20             controller decision journal (JSON + text), and the\n\
@@ -129,6 +160,8 @@ fn usage() -> String {
      \x20 --trace FILE  drive fig5 with an external `seconds,users` CSV trace\n\
      \x20 --obs DIR     output directory for `trace` artifacts\n\
      \x20               (default results/obs)\n\
+     \x20 --max-drop P  perfgate: allowed events/s drop in percent\n\
+     \x20               (default 15)\n\
      \x20 --seeds N     replicate fig5 across N seeds, report mean ± 95% CI\n\
      \x20 --jobs N      worker threads for independent runs (0 = all cores);\n\
      \x20               results are bit-identical for every N"
@@ -167,6 +200,26 @@ impl Perf {
         );
         self.log.record(name, wall_secs, events);
         result
+    }
+
+    /// Records a measurement taken outside [`Perf::time`] (the queue
+    /// microbenchmarks time their own loops; their "events" are queue
+    /// operations).
+    fn record_raw(&mut self, name: &str, wall_secs: f64, events: u64) {
+        self.log.record(name, wall_secs, events);
+    }
+
+    /// Attaches the request-slab counters to the named entry.
+    fn record_slab(&mut self, name: &str, allocated: u64, reused: u64) {
+        self.log.record_slab(name, allocated, reused);
+    }
+
+    /// Attaches the process peak RSS (from `/proc/self/status`, if
+    /// available) to the named entry.
+    fn record_peak_rss(&mut self, name: &str) {
+        if let Some(bytes) = peak_rss_bytes() {
+            self.log.record_peak_rss(name, bytes);
+        }
     }
 
     fn write(&self, command: &str, fidelity: Fidelity, jobs: usize) {
@@ -219,6 +272,63 @@ fn run_lint() -> ExitCode {
     }
 }
 
+/// The process's peak resident-set size in bytes (Linux `VmHWM`), if the
+/// procfs entry is readable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// `repro perfgate <baseline.json> <current.json>` — the CI events/s
+/// regression gate: every experiment in the baseline must keep at least
+/// `1 - max_drop` of its rate in the current log.
+fn run_perfgate(paths: &[PathBuf], max_drop: f64) -> ExitCode {
+    let [baseline_path, current_path] = paths else {
+        eprintln!("perfgate needs exactly two paths: <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &PathBuf| {
+        fs::read_to_string(p).map_err(|err| format!("cannot read {}: {err}", p.display()))
+    };
+    let (baseline, current) = match (read(baseline_path), read(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("perfgate: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = dcm_bench::perfjson::gate(&baseline, &current, max_drop);
+    println!(
+        "perfgate: {} vs {} (allowed drop {:.0} %)",
+        current_path.display(),
+        baseline_path.display(),
+        100.0 * max_drop
+    );
+    for line in &report.lines {
+        println!("  {line}");
+    }
+    for name in &report.missing {
+        println!("  {name}: MISSING from current log");
+    }
+    if report.passed() {
+        println!("perfgate: ok");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perfgate: FAILED ({} regressed, {} missing)",
+            report.failures.len(),
+            report.missing.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn rate(events: u64, secs: f64) -> f64 {
     if secs > 0.0 {
         events as f64 / secs
@@ -265,6 +375,9 @@ fn main() -> ExitCode {
     if cli.command == "lint" {
         return run_lint();
     }
+    if cli.command == "perfgate" {
+        return run_perfgate(&cli.paths, cli.max_drop);
+    }
     let out = Output {
         csv_dir: cli.csv_dir.clone(),
     };
@@ -274,7 +387,13 @@ fn main() -> ExitCode {
     let mut perf = Perf::new();
     let f = cli.fidelity;
     let run_all = cli.command == "all";
-    let wants = |name: &str| run_all || cli.command == name;
+    // `perf` is the committed performance baseline: the model-training and
+    // trace runs (the long-standing reference numbers) plus the queue
+    // microbenchmarks and the fleet sweep, accumulated into one perf.json.
+    let run_perf = cli.command == "perf";
+    let wants = |name: &str| {
+        run_all || cli.command == name || (run_perf && matches!(name, "queuebench" | "fleet"))
+    };
     let mut matched = false;
     println!(
         "(running with {jobs} worker thread{})",
@@ -297,7 +416,8 @@ fn main() -> ExitCode {
         "explain",
     ]
     .iter()
-    .any(|&c| wants(c));
+    .any(|&c| wants(c))
+        || run_perf;
     let trained = if needs_models {
         match perf.time("training", || table1::run_table1(f)) {
             Ok(t) => Some(t),
@@ -395,7 +515,7 @@ fn main() -> ExitCode {
         out.table("fig5_ec2_timeline", &result.timeline_table(&result.ec2, 30));
         out.findings(&result.findings());
     }
-    if cli.command == "trace" || cli.command == "explain" {
+    if cli.command == "trace" || cli.command == "explain" || run_perf {
         matched = true;
         let models = models.expect("trained above");
         let experiment = cli.experiment.as_deref().unwrap_or("fig5");
@@ -406,7 +526,14 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        if cli.command == "explain" {
+        if run_perf {
+            // Timing reference only: same workload as `trace`, but the obs
+            // artifacts stay untouched (they are regenerated by `repro
+            // trace`, not by the perf baseline).
+            out.section("Trace: Fig. 5 with the dcm-obs pipeline enabled (timing only)");
+            let export = perf.time("trace", || trace_export::run_trace_export(f, models));
+            out.table("trace_stats", &export.table());
+        } else if cli.command == "explain" {
             out.section("Explain: every controller decision, with its inputs and reason");
             let export = perf.time("trace", || trace_export::run_trace_export(f, models));
             for run in [&export.dcm, &export.ec2] {
@@ -521,6 +648,43 @@ fn main() -> ExitCode {
         }
     }
 
+    if wants("queuebench") {
+        matched = true;
+        out.section("Queue microbenchmarks: calendar engine vs binary-heap reference");
+        let result = queuebench::run_queuebench(f);
+        out.table("queuebench", &result.table());
+        out.findings(&result.findings());
+        for p in &result.points {
+            perf.record_raw(
+                &format!("queue_{}_{}", p.profile, p.backend),
+                p.wall_secs,
+                p.ops,
+            );
+        }
+    }
+    if wants("fleet") {
+        matched = true;
+        out.section("Fleet-scale DES: thousand-server tiers, cohort-aggregated users");
+        let result = perf.time("fleet", || fleet::run_fleet(f));
+        out.table("fleet", &result.table());
+        out.findings(&result.findings());
+        let (allocated, reused) = result.total_slab();
+        perf.record_slab("fleet", allocated, reused);
+        perf.record_peak_rss("fleet");
+        let dir = PathBuf::from("results");
+        let write = fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(dir.join("fleet.json"), result.to_json()))
+            .and_then(|()| fs::write(dir.join("fleet.csv"), result.table().to_csv()));
+        match write {
+            Ok(()) => println!(
+                "\nwrote {} and {}",
+                dir.join("fleet.json").display(),
+                dir.join("fleet.csv").display()
+            ),
+            Err(err) => eprintln!("warning: could not write fleet results: {err}"),
+        }
+    }
+
     let mut gate_failed = false;
     if wants("validate") {
         matched = true;
@@ -542,12 +706,15 @@ fn main() -> ExitCode {
         }
         if !result.passed() {
             eprintln!(
-                "validate: conformance gate FAILED (zero-overhead worst {:.3}% vs \
-                 gate {:.0}%, load-dependent worst {:.3}% vs gate {:.0}%)",
+                "validate: conformance gate FAILED (per-user worst {:.3}% / {:.3}% \
+                 zero-overhead / load-dependent vs gates {:.0}% / {:.0}%; cohort \
+                 worst {:.3}% / {:.3}% under the same gates)",
                 100.0 * result.max_rel_err(dcm_oracle::ScenarioKind::ZeroOverhead),
-                100.0 * result.tol_zero,
                 100.0 * result.max_rel_err(dcm_oracle::ScenarioKind::LoadDependent),
+                100.0 * result.tol_zero,
                 100.0 * result.tol_law,
+                100.0 * result.cohort_max_rel_err(dcm_oracle::ScenarioKind::ZeroOverhead),
+                100.0 * result.cohort_max_rel_err(dcm_oracle::ScenarioKind::LoadDependent),
             );
             gate_failed = true;
         }

@@ -10,7 +10,9 @@ pub mod chaos;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;
+pub mod fleet;
 pub mod gamma;
+pub mod queuebench;
 pub mod table1;
 pub mod trace_export;
 pub mod validate;

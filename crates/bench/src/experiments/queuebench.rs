@@ -1,0 +1,445 @@
+//! Event-queue microbenchmarks: the calendar engine vs a binary-heap
+//! reference.
+//!
+//! The engine's calendar (ladder) queue replaced a `BinaryHeap` with
+//! tombstoned cancellation. These microbenchmarks drive both backends with
+//! identical, seeded operation streams through three profiles that bracket
+//! the simulator's real access patterns:
+//!
+//! * **hold** — the classic hold model: a steady pending set where every
+//!   pop schedules one replacement at `now + Exp(1)`. This is the pure
+//!   schedule/pop path (no cancellations).
+//! * **cancel** — cancel-heavy churn: every iteration schedules two
+//!   events and immediately cancels one of them (~50 % of scheduled
+//!   events never run), the regime where tombstones make the heap pay
+//!   for work it will discard.
+//! * **churn** — timeout churn: every completion event carries a far
+//!   timeout that is cancelled when the completion pops first — exactly
+//!   the request-timeout pattern on the simulator's hot path, where
+//!   almost every timeout is armed and then cancelled.
+//!
+//! The heap reference reproduces the pre-calendar engine faithfully:
+//! a `BinaryHeap` ordered by `(time, seq)` storing boxed closures, with
+//! O(1) cancellation via generation-stamped tombstones that are discarded
+//! lazily when they surface. Timing uses wall clocks, so the results are
+//! machine-dependent and live in `results/perf.json` (exempt from the
+//! bit-identity rule); the *operation streams* are seeded and identical
+//! across backends, so both sides always do the same virtual work.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use dcm_sim::engine::Engine;
+use dcm_sim::rng::SimRng;
+use dcm_sim::time::{SimDuration, SimTime};
+use dcm_sim::Sample;
+
+use crate::format::{num, TextTable};
+
+use super::Fidelity;
+
+/// Seed for the operation streams (same for both backends).
+const SEED: u64 = 7_2026_0807;
+
+/// Pending events held by the hold/churn profiles.
+const HELD: usize = 65_536;
+
+/// Operations per profile at each fidelity.
+fn iterations(fidelity: Fidelity) -> u64 {
+    match fidelity {
+        Fidelity::Quick => 100_000,
+        Fidelity::Full => 4_000_000,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The binary-heap reference backend (the pre-calendar engine, distilled).
+// ---------------------------------------------------------------------------
+
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+    #[allow(dead_code)]
+    action: Box<dyn FnOnce()>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, seq) via reversed comparison.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A `BinaryHeap` event queue with generation-stamped tombstone
+/// cancellation — the engine's data structure before the calendar queue.
+struct HeapQueue {
+    heap: BinaryHeap<HeapEntry>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    next_seq: u64,
+    now: SimTime,
+    executed: u64,
+}
+
+/// Handle for cancelling a heap-queue event.
+#[derive(Clone, Copy)]
+struct HeapEventId {
+    slot: u32,
+    gen: u32,
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            executed: 0,
+        }
+    }
+
+    fn schedule_at(&mut self, at: SimTime, action: Box<dyn FnOnce()>) -> HeapEventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.gens.len()).expect("too many events");
+                self.gens.push(0);
+                slot
+            }
+        };
+        let gen = self.gens[slot as usize];
+        self.heap.push(HeapEntry {
+            at,
+            seq,
+            slot,
+            gen,
+            action,
+        });
+        HeapEventId { slot, gen }
+    }
+
+    fn cancel(&mut self, id: HeapEventId) -> bool {
+        if self.gens[id.slot as usize] != id.gen {
+            return false;
+        }
+        self.gens[id.slot as usize] = self.gens[id.slot as usize].wrapping_add(1);
+        self.free.push(id.slot);
+        true
+    }
+
+    /// Pops the next live event, discarding tombstones that surface.
+    fn step(&mut self) -> bool {
+        while let Some(entry) = self.heap.pop() {
+            if self.gens[entry.slot as usize] != entry.gen {
+                continue; // tombstone
+            }
+            self.gens[entry.slot as usize] = self.gens[entry.slot as usize].wrapping_add(1);
+            self.free.push(entry.slot);
+            self.now = entry.at;
+            self.executed += 1;
+            return true;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiles: each drives one backend with the same seeded operation stream.
+// ---------------------------------------------------------------------------
+
+fn exp_delay(rng: &mut SimRng) -> SimDuration {
+    SimDuration::from_secs_f64(dcm_sim::dist::Dist::exponential(1.0).sample(rng))
+}
+
+/// The hold model: `HELD` pending events; every pop schedules one
+/// replacement. Returns (operations, wall seconds).
+fn hold_calendar(iters: u64) -> (u64, f64) {
+    let mut engine: Engine<()> = Engine::new();
+    let mut rng = SimRng::seed_from(SEED);
+    for _ in 0..HELD {
+        let at = SimTime::ZERO + exp_delay(&mut rng);
+        engine.schedule_at(at, |_, _| {});
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        engine.step(&mut ());
+        let at = engine.now() + exp_delay(&mut rng);
+        engine.schedule_at(at, |_, _| {});
+    }
+    (2 * iters, start.elapsed().as_secs_f64())
+}
+
+fn hold_heap(iters: u64) -> (u64, f64) {
+    let mut queue = HeapQueue::new();
+    let mut rng = SimRng::seed_from(SEED);
+    for _ in 0..HELD {
+        let at = SimTime::ZERO + exp_delay(&mut rng);
+        queue.schedule_at(at, Box::new(|| {}));
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        queue.step();
+        let at = queue.now + exp_delay(&mut rng);
+        queue.schedule_at(at, Box::new(|| {}));
+    }
+    (2 * iters, start.elapsed().as_secs_f64())
+}
+
+/// Cancel-heavy churn: schedule two, cancel one, pop one.
+fn cancel_calendar(iters: u64) -> (u64, f64) {
+    let mut engine: Engine<()> = Engine::new();
+    let mut rng = SimRng::seed_from(SEED);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let keep = engine.now() + exp_delay(&mut rng);
+        engine.schedule_at(keep, |_, _| {});
+        let drop_at = engine.now() + exp_delay(&mut rng);
+        let doomed = engine.schedule_at(drop_at, |_, _| {});
+        engine.cancel(doomed);
+        engine.step(&mut ());
+    }
+    (4 * iters, start.elapsed().as_secs_f64())
+}
+
+fn cancel_heap(iters: u64) -> (u64, f64) {
+    let mut queue = HeapQueue::new();
+    let mut rng = SimRng::seed_from(SEED);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let keep = queue.now + exp_delay(&mut rng);
+        queue.schedule_at(keep, Box::new(|| {}));
+        let drop_at = queue.now + exp_delay(&mut rng);
+        let doomed = queue.schedule_at(drop_at, Box::new(|| {}));
+        queue.cancel(doomed);
+        queue.step();
+    }
+    (4 * iters, start.elapsed().as_secs_f64())
+}
+
+/// Timeout churn: a held set where every pop schedules a near completion
+/// plus a far timeout, and cancels the previous far timeout (the
+/// request-timeout pattern: armed, then cancelled on completion).
+fn churn_calendar(iters: u64) -> (u64, f64) {
+    let mut engine: Engine<()> = Engine::new();
+    let mut rng = SimRng::seed_from(SEED);
+    let mut timeouts = Vec::with_capacity(HELD);
+    for _ in 0..HELD {
+        let at = SimTime::ZERO + exp_delay(&mut rng);
+        engine.schedule_at(at, |_, _| {});
+        let far = SimTime::ZERO + SimDuration::from_secs(1000) + exp_delay(&mut rng);
+        timeouts.push(engine.schedule_at(far, |_, _| {}));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        engine.step(&mut ());
+        let slot = (i % HELD as u64) as usize;
+        engine.cancel(timeouts[slot]);
+        let at = engine.now() + exp_delay(&mut rng);
+        engine.schedule_at(at, |_, _| {});
+        let far = engine.now() + SimDuration::from_secs(1000) + exp_delay(&mut rng);
+        timeouts[slot] = engine.schedule_at(far, |_, _| {});
+    }
+    (4 * iters, start.elapsed().as_secs_f64())
+}
+
+fn churn_heap(iters: u64) -> (u64, f64) {
+    let mut queue = HeapQueue::new();
+    let mut rng = SimRng::seed_from(SEED);
+    let mut timeouts = Vec::with_capacity(HELD);
+    for _ in 0..HELD {
+        let at = SimTime::ZERO + exp_delay(&mut rng);
+        queue.schedule_at(at, Box::new(|| {}));
+        let far = SimTime::ZERO + SimDuration::from_secs(1000) + exp_delay(&mut rng);
+        timeouts.push(queue.schedule_at(far, Box::new(|| {})));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        queue.step();
+        let slot = (i % HELD as u64) as usize;
+        queue.cancel(timeouts[slot]);
+        let at = queue.now + exp_delay(&mut rng);
+        queue.schedule_at(at, Box::new(|| {}));
+        let far = queue.now + SimDuration::from_secs(1000) + exp_delay(&mut rng);
+        timeouts[slot] = queue.schedule_at(far, Box::new(|| {}));
+    }
+    (4 * iters, start.elapsed().as_secs_f64())
+}
+
+/// One (profile, backend) measurement.
+#[derive(Debug, Clone)]
+pub struct QueueBenchPoint {
+    /// Profile name: `hold`, `cancel`, or `churn`.
+    pub profile: &'static str,
+    /// Backend name: `calendar` or `heap`.
+    pub backend: &'static str,
+    /// Queue operations performed (schedules + pops + cancels).
+    pub ops: u64,
+    /// Wall-clock seconds for the measured loop.
+    pub wall_secs: f64,
+}
+
+impl QueueBenchPoint {
+    /// Operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.ops as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The microbenchmark results, calendar and heap side by side.
+#[derive(Debug, Clone)]
+pub struct QueueBench {
+    /// Measurements in (profile, backend) order.
+    pub points: Vec<QueueBenchPoint>,
+}
+
+/// A microbenchmark body: takes the iteration count, returns (ops, wall secs).
+type ProfileFn = fn(u64) -> (u64, f64);
+
+/// Runs all three profiles on both backends. Wall-clock timing: run on an
+/// otherwise idle machine for stable numbers.
+pub fn run_queuebench(fidelity: Fidelity) -> QueueBench {
+    let iters = iterations(fidelity);
+    let mut points = Vec::new();
+    let profiles: [(&'static str, ProfileFn, ProfileFn); 3] = [
+        ("hold", hold_calendar, hold_heap),
+        ("cancel", cancel_calendar, cancel_heap),
+        ("churn", churn_calendar, churn_heap),
+    ];
+    for (profile, calendar, heap) in profiles {
+        let (ops, wall_secs) = calendar(iters);
+        points.push(QueueBenchPoint {
+            profile,
+            backend: "calendar",
+            ops,
+            wall_secs,
+        });
+        let (ops, wall_secs) = heap(iters);
+        points.push(QueueBenchPoint {
+            profile,
+            backend: "heap",
+            ops,
+            wall_secs,
+        });
+    }
+    QueueBench { points }
+}
+
+impl QueueBench {
+    /// Speedup of the calendar backend over the heap for one profile.
+    pub fn speedup(&self, profile: &str) -> Option<f64> {
+        let rate = |backend: &str| {
+            self.points
+                .iter()
+                .find(|p| p.profile == profile && p.backend == backend)
+                .map(QueueBenchPoint::ops_per_sec)
+        };
+        match (rate("calendar"), rate("heap")) {
+            (Some(c), Some(h)) if h > 0.0 => Some(c / h),
+            _ => None,
+        }
+    }
+
+    /// The side-by-side table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(["profile", "backend", "ops", "wall(s)", "Mops/s", "speedup"]);
+        for p in &self.points {
+            let speedup = if p.backend == "calendar" {
+                self.speedup(p.profile)
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            t.row([
+                p.profile.to_string(),
+                p.backend.to_string(),
+                p.ops.to_string(),
+                num(p.wall_secs, 3),
+                num(p.ops_per_sec() / 1e6, 2),
+                speedup,
+            ]);
+        }
+        t
+    }
+
+    /// Summary of the calendar-vs-heap comparison.
+    pub fn findings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for profile in ["hold", "cancel", "churn"] {
+            if let Some(s) = self.speedup(profile) {
+                out.push(format!(
+                    "{profile}: calendar queue at {s:.2}x the binary-heap \
+                     reference (identical seeded operation stream)"
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_agree_on_virtual_work() {
+        // The heap reference must execute the same number of live events
+        // as the calendar engine for the same operation stream.
+        let iters = 2_000;
+        let mut engine: Engine<()> = Engine::new();
+        let mut queue = HeapQueue::new();
+        let mut rng_a = SimRng::seed_from(SEED);
+        let mut rng_b = SimRng::seed_from(SEED);
+        for i in 0..iters {
+            let da = exp_delay(&mut rng_a);
+            let db = exp_delay(&mut rng_b);
+            assert_eq!(da, db);
+            let a = engine.schedule_at(engine.now() + da, |_, _| {});
+            let b = queue.schedule_at(queue.now + db, Box::new(|| {}));
+            if i % 3 == 0 {
+                assert_eq!(engine.cancel(a), queue.cancel(b));
+            }
+            engine.step(&mut ());
+            queue.step();
+        }
+        while engine.step(&mut ()) {}
+        while queue.step() {}
+        assert_eq!(engine.executed(), queue.executed);
+        assert_eq!(engine.now(), queue.now);
+    }
+
+    #[test]
+    fn quick_bench_produces_all_points() {
+        let bench = run_queuebench(Fidelity::Quick);
+        assert_eq!(bench.points.len(), 6);
+        for p in &bench.points {
+            assert!(p.ops > 0);
+            assert!(p.wall_secs >= 0.0);
+        }
+        assert_eq!(bench.findings().len(), 3);
+        assert_eq!(bench.table().len(), 6);
+    }
+}

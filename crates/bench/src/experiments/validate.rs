@@ -8,7 +8,7 @@
 //! 2 %, load-dependent points within 5 %, the asymptotic bounds must never
 //! be violated, and every point's conservation audit must be clean.
 
-use dcm_oracle::{default_grid, run_scenario, ConformancePoint, ScenarioKind};
+use dcm_oracle::{default_grid, run_scenario, run_scenario_cohort, ConformancePoint, ScenarioKind};
 use dcm_sim::rng::derive_seed;
 
 use crate::format::{num, TextTable};
@@ -17,6 +17,11 @@ use super::Fidelity;
 
 /// Base seed for the conformance sweep (point seeds derive from it).
 const SEED: u64 = 20170607;
+
+/// Cohort size for the aggregated-generator column: every grid point is
+/// re-run with users multiplexed into cohorts of this size, and gated
+/// against the same oracle.
+const COHORT_SIZE: u32 = 16;
 
 /// Tolerances for (zero-overhead, load-dependent) points at each fidelity.
 /// Quick shrinks the measurement windows 10×, so the Monte-Carlo noise
@@ -28,15 +33,27 @@ fn tolerances(fidelity: Fidelity) -> (f64, f64) {
     }
 }
 
+/// One grid point measured twice: once with the per-user generator, once
+/// with the cohort-aggregated generator (same seed, same oracle).
+#[derive(Debug, Clone)]
+pub struct ValidatePoint {
+    /// The per-user DES measurement.
+    pub per_user: ConformancePoint,
+    /// The cohort-aggregated DES measurement.
+    pub cohort: ConformancePoint,
+}
+
 /// The conformance sweep results.
 #[derive(Debug, Clone)]
 pub struct Validate {
     /// Every measured grid point, in grid order.
-    pub points: Vec<ConformancePoint>,
+    pub points: Vec<ValidatePoint>,
     /// The zero-overhead tolerance applied.
     pub tol_zero: f64,
     /// The load-dependent tolerance applied.
     pub tol_law: f64,
+    /// Cohort size used for the aggregated column.
+    pub cohort_size: u32,
 }
 
 /// Runs the whole conformance grid (points fan out across workers;
@@ -58,13 +75,15 @@ pub fn run_validate(fidelity: Fidelity) -> Validate {
             jobs.push((s, population, seed));
         }
     }
-    let points = dcm_sim::runner::run_ordered(jobs, |(scenario, population, seed)| {
-        run_scenario(&scenario, population, seed)
+    let points = dcm_sim::runner::run_ordered(jobs, |(scenario, population, seed)| ValidatePoint {
+        per_user: run_scenario(&scenario, population, seed),
+        cohort: run_scenario_cohort(&scenario, population, seed, COHORT_SIZE),
     });
     Validate {
         points,
         tol_zero,
         tol_law,
+        cohort_size: COHORT_SIZE,
     }
 }
 
@@ -77,21 +96,35 @@ impl Validate {
         }
     }
 
-    /// Whether one point satisfies its gate: errors within tolerance,
-    /// bound respected, audit clean.
+    /// Whether one measurement satisfies its gate: errors within
+    /// tolerance, bound respected, audit clean.
     pub fn point_ok(&self, p: &ConformancePoint) -> bool {
         p.max_rel_err() <= self.tolerance(p.kind) && p.bound_ok && p.audit_violations == 0
     }
 
-    /// Whether every point passed.
+    /// Whether every point passed, per-user and cohort alike.
     pub fn passed(&self) -> bool {
-        self.points.iter().all(|p| self.point_ok(p))
+        self.points
+            .iter()
+            .all(|p| self.point_ok(&p.per_user) && self.point_ok(&p.cohort))
     }
 
-    /// The largest relative error across points of the given kind.
+    /// The largest per-user relative error across points of the given kind.
     pub fn max_rel_err(&self, kind: ScenarioKind) -> f64 {
         self.points
             .iter()
+            .map(|p| &p.per_user)
+            .filter(|p| p.kind == kind)
+            .map(ConformancePoint::max_rel_err)
+            .fold(0.0, f64::max)
+    }
+
+    /// The largest cohort-aggregated relative error across points of the
+    /// given kind.
+    pub fn cohort_max_rel_err(&self, kind: ScenarioKind) -> f64 {
+        self.points
+            .iter()
+            .map(|p| &p.cohort)
             .filter(|p| p.kind == kind)
             .map(ConformancePoint::max_rel_err)
             .fold(0.0, f64::max)
@@ -113,8 +146,13 @@ impl Validate {
             "bound ok",
             "audits",
             "pass",
+            "coh X err%",
+            "coh max err%",
+            "coh pass",
         ]);
-        for p in &self.points {
+        for pair in &self.points {
+            let p = &pair.per_user;
+            let c = &pair.cohort;
             t.row([
                 p.scenario.to_string(),
                 kind_label(p.kind).to_string(),
@@ -129,6 +167,9 @@ impl Validate {
                 if p.bound_ok { "yes" } else { "NO" }.to_string(),
                 p.audit_violations.to_string(),
                 if self.point_ok(p) { "yes" } else { "NO" }.to_string(),
+                num(100.0 * c.throughput.rel_err, 3),
+                num(100.0 * c.max_rel_err(), 3),
+                if self.point_ok(c) { "yes" } else { "NO" }.to_string(),
             ]);
         }
         t
@@ -154,9 +195,20 @@ impl Validate {
             "  \"max_rel_err_load_dependent\": {:.6},\n",
             self.max_rel_err(ScenarioKind::LoadDependent)
         ));
+        json.push_str(&format!("  \"cohort_size\": {},\n", self.cohort_size));
+        json.push_str(&format!(
+            "  \"cohort_max_rel_err_zero_overhead\": {:.6},\n",
+            self.cohort_max_rel_err(ScenarioKind::ZeroOverhead)
+        ));
+        json.push_str(&format!(
+            "  \"cohort_max_rel_err_load_dependent\": {:.6},\n",
+            self.cohort_max_rel_err(ScenarioKind::LoadDependent)
+        ));
         json.push_str(&format!("  \"passed\": {},\n", self.passed()));
         json.push_str("  \"points\": [\n");
-        for (i, p) in self.points.iter().enumerate() {
+        for (i, pair) in self.points.iter().enumerate() {
+            let p = &pair.per_user;
+            let c = &pair.cohort;
             json.push_str(&format!(
                 "    {{\"scenario\": \"{}\", \"kind\": \"{}\", \"population\": {}, \
                  \"completions\": {}, \
@@ -165,7 +217,9 @@ impl Validate {
                  \"residence_rel_err\": [{:.6}, {:.6}, {:.6}], \
                  \"db_queue_rel_err\": {:.6}, \
                  \"throughput_bound\": {:.6}, \"bound_ok\": {}, \
-                 \"audit_violations\": {}, \"pass\": {}}}{}\n",
+                 \"audit_violations\": {}, \"pass\": {}, \
+                 \"cohort_throughput_rel_err\": {:.6}, \
+                 \"cohort_max_rel_err\": {:.6}, \"cohort_pass\": {}}}{}\n",
                 p.scenario,
                 kind_label(p.kind),
                 p.population,
@@ -181,6 +235,9 @@ impl Validate {
                 p.bound_ok,
                 p.audit_violations,
                 self.point_ok(p),
+                c.throughput.rel_err,
+                c.max_rel_err(),
+                self.point_ok(c),
                 if i + 1 < self.points.len() { "," } else { "" }
             ));
         }
@@ -195,10 +252,14 @@ impl Validate {
         let zero_points = self
             .points
             .iter()
-            .filter(|p| p.kind == ScenarioKind::ZeroOverhead)
+            .filter(|p| p.per_user.kind == ScenarioKind::ZeroOverhead)
             .count();
         let law_points = self.points.len() - zero_points;
-        let audits: usize = self.points.iter().map(|p| p.audit_violations).sum();
+        let audits: usize = self
+            .points
+            .iter()
+            .map(|p| p.per_user.audit_violations + p.cohort.audit_violations)
+            .sum();
         vec![
             format!(
                 "zero-overhead conformance: {zero_points} points, worst error \
@@ -214,9 +275,20 @@ impl Validate {
                 100.0 * self.tol_law
             ),
             format!(
+                "cohort aggregation (size {}): worst error {:.3}% zero-overhead / \
+                 {:.3}% load-dependent under the same gates — batching users \
+                 onto shared timers leaves the stationary distribution intact",
+                self.cohort_size,
+                100.0 * self.cohort_max_rel_err(ScenarioKind::ZeroOverhead),
+                100.0 * self.cohort_max_rel_err(ScenarioKind::LoadDependent)
+            ),
+            format!(
                 "asymptotic bounds: {} of {} points under X <= min(N/(Z+D), 1/D_max); \
                  conservation audits: {audits} violations across all windows",
-                self.points.iter().filter(|p| p.bound_ok).count(),
+                self.points
+                    .iter()
+                    .filter(|p| p.per_user.bound_ok && p.cohort.bound_ok)
+                    .count(),
                 self.points.len()
             ),
         ]
@@ -246,7 +318,8 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"passed\": true"));
         assert!(json.ends_with("}\n"));
-        assert_eq!(result.findings().len(), 3);
+        assert!(json.contains("\"cohort_max_rel_err\""));
+        assert_eq!(result.findings().len(), 4);
         assert_eq!(result.table().len(), result.points.len());
     }
 }

@@ -21,5 +21,6 @@
 
 pub mod experiments;
 pub mod format;
+pub mod perfjson;
 
 pub use experiments::Fidelity;

@@ -174,7 +174,7 @@ impl ConservationAuditor {
                 *acc += clipped_overlap(span.started_at, span.finished_at, self.begin, now);
             }
         }
-        for req in system.requests.values() {
+        for req in system.requests_by_id() {
             for frame in &req.frames {
                 if frame.phase == Phase::AwaitThread {
                     continue;

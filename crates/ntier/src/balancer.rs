@@ -85,6 +85,34 @@ impl Balancer {
         };
         Some(candidates[idx].0)
     }
+
+    /// Picks an index into a routable list of `len` candidates without
+    /// materializing the `(id, load)` slice — the fleet-scale fast path for
+    /// policies that never look at per-server load. Draws from `rng` (and
+    /// advances the round-robin cursor) exactly as [`Balancer::choose`]
+    /// would over a slice of the same length, so the two are
+    /// pick-for-pick identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`BalancerPolicy::LeastConnections`], which needs the
+    /// per-server loads of [`Balancer::choose`].
+    pub fn choose_index(&mut self, len: usize, rng: &mut SimRng) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        Some(match self.policy {
+            BalancerPolicy::RoundRobin => {
+                let i = self.cursor % len;
+                self.cursor = self.cursor.wrapping_add(1);
+                i
+            }
+            BalancerPolicy::Random => rng.gen_range(0..len),
+            BalancerPolicy::LeastConnections => {
+                panic!("LeastConnections needs per-server loads; use Balancer::choose")
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +178,23 @@ mod tests {
     fn empty_candidates_yield_none() {
         let mut lb = Balancer::new(BalancerPolicy::RoundRobin);
         assert_eq!(lb.choose(&[], &mut rng()), None);
+        assert_eq!(lb.choose_index(0, &mut rng()), None);
+    }
+
+    #[test]
+    fn choose_index_matches_choose_pick_for_pick() {
+        for policy in [BalancerPolicy::RoundRobin, BalancerPolicy::Random] {
+            let candidates: Vec<(ServerId, u32)> = (0..7).map(|i| (s(i), 0)).collect();
+            let mut slow = Balancer::new(policy);
+            let mut fast = Balancer::new(policy);
+            let mut rng_slow = rng();
+            let mut rng_fast = rng();
+            for _ in 0..100 {
+                let a = slow.choose(&candidates, &mut rng_slow).unwrap();
+                let i = fast.choose_index(candidates.len(), &mut rng_fast).unwrap();
+                assert_eq!(a, candidates[i].0, "{policy:?} diverged");
+            }
+        }
     }
 
     #[test]

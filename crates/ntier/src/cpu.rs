@@ -39,26 +39,29 @@ impl Ord for OrdF64 {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Burst {
+struct Burst<R> {
     target: OrdF64,
     seq: u64,
-    req: RequestId,
+    req: R,
     work: OrdF64,
 }
 
-impl PartialOrd for Burst {
+impl<R: Copy + Eq> PartialOrd for Burst<R> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Burst {
+impl<R: Copy + Eq> Ord for Burst<R> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.target, self.seq).cmp(&(other.target, other.seq))
     }
 }
 
 /// The CPU of one simulated server.
+///
+/// Generic over the burst owner token `R` (default [`RequestId`]); the flow
+/// layer runs it over generation-checked `FlightId` slab handles.
 ///
 /// # Examples
 ///
@@ -77,12 +80,12 @@ impl Ord for Burst {
 /// assert!((at.as_secs_f64() - 0.01).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone)]
-pub struct CpuScheduler {
+pub struct CpuScheduler<R = RequestId> {
     law: ServiceLaw,
     work_clock: f64,
     last_update: SimTime,
     contention: u32,
-    bursts: BinaryHeap<Reverse<Burst>>,
+    bursts: BinaryHeap<Reverse<Burst<R>>>,
     seq: u64,
     busy_seconds: f64,
     completed_work: f64,
@@ -94,7 +97,7 @@ pub struct CpuScheduler {
 /// the work clock.
 const WORK_EPSILON: f64 = 1e-9;
 
-impl CpuScheduler {
+impl<R: Copy + Eq + std::fmt::Debug> CpuScheduler<R> {
     /// Creates an idle CPU governed by `law`.
     pub fn new(law: ServiceLaw) -> Self {
         CpuScheduler {
@@ -210,7 +213,7 @@ impl CpuScheduler {
     /// # Panics
     ///
     /// Panics if `work` is negative or not finite.
-    pub fn add_burst(&mut self, now: SimTime, req: RequestId, work: f64) {
+    pub fn add_burst(&mut self, now: SimTime, req: R, work: f64) {
         assert!(
             work.is_finite() && work >= 0.0,
             "burst work must be finite and >= 0"
@@ -229,7 +232,7 @@ impl CpuScheduler {
 
     /// When and for which request the next completion occurs, given no
     /// further changes; `None` when idle.
-    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, RequestId)> {
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, R)> {
         let &Reverse(burst) = self.bursts.peek()?;
         // Project the clock forward from `now` (callers advance first).
         let pending_dt = now.saturating_since(self.last_update).as_secs_f64();
@@ -244,7 +247,7 @@ impl CpuScheduler {
 
     /// Pops the frontmost burst if it has completed by `now` (within a
     /// small work-epsilon of the work clock).
-    pub fn pop_completed(&mut self, now: SimTime) -> Option<RequestId> {
+    pub fn pop_completed(&mut self, now: SimTime) -> Option<R> {
         self.advance(now);
         let &Reverse(burst) = self.bursts.peek()?;
         if burst.target.0 <= self.work_clock + WORK_EPSILON {
@@ -258,7 +261,7 @@ impl CpuScheduler {
 
     /// Removes a specific request's burst (e.g. the request was aborted).
     /// Returns `true` if a burst was removed. O(n) rebuild — rare path.
-    pub fn cancel_burst(&mut self, now: SimTime, req: RequestId) -> bool {
+    pub fn cancel_burst(&mut self, now: SimTime, req: R) -> bool {
         self.advance(now);
         let before = self.bursts.len();
         let retained: Vec<_> = self

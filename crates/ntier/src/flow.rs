@@ -11,7 +11,8 @@ use std::fmt;
 
 use dcm_sim::time::{SimDuration, SimTime};
 
-use crate::ids::{RequestId, ServerId, TierId};
+use crate::balancer::BalancerPolicy;
+use crate::ids::{FlightId, RequestId, ServerId, TierId};
 use crate::request::{Completion, Frame, Outcome, Phase, RequestProfile};
 use crate::server::ServerState;
 use crate::system::{CompletionCallback, RequestInFlight};
@@ -96,55 +97,78 @@ fn submit_inner(
     );
     let rid = world.system.next_request_id();
     world.system.counters.submitted += 1;
-    let timeout_event = deadline.map(|d| {
-        engine.schedule_in(d, move |w: &mut World, e: &mut SimEngine| {
-            abandon(w, e, rid);
-        })
+    let fid = world.system.requests.insert(RequestInFlight {
+        id: rid,
+        profile,
+        frames: Vec::new(),
+        submitted: engine.now(),
+        on_complete: Some(on_complete),
+        timeout_event: None,
+        entry_attempts: 0,
+        retry_event: None,
     });
-    world.system.requests.insert(
-        rid,
-        RequestInFlight {
-            profile,
-            frames: Vec::new(),
-            submitted: engine.now(),
-            on_complete: Some(on_complete),
-            timeout_event,
-            entry_attempts: 0,
-            retry_event: None,
-        },
-    );
-    enter_tier(world, engine, rid, 0);
+    if let Some(d) = deadline {
+        let ev = engine.schedule_in(d, move |w: &mut World, e: &mut SimEngine| {
+            abandon(w, e, fid);
+        });
+        world
+            .system
+            .requests
+            .get_mut(fid)
+            .expect("freshly inserted request")
+            .timeout_event = Some(ev);
+    }
+    enter_tier(world, engine, fid, 0);
     rid
 }
 
 /// Client abandonment: unwind whatever the request holds and complete it
-/// as timed out. A no-op if the request already finished.
-fn abandon(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
-    if !world.system.requests.contains_key(&rid) {
+/// as timed out. A no-op if the request already finished (the slab handle's
+/// generation check makes the stale timer closure inert).
+fn abandon(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
+    if world.system.requests.get(fid).is_none() {
         return;
     }
-    unwind(world, engine, rid, Outcome::TimedOut);
+    unwind(world, engine, fid, Outcome::TimedOut);
 }
 
-/// Routes `rid` into `tier`: picks a server, pushes a frame, and contends
+/// Routes the request behind `fid` into `tier`: picks a server, pushes a
+/// frame, and contends
 /// for a thread. When the tier momentarily has no routable server and the
 /// system has an inter-tier retry policy, the request is parked and
 /// re-attempted after an exponential backoff instead of being rejected —
 /// this is what lets a crashed tier heal behind callers' backs while the
 /// controller boots a replacement.
-fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: usize) {
-    let candidates = world.system.routable(tier);
-    let choice = world
-        .system
-        .tier_mut(tier)
-        .balancer_mut()
-        .choose(&candidates, &mut world.rng);
+fn enter_tier(world: &mut World, engine: &mut SimEngine, fid: FlightId, tier: usize) {
+    // Load-blind policies index the maintained routable cache directly; the
+    // seed built a per-request `Vec<(ServerId, load)>` here, which at 1,000
+    // servers/tier dominated the hot path. Both arms draw from the RNG (and
+    // move the round-robin cursor) identically.
+    let choice = match world.system.tier(tier).balancer().policy() {
+        BalancerPolicy::LeastConnections => {
+            let candidates = world.system.routable(tier);
+            world
+                .system
+                .tier_mut(tier)
+                .balancer_mut()
+                .choose(&candidates, &mut world.rng)
+        }
+        _ => {
+            let len = world.system.tier(tier).routable_members().len();
+            world
+                .system
+                .tier_mut(tier)
+                .balancer_mut()
+                .choose_index(len, &mut world.rng)
+                .map(|i| world.system.tier(tier).routable_members()[i])
+        }
+    };
     let Some(sid) = choice else {
         if let Some(policy) = world.system.inter_tier_retry {
             let attempts = world
                 .system
                 .requests
-                .get(&rid)
+                .get(fid)
                 .map_or(0, |r| r.entry_attempts);
             if attempts + 1 < policy.max_attempts {
                 let backoff =
@@ -152,19 +176,19 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: u
                 world.system.counters.retried += 1;
                 let ev = engine.schedule_in(
                     SimDuration::from_secs_f64(backoff),
-                    move |w: &mut World, e: &mut SimEngine| retry_entry(w, e, rid, tier),
+                    move |w: &mut World, e: &mut SimEngine| retry_entry(w, e, fid, tier),
                 );
                 let req = world
                     .system
                     .requests
-                    .get_mut(&rid)
+                    .get_mut(fid)
                     .expect("parking a live request");
                 req.entry_attempts = attempts + 1;
                 req.retry_event = Some(ev);
                 return;
             }
         }
-        unwind_reject(world, engine, rid, tier);
+        unwind_reject(world, engine, fid, tier);
         return;
     };
     let now = engine.now();
@@ -172,7 +196,7 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: u
         let req = world
             .system
             .requests
-            .get_mut(&rid)
+            .get_mut(fid)
             .expect("routing a live request");
         req.entry_attempts = 0;
         req.frames.push(Frame::arriving(tier, sid, now));
@@ -181,31 +205,31 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: u
         .system
         .server_mut(sid)
         .expect("balancer returned live server")
-        .acquire_thread(now, rid);
+        .acquire_thread(now, fid);
     resched_completion(world, engine, sid);
     if granted {
-        thread_granted(world, engine, rid);
+        thread_granted(world, engine, fid);
     }
 }
 
 /// A retry timer fired for a request parked on a capacity-less tier.
-fn retry_entry(world: &mut World, engine: &mut SimEngine, rid: RequestId, tier: usize) {
-    let Some(req) = world.system.requests.get_mut(&rid) else {
+fn retry_entry(world: &mut World, engine: &mut SimEngine, fid: FlightId, tier: usize) {
+    let Some(req) = world.system.requests.get_mut(fid) else {
         return; // Abandoned (e.g. client timeout) while parked.
     };
     req.retry_event = None;
-    enter_tier(world, engine, rid, tier);
+    enter_tier(world, engine, fid, tier);
 }
 
 /// The top frame was granted its server thread: start the pre burst (or
 /// fail immediately under an injected transient fault).
-fn thread_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+fn thread_granted(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
     let now = engine.now();
     let (sid, tier, pre) = {
         let req = world
             .system
             .requests
-            .get_mut(&rid)
+            .get_mut(fid)
             .expect("granting thread to live request");
         let pre = {
             let tier = req.frames.last().expect("granted frame exists").tier;
@@ -221,30 +245,30 @@ fn thread_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
     // unwind releases the freshly granted thread (cancel_burst is a no-op).
     let p = world.system.transient_failure_prob;
     if p > 0.0 && world.rng.next_f64() < p {
-        unwind(world, engine, rid, Outcome::Failed { at_tier: tier });
+        unwind(world, engine, fid, Outcome::Failed { at_tier: tier });
         return;
     }
     world
         .system
         .server_mut(sid)
         .expect("frame server exists")
-        .start_burst(now, rid, pre);
+        .start_burst(now, fid, pre);
     resched_completion(world, engine, sid);
 }
 
 /// Resumes a request that was parked in a pool queue and has now been handed
 /// its permit.
-fn resume_parked(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+fn resume_parked(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
     let phase = world
         .system
         .requests
-        .get(&rid)
+        .get(fid)
         .and_then(|r| r.frames.last())
         .map(|f| f.phase);
     match phase {
-        Some(Phase::AwaitThread) => thread_granted(world, engine, rid),
-        Some(Phase::AwaitConn) => conn_granted(world, engine, rid),
-        other => panic!("resumed request {rid} in unexpected phase {other:?}"),
+        Some(Phase::AwaitThread) => thread_granted(world, engine, fid),
+        Some(Phase::AwaitConn) => conn_granted(world, engine, fid),
+        other => panic!("resumed request {fid} in unexpected phase {other:?}"),
     }
 }
 
@@ -257,32 +281,32 @@ pub(crate) fn on_cpu_completion(world: &mut World, engine: &mut SimEngine, sid: 
             return;
         };
         match server.cpu_mut().pop_completed(now) {
-            Some(rid) => burst_finished(world, engine, rid),
+            Some(fid) => burst_finished(world, engine, fid),
             None => break,
         }
     }
     resched_completion(world, engine, sid);
 }
 
-/// A CPU burst belonging to `rid` finished.
-fn burst_finished(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+/// A CPU burst belonging to `fid` finished.
+fn burst_finished(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
     let phase = world
         .system
         .requests
-        .get(&rid)
+        .get(fid)
         .and_then(|r| r.frames.last())
         .map(|f| f.phase)
         .expect("burst owner is live with a frame");
     match phase {
-        Phase::PreBurst => maybe_call(world, engine, rid),
-        Phase::PostBurst => finish_frame(world, engine, rid),
+        Phase::PreBurst => maybe_call(world, engine, fid),
+        Phase::PostBurst => finish_frame(world, engine, fid),
         other => panic!("burst finished in non-burst phase {other:?}"),
     }
 }
 
 /// After the pre burst or a returned downstream call: issue the next
 /// downstream call if any remain, otherwise run the post burst / finish.
-fn maybe_call(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+fn maybe_call(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
     let now = engine.now();
     enum Next {
         Call(ServerId),
@@ -293,7 +317,7 @@ fn maybe_call(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
         let req = world
             .system
             .requests
-            .get_mut(&rid)
+            .get_mut(fid)
             .expect("advancing live request");
         let tiers = req.profile.tiers();
         let frame = req.frames.last_mut().expect("frame exists");
@@ -322,9 +346,9 @@ fn maybe_call(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
                 .system
                 .server_mut(sid)
                 .expect("frame server exists")
-                .acquire_conn(now, rid);
+                .acquire_conn(now, fid);
             if granted {
-                conn_granted(world, engine, rid);
+                conn_granted(world, engine, fid);
             }
         }
         Next::Post(sid, post) => {
@@ -332,18 +356,22 @@ fn maybe_call(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
                 .system
                 .server_mut(sid)
                 .expect("frame server exists")
-                .start_burst(now, rid, post);
+                .start_burst(now, fid, post);
             resched_completion(world, engine, sid);
         }
-        Next::Finish => finish_frame(world, engine, rid),
+        Next::Finish => finish_frame(world, engine, fid),
     }
 }
 
 /// The top frame acquired its downstream connection: descend into the child
 /// tier.
-fn conn_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+fn conn_granted(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
     let (sid, tier) = {
-        let frame = world.system.requests[&rid]
+        let frame = world
+            .system
+            .requests
+            .get(fid)
+            .expect("descending live request")
             .frames
             .last()
             .expect("frame exists");
@@ -360,25 +388,26 @@ fn conn_granted(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
     let frame = world
         .system
         .requests
-        .get_mut(&rid)
+        .get_mut(fid)
         .expect("descending live request")
         .frames
         .last_mut()
         .expect("frame exists");
     frame.phase = Phase::InCall;
     frame.holds_conn = has_pool;
-    enter_tier(world, engine, rid, tier + 1);
+    enter_tier(world, engine, fid, tier + 1);
 }
 
 /// The top frame is done at its server: release the thread, reply upstream.
-fn finish_frame(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
+fn finish_frame(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
     let now = engine.now();
     let (sid, dwell) = {
         let req = world
             .system
             .requests
-            .get_mut(&rid)
+            .get_mut(fid)
             .expect("finishing live request");
+        let rid = req.id;
         let frame = req.frames.pop().expect("frame exists");
         world.system.record_span(crate::spans::Span {
             request: rid,
@@ -408,11 +437,11 @@ fn finish_frame(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
     let has_parent = world
         .system
         .requests
-        .get(&rid)
+        .get(fid)
         .map(|r| !r.frames.is_empty())
         .expect("request still live");
     if !has_parent {
-        complete(world, engine, rid, Outcome::Completed);
+        complete(world, engine, fid, Outcome::Completed);
         return;
     }
     // Reply to the parent: return its connection, count the call.
@@ -420,7 +449,7 @@ fn finish_frame(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
         let req = world
             .system
             .requests
-            .get_mut(&rid)
+            .get_mut(fid)
             .expect("request still live");
         let parent = req.frames.last_mut().expect("parent frame exists");
         parent.calls_done += 1;
@@ -438,16 +467,16 @@ fn finish_frame(world: &mut World, engine: &mut SimEngine, rid: RequestId) {
             resume_parked(world, engine, next);
         }
     }
-    maybe_call(world, engine, rid);
+    maybe_call(world, engine, fid);
 }
 
 /// Finishes a request and fires its callback.
-fn complete(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Outcome) {
+fn complete(world: &mut World, engine: &mut SimEngine, fid: FlightId, outcome: Outcome) {
     let now = engine.now();
     let mut req = world
         .system
         .requests
-        .remove(&rid)
+        .remove(fid)
         .expect("completing live request");
     match outcome {
         Outcome::Completed => world.system.counters.completed += 1,
@@ -462,7 +491,7 @@ fn complete(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: 
         engine.cancel(ev);
     }
     let completion = Completion {
-        id: rid,
+        id: req.id,
         class: req.profile.class(),
         submitted: req.submitted,
         finished: now,
@@ -475,8 +504,8 @@ fn complete(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: 
 
 /// Rejection path: release every resource the request holds, bottom-up,
 /// then complete with a rejected outcome.
-fn unwind_reject(world: &mut World, engine: &mut SimEngine, rid: RequestId, at_tier: usize) {
-    unwind(world, engine, rid, Outcome::Rejected { at_tier });
+fn unwind_reject(world: &mut World, engine: &mut SimEngine, fid: FlightId, at_tier: usize) {
+    unwind(world, engine, fid, Outcome::Rejected { at_tier });
 }
 
 /// Releases every resource the request holds, innermost frame first, then
@@ -487,13 +516,19 @@ fn unwind_reject(world: &mut World, engine: &mut SimEngine, rid: RequestId, at_t
 /// permit to a waiter there would revive work on a dead machine. In normal
 /// operation a server only stops once fully drained, so this branch is
 /// reachable only through [`crash_server`].
-fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Outcome) {
+fn unwind(world: &mut World, engine: &mut SimEngine, fid: FlightId, outcome: Outcome) {
     let now = engine.now();
     let status = crate::spans::SpanStatus::from_outcome(&outcome);
+    let rid = world
+        .system
+        .requests
+        .get(fid)
+        .expect("unwinding live request")
+        .id;
     while let Some(frame) = world
         .system
         .requests
-        .get_mut(&rid)
+        .get_mut(fid)
         .expect("unwinding live request")
         .frames
         .pop()
@@ -518,14 +553,14 @@ fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Ou
         }
         match frame.phase {
             Phase::AwaitThread => {
-                server.cancel_thread_waiter(rid);
+                server.cancel_thread_waiter(fid);
             }
             Phase::AwaitConn => {
-                server.cancel_conn_waiter(rid);
+                server.cancel_conn_waiter(fid);
                 release_thread_during_unwind(world, engine, rid, sid, frame, now, status);
             }
             Phase::PreBurst | Phase::PostBurst => {
-                server.cpu_mut().cancel_burst(now, rid);
+                server.cpu_mut().cancel_burst(now, fid);
                 release_thread_during_unwind(world, engine, rid, sid, frame, now, status);
             }
             Phase::InCall => {
@@ -539,7 +574,7 @@ fn unwind(world: &mut World, engine: &mut SimEngine, rid: RequestId, outcome: Ou
             }
         }
     }
-    complete(world, engine, rid, outcome);
+    complete(world, engine, fid, outcome);
 }
 
 fn release_thread_during_unwind(
@@ -602,7 +637,7 @@ fn maybe_finish_drain(world: &mut World, engine: &mut SimEngine, sid: ServerId) 
         if let Some(ev) = server.completion_event.take() {
             engine.cancel(ev);
         }
-        server.mark_stopped(now);
+        world.system.mark_server_stopped(sid, now);
         world.system.retire_server(sid, now);
     }
 }
@@ -653,10 +688,10 @@ fn boot_complete(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
     }
     let tier = server.tier();
     if failed {
-        server.mark_stopped(now);
+        world.system.mark_server_stopped(sid, now);
         world.system.retire_server(sid, now);
     } else {
-        server.mark_running();
+        world.system.mark_server_running(sid);
     }
     world.system.record_server_event(crate::spans::ServerEvent {
         at: now,
@@ -686,16 +721,12 @@ pub fn decommission_one(
     if tier >= world.system.tier_count() {
         return Err(ScaleError::NoSuchTier { tier });
     }
-    let routable = world.system.routable(tier);
+    let routable = world.system.tier(tier).routable_members();
     if routable.len() <= 1 {
         return Err(ScaleError::LastServer { tier });
     }
-    let victim = routable.last().expect("checked non-empty").0;
-    world
-        .system
-        .server_mut(victim)
-        .expect("routable server exists")
-        .mark_draining();
+    let victim = *routable.last().expect("checked non-empty");
+    world.system.mark_server_draining(victim);
     world.system.record_server_event(crate::spans::ServerEvent {
         at: engine.now(),
         server: victim,
@@ -734,25 +765,29 @@ pub fn crash_server(world: &mut World, engine: &mut SimEngine, sid: ServerId) {
     if let Some(ev) = server.completion_event.take() {
         engine.cancel(ev);
     }
-    server.mark_stopped(now);
+    world.system.mark_server_stopped(sid, now);
     world.system.record_server_event(crate::spans::ServerEvent {
         at: now,
         server: sid,
         tier,
         kind: crate::spans::ServerEventKind::Crashed,
     });
-    let victims: Vec<RequestId> = world
+    // Sort by the public monotonic id so unwind order matches submission
+    // order (the iteration order of the pre-slab id-keyed map).
+    let mut victims: Vec<(RequestId, FlightId)> = world
         .system
         .requests
         .iter()
         .filter(|(_, req)| req.frames.iter().any(|f| f.server == sid))
-        .map(|(rid, _)| *rid)
+        .map(|(fid, req)| (req.id, fid))
         .collect();
-    for rid in victims {
+    victims.sort_by_key(|&(rid, _)| rid);
+    for (_, fid) in victims {
         // A victim may already have been completed reentrantly (e.g. a
-        // resumed waiter failing transiently) by an earlier unwind.
-        if world.system.requests.contains_key(&rid) {
-            unwind(world, engine, rid, Outcome::Failed { at_tier: tier });
+        // resumed waiter failing transiently) by an earlier unwind; its
+        // slot generation no longer matches then.
+        if world.system.requests.get(fid).is_some() {
+            unwind(world, engine, fid, Outcome::Failed { at_tier: tier });
         }
     }
     world.system.retire_server(sid, now);
@@ -833,8 +868,8 @@ pub fn set_server_thread_pool(world: &mut World, engine: &mut SimEngine, sid: Se
         _ => return,
     };
     resched_completion(world, engine, sid);
-    for rid in admitted {
-        resume_parked(world, engine, rid);
+    for fid in admitted {
+        resume_parked(world, engine, fid);
     }
 }
 
@@ -845,7 +880,7 @@ pub fn set_server_conn_pool(world: &mut World, engine: &mut SimEngine, sid: Serv
         Some(server) if !server.is_stopped() => server.resize_conn_pool(now, size),
         _ => return,
     };
-    for rid in admitted {
-        resume_parked(world, engine, rid);
+    for fid in admitted {
+        resume_parked(world, engine, fid);
     }
 }

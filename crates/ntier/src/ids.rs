@@ -57,6 +57,46 @@ id_type!(
     "req-"
 );
 
+/// Generation-checked handle into the in-flight request slab
+/// ([`crate::system::System`]'s request table).
+///
+/// Packs a slab slot index (low 32 bits) and a generation stamp (high 32
+/// bits), mirroring `dcm_sim::engine::EventId`: a slot is reused after its
+/// request leaves the system with the generation bumped, so stale handles
+/// held by cancelled timers dereference to `None` instead of aliasing a new
+/// request. Distinct from [`RequestId`], the public monotonic identity a
+/// request keeps for its whole life (spans, completions, trace export).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlightId(u64);
+
+impl FlightId {
+    /// Builds a handle from a slab slot and generation stamp.
+    pub const fn pack(slot: u32, gen: u32) -> Self {
+        FlightId(((gen as u64) << 32) | slot as u64)
+    }
+
+    /// The slab slot index.
+    pub const fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The generation stamp the slot must still carry.
+    pub const fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The raw packed value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlightId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flt-{}g{}", self.slot(), self.gen())
+    }
+}
+
 /// Identifies a tier by position in the chain (0 = frontmost).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TierId(pub usize);
@@ -111,6 +151,18 @@ mod tests {
         let id = ServerId::new(42);
         assert_eq!(id.raw(), 42);
         assert_eq!(u64::from(id), 42);
+    }
+
+    #[test]
+    fn flight_id_packs_slot_and_generation() {
+        let id = FlightId::pack(7, 3);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.gen(), 3);
+        assert_eq!(id.to_string(), "flt-7g3");
+        assert_ne!(FlightId::pack(7, 3), FlightId::pack(7, 4));
+        let max = FlightId::pack(u32::MAX, u32::MAX);
+        assert_eq!(max.slot(), u32::MAX);
+        assert_eq!(max.gen(), u32::MAX);
     }
 
     #[test]

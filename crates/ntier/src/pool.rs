@@ -15,6 +15,11 @@ use crate::ids::RequestId;
 
 /// A bounded permit pool with a FIFO queue of waiting requests.
 ///
+/// Generic over the waiter token `T` (any small `Copy` id): the flow layer
+/// parks generation-checked [`FlightId`](crate::ids::FlightId) slab handles,
+/// while standalone uses (benches, property tests) default to the public
+/// [`RequestId`].
+///
 /// # Examples
 ///
 /// ```
@@ -28,16 +33,16 @@ use crate::ids::RequestId;
 /// assert_eq!(next, Some(RequestId::new(2)));     // handed off directly
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Pool {
+pub struct Pool<T = RequestId> {
     capacity: u32,
     in_use: u32,
-    waiters: VecDeque<RequestId>,
+    waiters: VecDeque<T>,
     // Cumulative counters for monitoring.
     total_acquired: u64,
     total_queued: u64,
 }
 
-impl Pool {
+impl<T: Copy + PartialEq> Pool<T> {
     /// Creates a pool with `capacity` permits.
     ///
     /// # Panics
@@ -87,7 +92,7 @@ impl Pool {
     /// Attempts to take a permit for `req`. On failure the request is
     /// appended to the FIFO wait queue and `false` is returned; the caller
     /// parks the request until [`Pool::release`] hands it a permit.
-    pub fn try_acquire(&mut self, req: RequestId) -> bool {
+    pub fn try_acquire(&mut self, req: T) -> bool {
         if self.in_use < self.capacity {
             self.in_use += 1;
             self.total_acquired += 1;
@@ -108,7 +113,7 @@ impl Pool {
     ///
     /// Panics if no permit is outstanding (release without acquire — a
     /// simulator accounting bug, never a recoverable condition).
-    pub fn release(&mut self) -> Option<RequestId> {
+    pub fn release(&mut self) -> Option<T> {
         assert!(self.in_use > 0, "pool release without matching acquire");
         self.in_use -= 1;
         if self.in_use < self.capacity {
@@ -123,7 +128,7 @@ impl Pool {
 
     /// Removes a parked request from the wait queue (e.g. the client gave
     /// up). Returns `true` if it was queued.
-    pub fn cancel_waiter(&mut self, req: RequestId) -> bool {
+    pub fn cancel_waiter(&mut self, req: T) -> bool {
         if let Some(pos) = self.waiters.iter().position(|&r| r == req) {
             self.waiters.remove(pos);
             true
@@ -139,7 +144,7 @@ impl Pool {
     /// # Panics
     ///
     /// Panics if `new_capacity == 0`.
-    pub fn resize(&mut self, new_capacity: u32) -> Vec<RequestId> {
+    pub fn resize(&mut self, new_capacity: u32) -> Vec<T> {
         assert!(new_capacity > 0, "pool capacity must be positive");
         self.capacity = new_capacity;
         let mut admitted = Vec::new();
@@ -199,7 +204,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "release without matching acquire")]
     fn release_without_acquire_panics() {
-        let mut p = Pool::new(1);
+        let mut p: Pool = Pool::new(1);
         let _ = p.release();
     }
 
@@ -249,13 +254,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
-        let _ = Pool::new(0);
+        let _: Pool = Pool::new(0);
     }
 
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_resize_rejected() {
-        let mut p = Pool::new(1);
+        let mut p: Pool = Pool::new(1);
         let _ = p.resize(0);
     }
 }

@@ -9,7 +9,7 @@ use dcm_sim::engine::EventId;
 use dcm_sim::time::SimTime;
 
 use crate::cpu::CpuScheduler;
-use crate::ids::{RequestId, ServerId};
+use crate::ids::{FlightId, ServerId};
 use crate::law::ServiceLaw;
 use crate::metrics::{ServerSample, TimeWeighted};
 use crate::pool::Pool;
@@ -51,9 +51,9 @@ pub struct Server {
     tier: usize,
     name: String,
     state: ServerState,
-    cpu: CpuScheduler,
-    thread_pool: Pool,
-    conn_pool: Option<Pool>,
+    cpu: CpuScheduler<FlightId>,
+    thread_pool: Pool<FlightId>,
+    conn_pool: Option<Pool<FlightId>>,
     /// The engine event for this server's next CPU completion; the flow
     /// layer cancels/reschedules it whenever the CPU state changes.
     pub(crate) completion_event: Option<EventId>,
@@ -142,22 +142,22 @@ impl Server {
     }
 
     /// The CPU scheduler (read access for flow and tests).
-    pub fn cpu(&self) -> &CpuScheduler {
+    pub fn cpu(&self) -> &CpuScheduler<FlightId> {
         &self.cpu
     }
 
     /// Mutable CPU access for the flow layer.
-    pub(crate) fn cpu_mut(&mut self) -> &mut CpuScheduler {
+    pub(crate) fn cpu_mut(&mut self) -> &mut CpuScheduler<FlightId> {
         &mut self.cpu
     }
 
     /// The thread pool.
-    pub fn thread_pool(&self) -> &Pool {
+    pub fn thread_pool(&self) -> &Pool<FlightId> {
         &self.thread_pool
     }
 
     /// The downstream connection pool, if any.
-    pub fn conn_pool(&self) -> Option<&Pool> {
+    pub fn conn_pool(&self) -> Option<&Pool<FlightId>> {
         self.conn_pool.as_ref()
     }
 
@@ -222,7 +222,7 @@ impl Server {
     }
 
     /// Tries to take a thread for `req`; queues it on failure.
-    pub fn acquire_thread(&mut self, now: SimTime, req: RequestId) -> bool {
+    pub fn acquire_thread(&mut self, now: SimTime, req: FlightId) -> bool {
         let granted = self.thread_pool.try_acquire(req);
         if granted {
             self.sync_threads(now);
@@ -237,7 +237,7 @@ impl Server {
     /// # Panics
     ///
     /// Panics if no thread is in use (accounting bug).
-    pub fn release_thread(&mut self, now: SimTime, dwell_secs: f64) -> Option<RequestId> {
+    pub fn release_thread(&mut self, now: SimTime, dwell_secs: f64) -> Option<FlightId> {
         let next = self.thread_pool.release();
         self.sync_threads(now);
         self.completed_total += 1;
@@ -247,7 +247,7 @@ impl Server {
 
     /// Tries to take a downstream connection; queues on failure. Servers
     /// without a connection pool always grant.
-    pub fn acquire_conn(&mut self, now: SimTime, req: RequestId) -> bool {
+    pub fn acquire_conn(&mut self, now: SimTime, req: FlightId) -> bool {
         match self.conn_pool.as_mut() {
             Some(pool) => {
                 let granted = pool.try_acquire(req);
@@ -266,7 +266,7 @@ impl Server {
     /// # Panics
     ///
     /// Panics if the server has a pool and no connection is in use.
-    pub fn release_conn(&mut self, now: SimTime) -> Option<RequestId> {
+    pub fn release_conn(&mut self, now: SimTime) -> Option<FlightId> {
         match self.conn_pool.as_mut() {
             Some(pool) => {
                 let next = pool.release();
@@ -279,7 +279,7 @@ impl Server {
 
     /// Resizes the thread pool; newly admitted waiters are returned for
     /// resumption (they already hold their permits).
-    pub fn resize_thread_pool(&mut self, now: SimTime, capacity: u32) -> Vec<RequestId> {
+    pub fn resize_thread_pool(&mut self, now: SimTime, capacity: u32) -> Vec<FlightId> {
         let admitted = self.thread_pool.resize(capacity);
         self.sync_threads(now);
         admitted
@@ -287,7 +287,7 @@ impl Server {
 
     /// Resizes the connection pool (no-op returning empty when the server
     /// has none).
-    pub fn resize_conn_pool(&mut self, now: SimTime, capacity: u32) -> Vec<RequestId> {
+    pub fn resize_conn_pool(&mut self, now: SimTime, capacity: u32) -> Vec<FlightId> {
         match self.conn_pool.as_mut() {
             Some(pool) => {
                 let admitted = pool.resize(capacity);
@@ -300,7 +300,7 @@ impl Server {
 
     /// Starts a CPU burst for `req`. While the server straggles, new
     /// bursts cost `slowdown ×` their nominal work.
-    pub fn start_burst(&mut self, now: SimTime, req: RequestId, work: f64) {
+    pub fn start_burst(&mut self, now: SimTime, req: FlightId, work: f64) {
         self.cpu.add_burst(now, req, work * self.slowdown);
     }
 
@@ -324,12 +324,12 @@ impl Server {
     }
 
     /// Removes `req` from the thread-pool wait queue.
-    pub fn cancel_thread_waiter(&mut self, req: RequestId) -> bool {
+    pub fn cancel_thread_waiter(&mut self, req: FlightId) -> bool {
         self.thread_pool.cancel_waiter(req)
     }
 
     /// Removes `req` from the connection-pool wait queue.
-    pub fn cancel_conn_waiter(&mut self, req: RequestId) -> bool {
+    pub fn cancel_conn_waiter(&mut self, req: FlightId) -> bool {
         self.conn_pool
             .as_mut()
             .is_some_and(|pool| pool.cancel_waiter(req))
@@ -426,8 +426,8 @@ mod tests {
         SimTime::from_secs_f64(s)
     }
 
-    fn r(n: u64) -> RequestId {
-        RequestId::new(n)
+    fn r(n: u64) -> FlightId {
+        FlightId::pack(n as u32, 0)
     }
 
     fn spec() -> ServerSpec {

@@ -5,12 +5,10 @@
 //! lives in [`crate::flow`], as free functions over
 //! ([`World`](crate::world::World), engine).
 
-use std::collections::BTreeMap;
-
 use dcm_sim::time::{SimDuration, SimTime};
 
 use crate::balancer::{Balancer, BalancerPolicy};
-use crate::ids::{IdAllocator, RequestId, ServerId, TierId};
+use crate::ids::{FlightId, IdAllocator, RequestId, ServerId, TierId};
 use crate::law::ServiceLaw;
 use crate::metrics::ServerSample;
 use crate::request::{Completion, Frame, RequestProfile};
@@ -52,6 +50,12 @@ pub struct Tier {
     spec: TierSpec,
     /// Non-stopped servers, in launch order.
     members: Vec<ServerId>,
+    /// Routable (`Running`) members in launch order — the balancer's
+    /// candidate list. Maintained incrementally on every lifecycle
+    /// transition (boots, drains, crashes are control-plane-rare) so the
+    /// per-request hot path never rescans `members` nor allocates a
+    /// candidate `Vec`; at fleet scale that scan was O(servers) per request.
+    routable: Vec<ServerId>,
     balancer: Balancer,
     launched_count: u64,
     /// VM-seconds already paid by stopped servers of this tier.
@@ -67,6 +71,17 @@ impl Tier {
     /// Current (non-stopped) member servers in launch order.
     pub fn members(&self) -> &[ServerId] {
         &self.members
+    }
+
+    /// Routable (`Running`) members in launch order, from the maintained
+    /// cache.
+    pub fn routable_members(&self) -> &[ServerId] {
+        &self.routable
+    }
+
+    /// Read access to the balancer (policy inspection on the hot path).
+    pub fn balancer(&self) -> &Balancer {
+        &self.balancer
     }
 
     /// Mutable balancer access.
@@ -130,6 +145,9 @@ impl Default for InterTierRetry {
 
 /// An in-flight request: execution plan, call stack, bookkeeping.
 pub struct RequestInFlight {
+    /// The request's public monotonic identity (spans, completions, trace
+    /// export) — distinct from the recycled [`FlightId`] slab handle.
+    pub id: RequestId,
     /// The sampled execution plan.
     pub profile: RequestProfile,
     /// Call-stack frames, innermost last.
@@ -150,6 +168,7 @@ pub struct RequestInFlight {
 impl std::fmt::Debug for RequestInFlight {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RequestInFlight")
+            .field("id", &self.id)
             .field("profile", &self.profile)
             .field("frames", &self.frames)
             .field("submitted", &self.submitted)
@@ -158,13 +177,113 @@ impl std::fmt::Debug for RequestInFlight {
     }
 }
 
+/// Generation-checked slab holding every in-flight request.
+///
+/// Requests are the per-event allocation hot spot at fleet scale: the seed
+/// kept them in a `BTreeMap<RequestId, RequestInFlight>`, paying a tree walk
+/// per lookup and node churn per insert/remove. The slab stores entries in a
+/// dense `Vec` addressed by [`FlightId`] slot, recycles slots (and their
+/// `frames` buffers, capacity retained) through a free list, and stamps each
+/// slot with a generation so handles captured by cancelled timeout/retry
+/// timers dereference to `None` instead of aliasing a later request.
+#[derive(Debug, Default)]
+pub(crate) struct RequestSlab {
+    entries: Vec<Option<RequestInFlight>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+    allocated: u64,
+    reused: u64,
+    /// Emptied `frames` buffers awaiting reuse.
+    spare_frames: Vec<Vec<Frame>>,
+}
+
+impl RequestSlab {
+    pub(crate) fn insert(&mut self, mut req: RequestInFlight) -> FlightId {
+        if req.frames.is_empty() {
+            if let Some(spare) = self.spare_frames.pop() {
+                req.frames = spare;
+            }
+        }
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.reused += 1;
+                self.entries[slot as usize] = Some(req);
+                FlightId::pack(slot, self.gens[slot as usize])
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.entries.len()).expect("more than 2^32 in-flight requests");
+                self.allocated += 1;
+                self.entries.push(Some(req));
+                self.gens.push(0);
+                FlightId::pack(slot, 0)
+            }
+        }
+    }
+
+    pub(crate) fn get(&self, id: FlightId) -> Option<&RequestInFlight> {
+        let slot = id.slot() as usize;
+        if self.gens.get(slot).copied() != Some(id.gen()) {
+            return None;
+        }
+        self.entries[slot].as_ref()
+    }
+
+    pub(crate) fn get_mut(&mut self, id: FlightId) -> Option<&mut RequestInFlight> {
+        let slot = id.slot() as usize;
+        if self.gens.get(slot).copied() != Some(id.gen()) {
+            return None;
+        }
+        self.entries[slot].as_mut()
+    }
+
+    pub(crate) fn remove(&mut self, id: FlightId) -> Option<RequestInFlight> {
+        let slot = id.slot() as usize;
+        if self.gens.get(slot).copied() != Some(id.gen()) {
+            return None;
+        }
+        let mut req = self.entries[slot].take()?;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(id.slot());
+        self.live -= 1;
+        // Requests leave with their call stack fully popped; keep the
+        // buffer's capacity for the next request through this slab.
+        if req.frames.is_empty() && req.frames.capacity() > 0 {
+            self.spare_frames.push(std::mem::take(&mut req.frames));
+        }
+        Some(req)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live entries in slot order (NOT public-id order; sort by
+    /// [`RequestInFlight::id`] where accumulation order matters).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (FlightId, &RequestInFlight)> {
+        self.entries.iter().enumerate().filter_map(|(slot, e)| {
+            e.as_ref()
+                .map(|req| (FlightId::pack(slot as u32, self.gens[slot]), req))
+        })
+    }
+
+    /// `(fresh slot allocations, free-list reuses)` since construction.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.allocated, self.reused)
+    }
+}
+
 /// The complete n-tier system state.
 #[derive(Debug)]
 pub struct System {
     tiers: Vec<Tier>,
-    servers: BTreeMap<ServerId, Server>,
-    pub(crate) requests: BTreeMap<RequestId, RequestInFlight>,
-    server_ids: IdAllocator,
+    /// Every server ever launched, indexed densely by `ServerId::raw`.
+    /// Servers are never removed from storage (retirement only drops tier
+    /// membership), so the Vec is append-only and lookups are O(1).
+    servers: Vec<Server>,
+    pub(crate) requests: RequestSlab,
     request_ids: IdAllocator,
     pub(crate) counters: SystemCounters,
     /// Probability that a VM boot fails (failure injection; default 0).
@@ -201,13 +320,13 @@ impl System {
                     balancer: Balancer::new(spec.balancer),
                     spec,
                     members: Vec::new(),
+                    routable: Vec::new(),
                     launched_count: 0,
                     retired_vm_seconds: 0.0,
                 })
                 .collect(),
-            servers: BTreeMap::new(),
-            requests: BTreeMap::new(),
-            server_ids: IdAllocator::new(),
+            servers: Vec::new(),
+            requests: RequestSlab::default(),
             request_ids: IdAllocator::new(),
             counters: SystemCounters::default(),
             boot_failure_prob: 0.0,
@@ -244,22 +363,81 @@ impl System {
 
     /// The server with the given id, if it exists.
     pub fn server(&self, id: ServerId) -> Option<&Server> {
-        self.servers.get(&id)
+        self.servers.get(id.raw() as usize)
     }
 
     pub(crate) fn server_mut(&mut self, id: ServerId) -> Option<&mut Server> {
-        self.servers.get_mut(&id)
+        self.servers.get_mut(id.raw() as usize)
     }
 
     /// All servers (including stopped), in id order.
     pub fn servers(&self) -> impl Iterator<Item = &Server> {
-        self.servers.values()
+        self.servers.iter()
+    }
+
+    /// Marks a server `Running` (boot finished) and refreshes its tier's
+    /// routable cache. Lifecycle transitions go through the [`System`] so
+    /// the cache can never drift from server state.
+    pub(crate) fn mark_server_running(&mut self, id: ServerId) {
+        if let Some(s) = self.server_mut(id) {
+            let tier = s.tier();
+            s.mark_running();
+            self.rebuild_routable(tier);
+        }
+    }
+
+    /// Marks a server `Draining` and refreshes its tier's routable cache.
+    pub(crate) fn mark_server_draining(&mut self, id: ServerId) {
+        if let Some(s) = self.server_mut(id) {
+            let tier = s.tier();
+            s.mark_draining();
+            self.rebuild_routable(tier);
+        }
+    }
+
+    /// Marks a server `Stopped` at `now` and refreshes its tier's routable
+    /// cache.
+    pub(crate) fn mark_server_stopped(&mut self, id: ServerId, now: SimTime) {
+        if let Some(s) = self.server_mut(id) {
+            let tier = s.tier();
+            s.mark_stopped(now);
+            self.rebuild_routable(tier);
+        }
+    }
+
+    /// Rebuilds one tier's routable-member cache from its member list.
+    /// O(members), called only on lifecycle transitions.
+    fn rebuild_routable(&mut self, tier: usize) {
+        let t = &mut self.tiers[tier];
+        let mut routable = std::mem::take(&mut t.routable);
+        routable.clear();
+        routable.extend(
+            t.members
+                .iter()
+                .copied()
+                .filter(|id| self.servers[id.raw() as usize].is_routable()),
+        );
+        self.tiers[tier].routable = routable;
     }
 
     /// Requests currently inside the system, counted from the live request
-    /// map (the independent side of the flow-balance audit).
+    /// slab (the independent side of the flow-balance audit).
     pub fn live_requests(&self) -> usize {
         self.requests.len()
+    }
+
+    /// In-flight requests sorted by public id — a stable iteration order
+    /// for auditors accumulating floats, independent of slab slot reuse.
+    pub(crate) fn requests_by_id(&self) -> Vec<&RequestInFlight> {
+        let mut reqs: Vec<&RequestInFlight> = self.requests.iter().map(|(_, r)| r).collect();
+        reqs.sort_by_key(|r| r.id);
+        reqs
+    }
+
+    /// `(fresh slot allocations, free-list reuses)` of the request slab —
+    /// the slab hit-rate counters surfaced in perf artifacts.
+    pub fn request_slab_stats(&self) -> (u64, u64) {
+        self.requests.stats()
     }
 
     /// The outcome counters.
@@ -332,14 +510,17 @@ impl System {
         now: SimTime,
         state: ServerState,
     ) -> ServerId {
-        let id = ServerId::new(self.server_ids.next_raw());
+        let id = ServerId::new(self.servers.len() as u64);
         let t = &mut self.tiers[tier.index()];
         t.launched_count += 1;
         let name = format!("{}-{}", t.spec.name, t.launched_count);
         let spec = t.spec.server_spec(name);
         let server = Server::new(id, tier.index(), &spec, now, state);
         t.members.push(id);
-        self.servers.insert(id, server);
+        if server.is_routable() {
+            t.routable.push(id);
+        }
+        self.servers.push(server);
         id
     }
 
@@ -360,21 +541,21 @@ impl System {
         }
     }
 
-    /// Routable servers of a tier with their current load, for balancing.
+    /// Routable servers of a tier with their current load, for balancing
+    /// policies that weigh load (and for control-plane callers). Built from
+    /// the maintained routable cache; policies that ignore load should index
+    /// [`Tier::routable_members`] directly instead of materializing this.
     pub fn routable(&self, tier: usize) -> Vec<(ServerId, u32)> {
         self.tiers[tier]
-            .members
+            .routable
             .iter()
-            .filter_map(|id| {
-                let s = &self.servers[id];
-                s.is_routable().then(|| (*id, s.threads_in_use()))
-            })
+            .map(|&id| (id, self.servers[id.raw() as usize].threads_in_use()))
             .collect()
     }
 
-    /// Count of routable servers in a tier.
+    /// Count of routable servers in a tier. O(1) from the routable cache.
     pub fn running_count(&self, tier: usize) -> usize {
-        self.routable(tier).len()
+        self.tiers[tier].routable.len()
     }
 
     /// Count of servers still booting in a tier.
@@ -382,18 +563,24 @@ impl System {
         self.tiers[tier]
             .members
             .iter()
-            .filter(|id| matches!(self.servers[id].state(), ServerState::Starting { .. }))
+            .filter(|id| {
+                matches!(
+                    self.servers[id.raw() as usize].state(),
+                    ServerState::Starting { .. }
+                )
+            })
             .count()
     }
 
     /// Removes a stopped server from its tier's member list, accruing its
     /// VM-seconds into the tier's retired total.
     pub(crate) fn retire_server(&mut self, id: ServerId, now: SimTime) {
-        if let Some(server) = self.servers.get(&id) {
+        if let Some(server) = self.server(id) {
             let tier = server.tier();
             let vm_secs = server.vm_seconds(now);
             let t = &mut self.tiers[tier];
             t.members.retain(|&m| m != id);
+            t.routable.retain(|&m| m != id);
             t.retired_vm_seconds += vm_secs;
         }
     }
@@ -404,7 +591,7 @@ impl System {
         let live: f64 = self.tiers[tier]
             .members
             .iter()
-            .map(|id| self.servers[id].vm_seconds(now))
+            .map(|id| self.servers[id.raw() as usize].vm_seconds(now))
             .sum();
         live + self.tiers[tier].retired_vm_seconds
     }
@@ -419,7 +606,7 @@ impl System {
         member_ids
             .into_iter()
             .filter_map(|id| {
-                let server = self.servers.get_mut(&id)?;
+                let server = self.servers.get_mut(id.raw() as usize)?;
                 (!server.is_stopped()).then(|| server.sample(now))
             })
             .collect()
@@ -492,8 +679,11 @@ mod tests {
         );
         assert_eq!(sys.running_count(1), 1);
         assert_eq!(sys.booting_count(1), 1);
-        sys.server_mut(id).unwrap().mark_running();
+        sys.mark_server_running(id);
         assert_eq!(sys.running_count(1), 2);
+        // Launch order is preserved in the routable cache: the original
+        // member still precedes the newly booted one.
+        assert_eq!(sys.tier(1).routable_members().last(), Some(&id));
     }
 
     #[test]
@@ -501,7 +691,7 @@ mod tests {
         let mut sys = System::new(specs(), &[1, 2, 1], SimTime::ZERO);
         let victim = sys.tier(1).members()[1];
         let now = SimTime::from_secs(100);
-        sys.server_mut(victim).unwrap().mark_stopped(now);
+        sys.mark_server_stopped(victim, now);
         sys.retire_server(victim, now);
         assert_eq!(sys.running_count(1), 1);
         // Tier 1 cost: survivor 150 s + retired 100 s.
@@ -528,5 +718,57 @@ mod tests {
     #[should_panic(expected = "at least one initial server")]
     fn zero_initial_servers_rejected() {
         let _ = System::new(specs(), &[1, 0, 1], SimTime::ZERO);
+    }
+
+    fn in_flight(id: u64) -> RequestInFlight {
+        RequestInFlight {
+            id: RequestId::new(id),
+            profile: RequestProfile::new(
+                vec![crate::request::StageDemand::pre_only(0.01)],
+                vec![1],
+                0,
+            ),
+            frames: Vec::new(),
+            submitted: SimTime::ZERO,
+            on_complete: None,
+            timeout_event: None,
+            entry_attempts: 0,
+            retry_event: None,
+        }
+    }
+
+    #[test]
+    fn request_slab_recycles_slots_and_stales_old_handles() {
+        let mut slab = RequestSlab::default();
+        let a = slab.insert(in_flight(0));
+        let b = slab.insert(in_flight(1));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).unwrap().id, RequestId::new(0));
+
+        let removed = slab.remove(a).unwrap();
+        assert_eq!(removed.id, RequestId::new(0));
+        assert!(slab.get(a).is_none(), "stale handle goes dead");
+        assert!(slab.remove(a).is_none(), "double remove is a no-op");
+        assert_eq!(slab.len(), 1);
+
+        // The freed slot is recycled under a bumped generation.
+        let c = slab.insert(in_flight(2));
+        assert_eq!(c.slot(), a.slot());
+        assert_ne!(c.gen(), a.gen());
+        assert!(slab.get(a).is_none(), "old handle cannot alias new request");
+        assert_eq!(slab.get(c).unwrap().id, RequestId::new(2));
+        assert_eq!(slab.get(b).unwrap().id, RequestId::new(1));
+        assert_eq!(slab.stats(), (2, 1), "two fresh slots, one reuse");
+    }
+
+    #[test]
+    fn request_slab_iterates_live_entries_in_slot_order() {
+        let mut slab = RequestSlab::default();
+        let a = slab.insert(in_flight(0));
+        let _b = slab.insert(in_flight(1));
+        let _c = slab.insert(in_flight(2));
+        slab.remove(a);
+        let ids: Vec<u64> = slab.iter().map(|(_, r)| r.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2]);
     }
 }

@@ -71,6 +71,29 @@ impl Registry {
         h.record(value);
     }
 
+    /// The named histogram, created with the given bounds on first access.
+    /// Hot paths that record many values per period should fetch the
+    /// histogram once through this method instead of paying a name lookup
+    /// per [`Registry::histogram_record`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or `bins == 0` when the histogram is created.
+    pub fn histogram_entry(
+        &mut self,
+        name: &str,
+        low: f64,
+        high: f64,
+        bins: usize,
+    ) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_insert_with(|| {
+            match Histogram::new(low, high, bins) {
+                Ok(h) => h,
+                Err(e) => panic!("invalid histogram bounds for {name}: {e:?}"),
+            }
+        })
+    }
+
     /// The named histogram, if it exists.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -211,6 +234,26 @@ impl PerfLog {
             .counter_add(&format!("perf.{name}.events"), events);
     }
 
+    /// Attaches the process peak RSS (bytes) observed at the end of the
+    /// named experiment. Rendered as `"peak_rss_mb"` in the JSON entry;
+    /// entries without a recorded peak keep the historical shape.
+    pub fn record_peak_rss(&mut self, name: &str, peak_rss_bytes: u64) {
+        self.registry.gauge_set(
+            &format!("perf.{name}.peak_rss_mb"),
+            peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+
+    /// Attaches request-slab allocation counters to the named experiment:
+    /// `allocated` entries were created fresh, `reused` entries recycled a
+    /// retired slot (the slab hit rate is `reused / (allocated + reused)`).
+    pub fn record_slab(&mut self, name: &str, allocated: u64, reused: u64) {
+        self.registry
+            .counter_add(&format!("perf.{name}.slab_allocated"), allocated);
+        self.registry
+            .counter_add(&format!("perf.{name}.slab_reused"), reused);
+    }
+
     /// Number of experiments recorded.
     pub fn len(&self) -> usize {
         self.order.len()
@@ -261,13 +304,27 @@ impl PerfLog {
             } else {
                 0.0
             };
+            let mut extras = String::new();
+            if let Some(rss) = self.registry.gauge(&format!("perf.{name}.peak_rss_mb")) {
+                extras.push_str(&format!(", \"peak_rss_mb\": {rss:.1}"));
+            }
+            let allocated = self
+                .registry
+                .counter(&format!("perf.{name}.slab_allocated"));
+            let reused = self.registry.counter(&format!("perf.{name}.slab_reused"));
+            if allocated + reused > 0 {
+                extras.push_str(&format!(
+                    ", \"slab_allocated\": {allocated}, \"slab_reused\": {reused}"
+                ));
+            }
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \
-                 \"events_per_sec\": {:.1}}}{}\n",
+                 \"events_per_sec\": {:.1}{}}}{}\n",
                 escape(name),
                 wall,
                 events,
                 rate,
+                extras,
                 if i + 1 < self.order.len() { "," } else { "" },
             ));
         }
@@ -332,6 +389,26 @@ mod tests {
         assert!(json.contains(
             "{\"name\": \"fig5\", \"wall_secs\": 1.500000, \"events\": 6000, \
              \"events_per_sec\": 4000.0}\n"
+        ));
+    }
+
+    #[test]
+    fn perf_log_memory_and_slab_extras_extend_entries() {
+        let mut perf = PerfLog::new();
+        perf.record("fleet", 2.0, 1000);
+        perf.record_peak_rss("fleet", 512 * 1024 * 1024);
+        perf.record_slab("fleet", 100, 900);
+        perf.record("plain", 1.0, 500);
+        let json = perf.to_json("fleet", "full", 1, 3.0);
+        assert!(json.contains(
+            "{\"name\": \"fleet\", \"wall_secs\": 2.000000, \"events\": 1000, \
+             \"events_per_sec\": 500.0, \"peak_rss_mb\": 512.0, \
+             \"slab_allocated\": 100, \"slab_reused\": 900},"
+        ));
+        // Entries without extras keep the historical shape exactly.
+        assert!(json.contains(
+            "{\"name\": \"plain\", \"wall_secs\": 1.000000, \"events\": 500, \
+             \"events_per_sec\": 500.0}\n"
         ));
     }
 }

@@ -11,6 +11,7 @@ use dcm_ntier::spans::Span;
 use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
 use dcm_sim::dist::Dist;
 use dcm_sim::time::SimTime;
+use dcm_workload::cohort::CohortPopulation;
 use dcm_workload::generator::UserPopulation;
 use dcm_workload::profile::ProfileFactory;
 use dcm_workload::servlets::{Servlet, ServletMix};
@@ -178,6 +179,29 @@ impl ConformancePoint {
 /// scenario's sweep is allowed — any population works) or the DES produces
 /// no completions in the window.
 pub fn run_scenario(scenario: &Scenario, population: u32, seed: u64) -> ConformancePoint {
+    run_scenario_inner(scenario, population, seed, None)
+}
+
+/// Like [`run_scenario`], but drives the system with the cohort-aggregated
+/// generator ([`CohortPopulation`]) at the given cohort size. Aggregation
+/// re-orders RNG draws across members, so the sample path differs from the
+/// per-user run — but the stationary distribution must not: the point is
+/// gated against the same exact-MVA oracle.
+pub fn run_scenario_cohort(
+    scenario: &Scenario,
+    population: u32,
+    seed: u64,
+    cohort_size: u32,
+) -> ConformancePoint {
+    run_scenario_inner(scenario, population, seed, Some(cohort_size))
+}
+
+fn run_scenario_inner(
+    scenario: &Scenario,
+    population: u32,
+    seed: u64,
+    cohort: Option<u32>,
+) -> ConformancePoint {
     let (w, a, d) = scenario.counts;
     let horizon = scenario.warmup + scenario.measure + 60.0;
     let (mut world, mut engine) = ThreeTierBuilder::new()
@@ -208,14 +232,31 @@ pub fn run_scenario(scenario: &Scenario, population: u32, seed: u64) -> Conforma
             Dist::constant(scenario.app_demand),
             Dist::exponential_mean(scenario.db_demand),
         );
-    let _pop = UserPopulation::start_with_think_dist(
-        &mut world,
-        &mut engine,
-        factory,
-        population,
-        Some(Dist::constant(scenario.think)),
-        SimTime::from_secs_f64(horizon),
-    );
+    let think = Some(Dist::constant(scenario.think));
+    let stop = SimTime::from_secs_f64(horizon);
+    match cohort {
+        Some(size) => {
+            let _pop = CohortPopulation::start_with_think_dist(
+                &mut world,
+                &mut engine,
+                factory,
+                population,
+                size,
+                think,
+                stop,
+            );
+        }
+        None => {
+            let _pop = UserPopulation::start_with_think_dist(
+                &mut world,
+                &mut engine,
+                factory,
+                population,
+                think,
+                stop,
+            );
+        }
+    }
 
     engine.run_until(&mut world, SimTime::from_secs_f64(scenario.warmup));
     let t0 = engine.now();
@@ -450,6 +491,19 @@ mod tests {
         s.warmup = 30.0;
         s.measure = 400.0;
         let point = run_scenario(&s, 8, 1234);
+        assert_eq!(point.audit_violations, 0);
+        assert!(point.bound_ok, "bound violated: {point:?}");
+        assert!(point.max_rel_err() < 0.10, "errors too large: {point:?}");
+    }
+
+    #[test]
+    fn quick_cohort_point_conforms_and_audits_clean() {
+        // The cohort-aggregated generator must land on the same oracle:
+        // a different sample path, the same stationary distribution.
+        let mut s = default_grid().into_iter().next().unwrap();
+        s.warmup = 30.0;
+        s.measure = 400.0;
+        let point = run_scenario_cohort(&s, 8, 1234, 4);
         assert_eq!(point.audit_violations, 0);
         assert!(point.bound_ok, "bound violated: {point:?}");
         assert!(point.max_rel_err() < 0.10, "errors too large: {point:?}");

@@ -31,5 +31,6 @@
 pub mod conformance;
 
 pub use conformance::{
-    default_grid, run_scenario, ConformancePoint, Scenario, ScenarioKind, TierComparison,
+    default_grid, run_scenario, run_scenario_cohort, ConformancePoint, Scenario, ScenarioKind,
+    TierComparison,
 };

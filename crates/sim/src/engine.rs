@@ -10,8 +10,41 @@
 //! Cancellation uses generation-stamped slots rather than a hash set: each
 //! [`EventId`] packs a slot index and the generation the slot had when the
 //! event was scheduled. Cancelling (or executing) an event bumps the slot's
-//! generation, so stale heap entries are recognised by a single array
+//! generation, so stale queue entries are recognised by a single array
 //! compare on pop — no hashing anywhere on the hot path.
+//!
+//! # Calendar queue
+//!
+//! The pending-event set is a calendar (bucketed) queue rather than a single
+//! binary heap, so that `schedule`/`pop` stay O(1) amortized at fleet scale
+//! (millions of pending timers) instead of O(log n):
+//!
+//! * **Ring**: a power-of-two array of buckets, each covering `2^shift`
+//!   nanoseconds of virtual time. An event lands in bucket
+//!   `(at >> shift) mod ring_len`; the ring covers the window of bucket
+//!   indices `(active_idx, active_idx + ring_len)`.
+//! * **Active heap**: all events whose bucket index is `<= active_idx` sit in
+//!   one small binary heap, ordered by exact `(time, seq)`. Pops come only
+//!   from this heap. When it drains, the cursor advances bucket by bucket,
+//!   spilling each ring bucket it passes into the heap.
+//! * **Far list**: events beyond the ring window wait in an unsorted overflow
+//!   list and are redistributed when the window slides into their range (or
+//!   wholesale when the ring drains).
+//!
+//! The structure periodically rebuilds — growing/shrinking the ring with the
+//! live count and re-deriving `shift` from the observed event-time span — so
+//! bucket occupancy stays O(1) as densities change.
+//!
+//! **Determinism argument.** Pop order is *exactly* global `(time, seq)`
+//! order, bit-identical to the previous single binary heap: every event in
+//! the active heap has bucket index `<= active_idx`, hence timestamp
+//! `< (active_idx + 1) << shift`; every event in the ring or far list has
+//! bucket index `> active_idx`, hence a timestamp at or past that boundary.
+//! The minimum of the active heap is therefore the global minimum, and the
+//! heap itself breaks ties by the monotonic schedule sequence. Bucket width,
+//! ring size, rebuild timing, and spill order affect only *where* an event
+//! waits, never *when* it pops, so committed artifacts are invariant under
+//! all calendar tuning.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -95,6 +128,264 @@ impl<W> Ord for Scheduled<W> {
     }
 }
 
+/// Smallest ring size; also the initial size.
+const MIN_BUCKETS: usize = 64;
+/// Largest ring size (2^20 buckets ≈ 24 MB of `Vec` headers).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Largest bucket width exponent: 2^40 ns ≈ 18 minutes per bucket.
+const MAX_SHIFT: u32 = 40;
+/// Initial bucket width exponent: 2^20 ns ≈ 1 ms per bucket.
+const INITIAL_SHIFT: u32 = 20;
+
+/// The calendar queue described in the module docs. Stores [`Scheduled`]
+/// entries (including tombstones for cancelled events — the [`Engine`]
+/// filters those by generation on pop, exactly as with the old heap).
+struct Calendar<W> {
+    /// Events with bucket index `<= active_idx`; the only pop source.
+    active: BinaryHeap<Scheduled<W>>,
+    /// Buckets for the window `(active_idx, active_idx + ring.len())`.
+    ring: Vec<Vec<Scheduled<W>>>,
+    /// Entries currently stored across all ring buckets.
+    ring_count: usize,
+    /// Global bucket index (`at >> shift`) of the active window's edge.
+    active_idx: u64,
+    /// Bucket width is `1 << shift` nanoseconds.
+    shift: u32,
+    /// Events beyond the ring window, unsorted.
+    far: Vec<Scheduled<W>>,
+    /// Minimum timestamp (nanos) in `far`; `u64::MAX` when `far` is empty.
+    far_min: u64,
+    /// Total stored entries (including tombstones).
+    entries: usize,
+    /// Push/pop operations since the last rebuild; amortizes rebuild cost.
+    ops_since_rebuild: usize,
+}
+
+impl<W> Calendar<W> {
+    fn new() -> Self {
+        Calendar {
+            active: BinaryHeap::new(),
+            ring: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            ring_count: 0,
+            active_idx: 0,
+            shift: INITIAL_SHIFT,
+            far: Vec::new(),
+            far_min: u64::MAX,
+            entries: 0,
+            ops_since_rebuild: 0,
+        }
+    }
+
+    /// True when `ev` was cancelled (or already executed): its slot's
+    /// current generation no longer matches. Dead entries are dropped
+    /// whenever a structural operation touches them, so cancel-heavy
+    /// workloads (timeout churn) cannot accumulate tombstones.
+    #[inline]
+    fn dead(ev: &Scheduled<W>, slots: &[u32]) -> bool {
+        slots[ev.slot as usize] != ev.gen
+    }
+
+    /// Files an entry into active heap, ring, or far list by bucket index.
+    /// Placement never affects pop order (see module docs), only cost.
+    fn place(&mut self, ev: Scheduled<W>) {
+        let b = ev.at.as_nanos() >> self.shift;
+        if b <= self.active_idx {
+            self.active.push(ev);
+        } else if b < self.active_idx.saturating_add(self.ring.len() as u64) {
+            let idx = (b & (self.ring.len() as u64 - 1)) as usize;
+            self.ring[idx].push(ev);
+            self.ring_count += 1;
+        } else {
+            self.far_min = self.far_min.min(ev.at.as_nanos());
+            self.far.push(ev);
+        }
+    }
+
+    fn push(&mut self, ev: Scheduled<W>, slots: &[u32]) {
+        self.entries += 1;
+        self.ops_since_rebuild += 1;
+        self.place(ev);
+        let grow = self.entries > self.ring.len() * 4 && self.ring.len() < MAX_BUCKETS;
+        let far_heavy = self.far.len() > 64 && self.far.len() * 2 > self.entries;
+        if (grow || far_heavy) && self.ops_since_rebuild * 2 >= self.entries {
+            self.rebuild(slots);
+        }
+    }
+
+    fn peek(&mut self, slots: &[u32]) -> Option<&Scheduled<W>> {
+        self.ensure_active(slots);
+        self.active.peek()
+    }
+
+    fn pop(&mut self, slots: &[u32]) -> Option<Scheduled<W>> {
+        self.ensure_active(slots);
+        let ev = self.active.pop()?;
+        self.entries -= 1;
+        self.ops_since_rebuild += 1;
+        if self.entries * 8 < self.ring.len()
+            && self.ring.len() > MIN_BUCKETS
+            && self.ops_since_rebuild * 2 >= self.entries
+        {
+            self.rebuild(slots);
+        }
+        Some(ev)
+    }
+
+    /// Refills the active heap from the ring/far list until it holds the
+    /// global minimum (or the queue is confirmed empty).
+    fn ensure_active(&mut self, slots: &[u32]) {
+        while self.active.is_empty() {
+            if self.ring_count == 0 {
+                if self.far.is_empty() {
+                    return;
+                }
+                self.retarget_far(slots);
+                continue;
+            }
+            // Far events the sliding window is about to pass must re-enter
+            // the ring before the cursor crosses their bucket.
+            if self.far_due() {
+                self.redistribute_far(slots);
+                continue;
+            }
+            let mask = self.ring.len() as u64 - 1;
+            loop {
+                self.active_idx += 1;
+                let idx = (self.active_idx & mask) as usize;
+                if !self.ring[idx].is_empty() {
+                    self.ring_count -= self.ring[idx].len();
+                    while let Some(ev) = self.ring[idx].pop() {
+                        if Self::dead(&ev, slots) {
+                            self.entries -= 1;
+                            continue;
+                        }
+                        self.active.push(ev);
+                    }
+                    if !self.active.is_empty() {
+                        break;
+                    }
+                    // The bucket held only tombstones. Re-run the outer
+                    // checks if the ring drained or far events became due
+                    // (the cursor must never advance past the far
+                    // minimum's bucket); otherwise keep advancing.
+                    if self.ring_count == 0 || self.far_due() {
+                        break;
+                    }
+                    continue;
+                }
+                if self.far_due() {
+                    break; // handled at the top of the outer loop
+                }
+            }
+        }
+    }
+
+    /// True when the far list's earliest event falls inside (or at the edge
+    /// of) the bucket the cursor would advance to next.
+    #[inline]
+    fn far_due(&self) -> bool {
+        !self.far.is_empty() && (self.far_min >> self.shift) <= self.active_idx.saturating_add(1)
+    }
+
+    /// Re-files every far event under the current geometry, dropping dead
+    /// entries.
+    fn redistribute_far(&mut self, slots: &[u32]) {
+        let far = std::mem::take(&mut self.far);
+        self.far_min = u64::MAX;
+        for ev in far {
+            if Self::dead(&ev, slots) {
+                self.entries -= 1;
+                continue;
+            }
+            self.place(ev);
+        }
+    }
+
+    /// Ring and active are empty: jump the window to the far minimum,
+    /// re-deriving the bucket width from the far population's density.
+    fn retarget_far(&mut self, slots: &[u32]) {
+        debug_assert!(self.active.is_empty() && self.ring_count == 0);
+        self.shift = tuned_shift(self.far.iter().map(|ev| ev.at.as_nanos()), self.ring.len());
+        self.active_idx = self.far_min >> self.shift;
+        self.redistribute_far(slots);
+        self.ops_since_rebuild = 0;
+    }
+
+    /// Full rebuild: resize the ring to the live population, re-derive the
+    /// bucket width, and re-file everything outside the active heap. The
+    /// active heap keeps its contents — the new window edge is chosen so its
+    /// invariant (`active` holds the global minimum) still holds.
+    fn rebuild(&mut self, slots: &[u32]) {
+        // Timestamp boundary below which every current active-heap entry
+        // lies; computed under the *old* geometry before retuning.
+        let boundary = (u128::from(self.active_idx) + 1) << self.shift;
+        let boundary = u64::try_from(boundary).unwrap_or(u64::MAX);
+
+        // Dead entries are dropped rather than moved: a rebuild visits
+        // every stored entry anyway, so cancelled events cost nothing
+        // beyond the rebuild that finally discards them.
+        let mut moved: Vec<Scheduled<W>> = Vec::with_capacity(self.ring_count + self.far.len());
+        for bucket in &mut self.ring {
+            for ev in bucket.drain(..) {
+                if Self::dead(&ev, slots) {
+                    self.entries -= 1;
+                    continue;
+                }
+                moved.push(ev);
+            }
+        }
+        for ev in self.far.drain(..) {
+            if Self::dead(&ev, slots) {
+                self.entries -= 1;
+                continue;
+            }
+            moved.push(ev);
+        }
+        self.ring_count = 0;
+        self.far_min = u64::MAX;
+
+        let mut len = self.ring.len();
+        while self.entries > len * 4 && len < MAX_BUCKETS {
+            len *= 2;
+        }
+        while self.entries * 8 < len && len > MIN_BUCKETS {
+            len /= 2;
+        }
+        if len != self.ring.len() {
+            self.ring = (0..len).map(|_| Vec::new()).collect();
+        }
+
+        self.shift = tuned_shift(moved.iter().map(|ev| ev.at.as_nanos()), len);
+        // Every moved event has `at >= boundary` (it had bucket index
+        // `> active_idx` under the old geometry), so an edge at the bucket
+        // of `boundary - 1` keeps all of them at or past the window edge.
+        self.active_idx = boundary.saturating_sub(1) >> self.shift;
+        for ev in moved {
+            self.place(ev);
+        }
+        self.ops_since_rebuild = 0;
+    }
+}
+
+/// Picks a bucket-width exponent so the given timestamps spread over roughly
+/// one event per bucket, capped at half the ring. A distant outlier inflates
+/// the width (degrading gracefully toward one big bucket — i.e. the plain
+/// heap) rather than ever affecting pop order.
+fn tuned_shift(times: impl Iterator<Item = u64>, ring_len: usize) -> u32 {
+    let (mut n, mut min, mut max) = (0u64, u64::MAX, 0u64);
+    for t in times {
+        n += 1;
+        min = min.min(t);
+        max = max.max(t);
+    }
+    if n == 0 {
+        return INITIAL_SHIFT;
+    }
+    let spread = n.min(ring_len as u64 / 2).max(1);
+    let width = ((max - min) / spread).max(1);
+    (63 - width.leading_zeros()).min(MAX_SHIFT)
+}
+
 /// Discrete-event engine over a world type `W`.
 ///
 /// # Examples
@@ -117,7 +408,7 @@ impl<W> Ord for Scheduled<W> {
 /// ```
 pub struct Engine<W> {
     now: SimTime,
-    heap: BinaryHeap<Scheduled<W>>,
+    queue: Calendar<W>,
     /// Current generation per slot. An id is live iff `slots[id.slot] ==
     /// id.gen`; cancel and execute both bump the generation.
     slots: Vec<u32>,
@@ -158,7 +449,7 @@ impl<W> Engine<W> {
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            queue: Calendar::new(),
             slots: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
@@ -178,7 +469,7 @@ impl<W> Engine<W> {
     }
 
     /// Number of live pending events (cancelled events are excluded even if
-    /// their heap entries have not been popped yet).
+    /// their queue entries have not been popped yet).
     pub fn pending(&self) -> usize {
         self.live
     }
@@ -205,13 +496,16 @@ impl<W> Engine<W> {
         };
         let gen = self.slots[slot as usize];
         self.live += 1;
-        self.heap.push(Scheduled {
-            at,
-            seq,
-            slot,
-            gen,
-            action: Box::new(action),
-        });
+        self.queue.push(
+            Scheduled {
+                at,
+                seq,
+                slot,
+                gen,
+                action: Box::new(action),
+            },
+            &self.slots,
+        );
         EventId::new(slot, gen)
     }
 
@@ -233,7 +527,7 @@ impl<W> Engine<W> {
     }
 
     /// Cancels a pending event in O(1). Returns `true` if the event had not
-    /// yet run or been cancelled. The heap entry becomes a tombstone and is
+    /// yet run or been cancelled. The queue entry becomes a tombstone and is
     /// discarded whenever it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
         let slot = id.slot() as usize;
@@ -245,7 +539,7 @@ impl<W> Engine<W> {
         true
     }
 
-    /// Bumps a slot's generation (invalidating outstanding ids and heap
+    /// Bumps a slot's generation (invalidating outstanding ids and queue
     /// entries stamped with the old one) and queues it for reuse.
     #[inline]
     fn retire(&mut self, slot: u32) {
@@ -253,21 +547,14 @@ impl<W> Engine<W> {
         self.free.push(slot);
     }
 
-    /// Whether a heap entry still refers to the generation it was scheduled
-    /// under (i.e. has not been cancelled or superseded).
-    #[inline]
-    fn is_current(&self, ev: &Scheduled<W>) -> bool {
-        self.slots[ev.slot as usize] == ev.gen
-    }
-
     /// Executes the next event, advancing the clock. Returns `false` when no
     /// events remain.
     pub fn step(&mut self, world: &mut W) -> bool {
         loop {
-            let Some(ev) = self.heap.pop() else {
+            let Some(ev) = self.queue.pop(&self.slots) else {
                 return false;
             };
-            if !self.is_current(&ev) {
+            if self.slots[ev.slot as usize] != ev.gen {
                 continue; // cancelled tombstone
             }
             self.retire(ev.slot);
@@ -304,21 +591,24 @@ impl<W> Engine<W> {
     }
 
     /// The timestamp of the next live event, if any. Discards cancelled
-    /// tombstones encountered at the top of the heap.
+    /// tombstones encountered at the front of the queue.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(ev) = self.heap.peek() {
-            if self.is_current(ev) {
-                return Some(ev.at);
+        loop {
+            match self.queue.peek(&self.slots) {
+                None => return None,
+                Some(ev) if self.slots[ev.slot as usize] == ev.gen => return Some(ev.at),
+                Some(_) => {
+                    self.queue.pop(&self.slots);
+                }
             }
-            self.heap.pop();
         }
-        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
 
     type W = Vec<u32>;
 
@@ -492,5 +782,132 @@ mod tests {
             e.run(&mut w);
         }
         assert!(total_executed() >= before + 2);
+    }
+
+    #[test]
+    fn wide_time_spread_triggers_calendar_retuning() {
+        // Mix nanosecond-scale and hour-scale timestamps so pushes land in
+        // the far list, rebuilds retune the bucket width, and pops still
+        // come out in exact time order.
+        let mut w: W = vec![];
+        let mut e = Engine::new();
+        let mut expect: Vec<(u64, u32)> = vec![];
+        let mut sm = SplitMix64::new(7);
+        for tag in 0..4000u32 {
+            let at = match tag % 4 {
+                0 => sm.next_u64() % 1_000,                     // ~ns
+                1 => sm.next_u64() % 1_000_000_000,             // ~1s
+                2 => 3_600_000_000_000 + sm.next_u64() % 1_000, // ~1h cluster
+                _ => sm.next_u64() % 7_200_000_000_000,         // anywhere
+            };
+            e.schedule_at(SimTime::from_nanos(at), move |w: &mut W, _| w.push(tag));
+            expect.push((at, tag));
+        }
+        expect.sort_by_key(|&(at, tag)| (at, tag)); // seq order == tag order here
+        e.run(&mut w);
+        assert_eq!(
+            w,
+            expect.iter().map(|&(_, tag)| tag).collect::<Vec<_>>(),
+            "calendar queue must pop in exact (time, seq) order"
+        );
+    }
+
+    /// Reference-model check: random schedule/cancel/pop interleavings
+    /// against a plain `BinaryHeap` + cancelled-set model must pop in
+    /// byte-identical `(time, seq)` order, across slot reuse and stale
+    /// generations.
+    #[test]
+    fn random_interleavings_match_binary_heap_reference() {
+        use std::cmp::Reverse;
+        use std::collections::BTreeSet;
+
+        for seed in 0..12u64 {
+            let mut sm = SplitMix64::new(0xCA1E_0000 + seed);
+            let mut e: Engine<Vec<u64>> = Engine::new();
+            let mut w: Vec<u64> = vec![];
+            // Model: (at_nanos, seq, tag) min-heap plus cancelled seq set.
+            let mut model: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+            let mut cancelled: BTreeSet<u64> = BTreeSet::new();
+            let mut live: Vec<(EventId, u64)> = vec![]; // (handle, seq)
+            let mut dead: Vec<EventId> = vec![]; // retired handles (stale gens)
+            let mut next_seq = 0u64;
+            let mut expected: Vec<u64> = vec![];
+
+            for _ in 0..4000 {
+                match sm.next_u64() % 100 {
+                    // Schedule with a delay mixing zero, dense, and sparse
+                    // scales so entries hit active heap, ring, and far list.
+                    0..=54 => {
+                        let delay = match sm.next_u64() % 5 {
+                            0 => 0,
+                            1 => sm.next_u64() % 1_000,
+                            2 => sm.next_u64() % 1_000_000,
+                            3 => sm.next_u64() % 1_000_000_000,
+                            _ => sm.next_u64() % 600_000_000_000,
+                        };
+                        let at = e.now() + SimDuration::from_nanos(delay);
+                        let seq = next_seq;
+                        next_seq += 1;
+                        let id = e.schedule_at(at, move |w: &mut Vec<u64>, _| w.push(seq));
+                        model.push(Reverse((at.as_nanos(), seq, seq)));
+                        live.push((id, seq));
+                    }
+                    // Cancel a random live event; both sides forget it.
+                    55..=74 if !live.is_empty() => {
+                        let i = (sm.next_u64() % live.len() as u64) as usize;
+                        let (id, seq) = live.swap_remove(i);
+                        assert!(e.cancel(id), "live handle must cancel");
+                        cancelled.insert(seq);
+                        dead.push(id);
+                    }
+                    // Stale handles (slot since reused or retired) stay dead.
+                    75..=79 if !dead.is_empty() => {
+                        let i = (sm.next_u64() % dead.len() as u64) as usize;
+                        assert!(!e.cancel(dead[i]), "stale handle must stay dead");
+                    }
+                    // Pop a few events; record what the model expects.
+                    _ => {
+                        for _ in 0..=(sm.next_u64() % 3) {
+                            let due = loop {
+                                match model.pop() {
+                                    None => break None,
+                                    Some(Reverse((_, seq, tag))) => {
+                                        if cancelled.remove(&seq) {
+                                            continue;
+                                        }
+                                        break Some((seq, tag));
+                                    }
+                                }
+                            };
+                            match due {
+                                None => assert!(!e.step(&mut w)),
+                                Some((seq, tag)) => {
+                                    assert!(e.step(&mut w));
+                                    expected.push(tag);
+                                    let i = live.iter().position(|&(_, s)| s == seq).unwrap();
+                                    let (id, _) = live.swap_remove(i);
+                                    dead.push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+                assert_eq!(e.pending(), live.len(), "live count must track the model");
+            }
+
+            // Drain both sides completely.
+            while let Some(Reverse((_, seq, tag))) = model.pop() {
+                if cancelled.remove(&seq) {
+                    continue;
+                }
+                expected.push(tag);
+            }
+            e.run(&mut w);
+            assert_eq!(
+                w, expected,
+                "seed {seed}: pop order diverged from reference"
+            );
+            assert_eq!(e.pending(), 0);
+        }
     }
 }

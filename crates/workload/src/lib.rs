@@ -16,6 +16,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod burstiness;
+pub mod cohort;
 pub mod generator;
 pub mod profile;
 pub mod report;
@@ -23,6 +24,7 @@ pub mod servlets;
 pub mod traces;
 
 pub use burstiness::{index_of_dispersion, MmppConfig, MmppModulator};
+pub use cohort::{CohortPopulation, CohortStats};
 pub use generator::{RetryPolicy, UserPopulation};
 pub use profile::ProfileFactory;
 pub use report::{class_breakdown, shared_log, ClassStats, LoadReport, WindowedSeries};
