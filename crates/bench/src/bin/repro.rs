@@ -13,8 +13,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use dcm_bench::experiments::{
-    ablation, chaos, fig2, fig4, fig5, fleet, gamma, queuebench, table1, trace_export, validate,
-    Fidelity,
+    ablation, chaos, fig2, fig4, fig5, fleet, gamma, hunt, queuebench, table1, trace_export,
+    validate, Fidelity,
 };
 use dcm_bench::format::TextTable;
 use dcm_obs::PerfLog;
@@ -31,6 +31,7 @@ struct Cli {
     audit: bool,
     paths: Vec<PathBuf>,
     max_drop: f64,
+    budget: u64,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -46,6 +47,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut audit = false;
     let mut paths = Vec::new();
     let mut max_drop = 0.15;
+    let mut budget = 200u64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => fidelity = Fidelity::Quick,
@@ -75,6 +77,10 @@ fn parse_args() -> Result<Cli, String> {
                 let pct: f64 = pct.parse().map_err(|_| format!("bad percentage `{pct}`"))?;
                 max_drop = pct / 100.0;
             }
+            "--budget" => {
+                let n = args.next().ok_or("--budget needs a scenario count")?;
+                budget = n.parse().map_err(|_| format!("bad budget `{n}`"))?;
+            }
             other => {
                 // `trace` / `explain` take the experiment as a positional;
                 // `perfgate` takes two perf-log paths.
@@ -101,6 +107,7 @@ fn parse_args() -> Result<Cli, String> {
         audit,
         paths,
         max_drop,
+        budget,
     })
 }
 
@@ -136,6 +143,14 @@ fn usage() -> String {
      \x20 perf        the performance baseline: training + trace +\n\
      \x20             queuebench + fleet in one run, accumulated into\n\
      \x20             results/perf.json (the file CI gates against)\n\
+     \x20 hunt        adversarial scenario fuzzing: a seed-deterministic\n\
+     \x20             campaign of random topologies, traces, fault\n\
+     \x20             schedules, and controller configs checked against\n\
+     \x20             conservation/replay/cohort/doubling/MVA oracles;\n\
+     \x20             shrinks violations and pins them under\n\
+     \x20             tests/regressions/ (writes results/hunt.json and\n\
+     \x20             results/hunt.csv — byte-identical for every --jobs\n\
+     \x20             value; exits non-zero on any violation)\n\
      \x20 perfgate <baseline.json> <current.json>\n\
      \x20             events/s regression gate: exits non-zero when any\n\
      \x20             baseline experiment lost more than --max-drop (15 %)\n\
@@ -162,6 +177,7 @@ fn usage() -> String {
      \x20               (default results/obs)\n\
      \x20 --max-drop P  perfgate: allowed events/s drop in percent\n\
      \x20               (default 15)\n\
+     \x20 --budget N    hunt: scenarios per campaign (default 200)\n\
      \x20 --seeds N     replicate fig5 across N seeds, report mean ± 95% CI\n\
      \x20 --jobs N      worker threads for independent runs (0 = all cores);\n\
      \x20               results are bit-identical for every N"
@@ -316,14 +332,18 @@ fn run_perfgate(paths: &[PathBuf], max_drop: f64) -> ExitCode {
     for name in &report.missing {
         println!("  {name}: MISSING from current log");
     }
+    for err in &report.errors {
+        println!("  error: {err}");
+    }
     if report.passed() {
         println!("perfgate: ok");
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "perfgate: FAILED ({} regressed, {} missing)",
+            "perfgate: FAILED ({} regressed, {} missing, {} errors)",
             report.failures.len(),
-            report.missing.len()
+            report.missing.len(),
+            report.errors.len()
         );
         ExitCode::FAILURE
     }
@@ -715,6 +735,46 @@ fn main() -> ExitCode {
                 100.0 * result.tol_law,
                 100.0 * result.cohort_max_rel_err(dcm_oracle::ScenarioKind::ZeroOverhead),
                 100.0 * result.cohort_max_rel_err(dcm_oracle::ScenarioKind::LoadDependent),
+            );
+            gate_failed = true;
+        }
+    }
+
+    // `hunt` is deliberately not part of `all`: it is an adversarial
+    // campaign with its own budget and exit semantics, run by the CI
+    // `hunt` job and by hand when hunting for breaking workloads.
+    if cli.command == "hunt" {
+        matched = true;
+        out.section("Hunt: adversarial scenario fuzzing against invariant oracles");
+        let result = perf.time("hunt", || hunt::run_hunt(cli.budget, hunt::SEED));
+        out.table("hunt", &result.table());
+        out.findings(&result.findings());
+        let dir = PathBuf::from("results");
+        let write = fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(dir.join("hunt.json"), result.to_json()))
+            .and_then(|()| fs::write(dir.join("hunt.csv"), result.table().to_csv()));
+        match write {
+            Ok(()) => println!(
+                "\nwrote {} and {}",
+                dir.join("hunt.json").display(),
+                dir.join("hunt.csv").display()
+            ),
+            Err(err) => eprintln!("warning: could not write hunt results: {err}"),
+        }
+        if !result.passed() {
+            eprint!("{}", result.log.render_text());
+            match result.write_regressions(&PathBuf::from("tests/regressions")) {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("pinned minimized regression case at {}", p.display());
+                    }
+                }
+                Err(err) => eprintln!("warning: could not pin regression cases: {err}"),
+            }
+            eprintln!(
+                "hunt: campaign FAILED ({} of {} scenarios violated an oracle)",
+                result.violations.len(),
+                result.budget
             );
             gate_failed = true;
         }

@@ -343,6 +343,79 @@ mod tests {
         assert_eq!(fleet.table().len(), 2);
     }
 
+    /// Guard for the CI `--jobs` byte-identity cmp: `results/fleet.json`
+    /// and `results/fleet.csv` must carry virtual-time quantities only. A
+    /// field addition that smuggles in wall-clock rates, RSS, or any other
+    /// host-dependent figure would silently invalidate the cmp (the files
+    /// would still be written, just no longer reproducible), so every key
+    /// and column is checked against an explicit allowlist here.
+    #[test]
+    fn fleet_artifacts_carry_no_host_dependent_fields() {
+        let fleet = Fleet {
+            cohort_size: 16,
+            points: vec![FleetPoint {
+                servers_per_tier: 4,
+                users: 1_000,
+                events: 50_000,
+                completions: 9_000,
+                succeeded: 9_000,
+                sim_secs: 20.0,
+                throughput: 450.0,
+                mean_rt: 0.125,
+                max_rt: 1.75,
+                slab_allocated: 100,
+                slab_reused: 8_900,
+                pending_at_end: 70,
+            }],
+        };
+
+        let allowed_keys = [
+            "cohort_size",
+            "think_mean_secs",
+            "total_events",
+            "points",
+            "servers_per_tier",
+            "users",
+            "events",
+            "completions",
+            "succeeded",
+            "sim_secs",
+            "throughput",
+            "throughput_per_server",
+            "mean_rt",
+            "max_rt",
+            "slab_allocated",
+            "slab_reused",
+            "slab_hit_rate",
+            "pending_at_end",
+        ];
+        let json = fleet.to_json();
+        let mut rest = json.as_str();
+        while let Some(open) = rest.find('"') {
+            let tail = &rest[open + 1..];
+            let close = tail.find('"').expect("unterminated string in JSON");
+            let key = &tail[..close];
+            assert!(
+                allowed_keys.contains(&key),
+                "fleet.json grew an unvetted key {key:?} — if it is a \
+                 virtual-time quantity add it to the allowlist; if it is \
+                 wall-clock/RSS/host data it belongs in results/perf.json"
+            );
+            rest = &tail[close + 1..];
+        }
+
+        // The CSV is the rendered table; its columns come from table().
+        let banned = ["wall", "rss", "peak", "host", "cpu", "mem", "rate_hz"];
+        for artifact in [json.to_lowercase(), fleet.table().to_csv().to_lowercase()] {
+            for term in banned {
+                assert!(
+                    !artifact.contains(term),
+                    "host-dependent term {term:?} leaked into a fleet artifact"
+                );
+            }
+        }
+    }
+
     #[test]
     fn fleet_is_deterministic_across_runs() {
         let a = run_fleet(Fidelity::Quick);

@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fleet;
 pub mod gamma;
+pub mod hunt;
 pub mod queuebench;
 pub mod table1;
 pub mod trace_export;

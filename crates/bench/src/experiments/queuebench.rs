@@ -432,6 +432,51 @@ mod tests {
     }
 
     #[test]
+    fn all_tombstone_bucket_purge_never_reorders() {
+        // Regression for the calendar's tombstone-purge path: when a
+        // bucket drains to nothing but tombstones, the cursor advance
+        // must stop at the far list's minimum bucket — sliding past it
+        // would later replay the far event behind the clock and reorder
+        // execution. Build that shape deliberately, round after round:
+        // a jittered cluster of near events landing in one ~1 ms bucket,
+        // one live event parked beyond the 64-bucket ring window, then
+        // cancel the whole cluster so the purge path runs. Both backends
+        // consume the same seeded stream and must pop the same instants.
+        use rand::RngCore;
+        let mut engine: Engine<()> = Engine::new();
+        let mut queue = HeapQueue::new();
+        let mut rng = SimRng::seed_from(SEED ^ 0x700B_570E);
+        for round in 0..256 {
+            let near = engine.now() + SimDuration::from_millis(2);
+            let cluster: Vec<_> = (0..1 + rng.next_u64() % 6)
+                .map(|_| {
+                    let at = near + SimDuration::from_nanos(rng.next_u64() % 1_000);
+                    (
+                        engine.schedule_at(at, |_, _| {}),
+                        queue.schedule_at(at, Box::new(|| {})),
+                    )
+                })
+                .collect();
+            let far = engine.now() + SimDuration::from_millis(80 + rng.next_u64() % 40);
+            engine.schedule_at(far, |_, _| {});
+            queue.schedule_at(far, Box::new(|| {}));
+            for (a, b) in cluster {
+                assert_eq!(engine.cancel(a), queue.cancel(b));
+            }
+            // The only live event left this round is the far one; any
+            // cursor overshoot during the all-tombstone purge would trip
+            // the engine's release-mode ordering assert on a later pop.
+            assert!(engine.step(&mut ()));
+            assert!(queue.step());
+            assert_eq!(engine.now(), queue.now, "diverged at round {round}");
+        }
+        while engine.step(&mut ()) {}
+        while queue.step() {}
+        assert_eq!(engine.executed(), queue.executed);
+        assert_eq!(engine.now(), queue.now);
+    }
+
+    #[test]
     fn quick_bench_produces_all_points() {
         let bench = run_queuebench(Fidelity::Quick);
         assert_eq!(bench.points.len(), 6);

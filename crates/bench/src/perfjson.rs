@@ -76,18 +76,26 @@ pub struct GateReport {
     pub failures: Vec<String>,
     /// Baseline entries with no counterpart in the current log.
     pub missing: Vec<String>,
+    /// Structural problems that make the comparison meaningless: an
+    /// empty/unparseable baseline, or a baseline rate of zero (a ratio
+    /// against it would be NaN or infinite, silently passing the gate).
+    pub errors: Vec<String>,
 }
 
 impl GateReport {
-    /// True when no compared experiment regressed and none disappeared.
+    /// True when the inputs were comparable, no compared experiment
+    /// regressed, and none disappeared.
     pub fn passed(&self) -> bool {
-        self.failures.is_empty() && self.missing.is_empty()
+        self.failures.is_empty() && self.missing.is_empty() && self.errors.is_empty()
     }
 }
 
 /// Compares `current` against `baseline`: every baseline experiment must
 /// still exist and keep at least `1 - max_drop` of its events/s (e.g.
 /// `max_drop = 0.15` fails on a >15 % slowdown). Speedups always pass.
+/// A baseline that parses to no entries, or a baseline entry whose rate
+/// is zero or non-finite, fails the gate with an explicit error rather
+/// than producing a NaN/Inf ratio verdict.
 pub fn gate(baseline: &str, current: &str, max_drop: f64) -> GateReport {
     let base = parse_entries(baseline);
     let cur = parse_entries(current);
@@ -95,17 +103,28 @@ pub fn gate(baseline: &str, current: &str, max_drop: f64) -> GateReport {
         lines: Vec::new(),
         failures: Vec::new(),
         missing: Vec::new(),
+        errors: Vec::new(),
     };
+    if base.is_empty() {
+        report
+            .errors
+            .push("baseline has no experiment entries (empty or malformed perf.json?)".to_string());
+        return report;
+    }
     for b in &base {
         let Some(c) = cur.iter().find(|c| c.name == b.name) else {
             report.missing.push(b.name.clone());
             continue;
         };
-        let ratio = if b.events_per_sec > 0.0 {
-            c.events_per_sec / b.events_per_sec
-        } else {
-            1.0
-        };
+        if !(b.events_per_sec > 0.0 && b.events_per_sec.is_finite()) {
+            report.errors.push(format!(
+                "{}: baseline rate {} events/s is not a positive finite number; \
+                 cannot compute a regression ratio",
+                b.name, b.events_per_sec
+            ));
+            continue;
+        }
+        let ratio = c.events_per_sec / b.events_per_sec;
         let verdict = if ratio >= 1.0 - max_drop {
             "ok"
         } else {
@@ -176,6 +195,39 @@ mod tests {
         let report = gate(SAMPLE, &slow, 0.15);
         assert!(!report.passed());
         assert_eq!(report.failures, vec!["training".to_string()]);
+    }
+
+    #[test]
+    fn gate_rejects_empty_and_malformed_baselines() {
+        for baseline in ["", "{}", "not json at all", "{\"experiments\": []}"] {
+            let report = gate(baseline, SAMPLE, 0.15);
+            assert!(!report.passed(), "baseline {baseline:?} must not pass");
+            assert_eq!(report.errors.len(), 1);
+            assert!(
+                report.errors[0].contains("no experiment entries"),
+                "unclear message: {}",
+                report.errors[0]
+            );
+        }
+    }
+
+    #[test]
+    fn gate_rejects_zero_rate_baseline_entries() {
+        let zeroed = SAMPLE.replace(
+            "\"name\": \"training\", \"wall_secs\": 0.5, \"events\": 100, \"events_per_sec\": 200.0",
+            "\"name\": \"training\", \"wall_secs\": 0.5, \"events\": 0, \"events_per_sec\": 0",
+        );
+        let report = gate(&zeroed, SAMPLE, 0.15);
+        assert!(!report.passed(), "zero-rate baseline must not pass");
+        assert_eq!(report.errors.len(), 1);
+        assert!(
+            report.errors[0].contains("training") && report.errors[0].contains("positive finite"),
+            "unclear message: {}",
+            report.errors[0]
+        );
+        // The healthy entry is still compared.
+        assert_eq!(report.lines.len(), 1);
+        assert!(report.failures.is_empty());
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Replays every pinned fuzzing regression under `tests/regressions/`.
+//!
+//! Each file is a self-contained scenario in the `repro hunt` kv format:
+//! the seed, the minimized configuration, and (in comments) the invariant
+//! it once violated. The campaign harness writes these automatically when
+//! a violation survives shrinking; this test re-runs each through its
+//! oracle forever after, so a fixed bug stays fixed.
+
+use std::path::PathBuf;
+
+use dcm_bench::experiments::hunt::{check, HuntScenario};
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/regressions")
+}
+
+#[test]
+fn every_pinned_scenario_passes_its_oracle() {
+    let dir = regressions_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("regressions dir {} missing: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no pinned regression cases under {}",
+        dir.display()
+    );
+    for path in entries {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("unreadable {}: {e}", path.display()));
+        let scenario = HuntScenario::from_kv(&text)
+            .unwrap_or_else(|e| panic!("malformed {}: {e}", path.display()));
+        let outcome = check(&scenario);
+        assert!(
+            outcome.violation.is_none(),
+            "{} regressed — {} oracle rejected the pinned scenario: {}",
+            path.display(),
+            scenario.oracle.label(),
+            outcome.violation.unwrap()
+        );
+    }
+}

@@ -86,6 +86,11 @@ pub struct TraceExperimentConfig {
     /// violated conservation law (flow balance, Little's law, utilization
     /// law, work conservation).
     pub audit: bool,
+    /// With `audit` set, collect the [`AuditReport`] into
+    /// [`TraceRunResult::audit`] instead of panicking on violations. The
+    /// fuzz harness uses this to treat violations as data (shrink and pin
+    /// them) rather than aborting the campaign.
+    pub audit_tolerant: bool,
     /// Observability capture ([`dcm_obs`]): span recording, per-period
     /// metric snapshots, and the controller decision journal. `None` (the
     /// default) records nothing and costs nothing on the hot path.
@@ -129,6 +134,7 @@ impl TraceExperimentConfig {
             request_deadline_secs: None,
             inter_tier_retry: None,
             audit: global_audit(),
+            audit_tolerant: false,
             obs: None,
         }
     }
@@ -158,6 +164,9 @@ pub struct TraceRunResult {
     pub horizon: SimTime,
     /// Observability artifacts, present when the config asked for them.
     pub obs: Option<ObsArtifacts>,
+    /// The conservation-audit report, present when the config set `audit`.
+    /// Clean unless `audit_tolerant` allowed violations through.
+    pub audit: Option<dcm_ntier::audit::AuditReport>,
 }
 
 /// Everything [`dcm_obs`] captured from one run.
@@ -612,15 +621,17 @@ where
     if let Some(state) = obs_final.as_mut() {
         state.recorder.record_all(&tail);
     }
-    if let Some(auditor) = auditor {
+    let audit_report = auditor.map(|auditor| {
         let mut spans = obs_final
             .as_mut()
             .map_or_else(Vec::new, |state| std::mem::take(&mut state.audit_spans));
         spans.extend(tail);
-        auditor
-            .finish(&world.system, &spans, engine.now())
-            .assert_clean();
-    }
+        let report = auditor.finish(&world.system, &spans, engine.now());
+        if !config.audit_tolerant {
+            report.assert_clean();
+        }
+        report
+    });
     let obs = obs_final.map(|state| {
         let server_names: BTreeMap<ServerId, (String, usize)> = world
             .system
@@ -657,6 +668,7 @@ where
         counters: world.system.counters(),
         horizon: config.horizon,
         obs,
+        audit: audit_report,
     }
 }
 
@@ -756,6 +768,7 @@ mod tests {
             request_deadline_secs: None,
             inter_tier_retry: None,
             audit: true,
+            audit_tolerant: false,
             obs: None,
         }
     }
@@ -868,6 +881,18 @@ mod tests {
         assert!(obs.series.column("sys.completed").is_some());
         // The audit ran alongside obs (quick_config sets audit: true), so
         // the periodic span drain fed both consumers without conflict.
+    }
+
+    #[test]
+    fn audit_report_is_surfaced_in_the_result() {
+        let mut config = quick_config(traces::step(20, 120, 30.0));
+        config.audit_tolerant = true;
+        let run = run_trace_experiment(&config, |bus| {
+            Ec2AutoScale::new(bus, ScalingConfig::default())
+        });
+        let report = run.audit.as_ref().expect("audit requested");
+        assert!(report.is_clean(), "clean run: {:?}", report.violations);
+        assert!(report.spans_audited > 0, "audit must have seen spans");
     }
 
     #[test]

@@ -104,6 +104,26 @@ impl AuditReport {
                 .join("\n")
         );
     }
+
+    /// A compact one-line rendering of the violations (`clean` for a
+    /// clean window), suitable for journals and regression-case files
+    /// where the multi-line [`AuditReport::assert_clean`] dump is too
+    /// wide. Violations are separated by `; ` in detection order.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "clean".to_string();
+        }
+        let rendered: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| format!("[{}] {}", v.check, v.subject))
+            .collect();
+        format!(
+            "{} violations: {}",
+            self.violations.len(),
+            rendered.join("; ")
+        )
+    }
 }
 
 /// Per-server accounting marks at window start.

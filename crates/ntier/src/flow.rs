@@ -212,6 +212,19 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, fid: FlightId, tier: us
     }
 }
 
+/// The global (per-request, call-order) index of the visit the top frame
+/// represents: fold the parent chain's completed-call counters through the
+/// visit ratios. With per-visit demand overrides installed this picks the
+/// independent sample for exactly this visit.
+fn current_visit_index(req: &RequestInFlight) -> u64 {
+    let mut g = 0u64;
+    for f in &req.frames[..req.frames.len().saturating_sub(1)] {
+        let child = f.tier + 1;
+        g = g * u64::from(req.profile.visits_to(child)) + u64::from(f.calls_done);
+    }
+    g
+}
+
 /// A retry timer fired for a request parked on a capacity-less tier.
 fn retry_entry(world: &mut World, engine: &mut SimEngine, fid: FlightId, tier: usize) {
     let Some(req) = world.system.requests.get_mut(fid) else {
@@ -233,7 +246,9 @@ fn thread_granted(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
             .expect("granting thread to live request");
         let pre = {
             let tier = req.frames.last().expect("granted frame exists").tier;
-            req.profile.demand(tier).pre
+            req.profile
+                .demand_for_visit(tier, current_visit_index(req))
+                .pre
         };
         let frame = req.frames.last_mut().expect("granted frame exists");
         frame.phase = Phase::PreBurst;
@@ -320,6 +335,7 @@ fn maybe_call(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
             .get_mut(fid)
             .expect("advancing live request");
         let tiers = req.profile.tiers();
+        let visit = current_visit_index(req);
         let frame = req.frames.last_mut().expect("frame exists");
         let child = frame.tier + 1;
         let total_calls = if child < tiers {
@@ -331,7 +347,7 @@ fn maybe_call(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
             frame.phase = Phase::AwaitConn;
             Next::Call(frame.server)
         } else {
-            let post = req.profile.demand(frame.tier).post;
+            let post = req.profile.demand_for_visit(frame.tier, visit).post;
             if post > 0.0 {
                 frame.phase = Phase::PostBurst;
                 Next::Post(frame.server, post)

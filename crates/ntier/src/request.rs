@@ -71,6 +71,14 @@ pub struct RequestProfile {
     demands: Vec<StageDemand>,
     visits: Vec<u32>,
     class: u16,
+    /// Per-visit demand overrides, indexed `[tier][global visit index]`.
+    /// Empty inner vectors mean every visit to that tier uses
+    /// `demands[tier]`. Workload generators fill this when per-visit
+    /// demands must be sampled independently (e.g. i.i.d. exponential DB
+    /// queries — reusing one sample across a request's visits correlates
+    /// service times and breaks the product-form model the MVA oracle
+    /// checks against).
+    per_visit: Vec<Vec<StageDemand>>,
 }
 
 impl RequestProfile {
@@ -106,7 +114,38 @@ impl RequestProfile {
             demands,
             visits,
             class,
+            per_visit: Vec::new(),
         }
+    }
+
+    /// Installs independent per-visit demands for tier `m`: visit `k` of
+    /// the request at tier `m` (counting every visit across the whole
+    /// request, in call order) uses `demands[k]` instead of the shared
+    /// per-call demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range, `demands` does not cover exactly the
+    /// request's [`RequestProfile::cumulative_visits`] to tier `m`, or any
+    /// demand is negative/non-finite.
+    pub fn with_per_visit_demands(mut self, m: usize, demands: Vec<StageDemand>) -> Self {
+        assert!(m < self.demands.len(), "tier {m} out of range");
+        assert_eq!(
+            demands.len() as u64,
+            self.cumulative_visits(m),
+            "per-visit demands must cover every visit to tier {m}"
+        );
+        for d in &demands {
+            assert!(
+                d.pre.is_finite() && d.pre >= 0.0 && d.post.is_finite() && d.post >= 0.0,
+                "demands must be finite and non-negative"
+            );
+        }
+        if self.per_visit.len() <= m {
+            self.per_visit.resize(m + 1, Vec::new());
+        }
+        self.per_visit[m] = demands;
+        self
     }
 
     /// Number of tiers this request traverses.
@@ -121,6 +160,21 @@ impl RequestProfile {
     /// Panics if `m` is out of range.
     pub fn demand(&self, m: usize) -> StageDemand {
         self.demands[m]
+    }
+
+    /// Demand of the `visit`-th visit (global, in call order) to tier `m`;
+    /// falls back to the shared per-call demand when no per-visit override
+    /// is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn demand_for_visit(&self, m: usize, visit: u64) -> StageDemand {
+        self.per_visit
+            .get(m)
+            .and_then(|v| usize::try_from(visit).ok().and_then(|k| v.get(k)))
+            .copied()
+            .unwrap_or(self.demands[m])
     }
 
     /// Calls made into tier `m` per parent-tier call.
@@ -141,7 +195,10 @@ impl RequestProfile {
     /// for the multiplicative visit ratios along the chain (the `V_m · S_m`
     /// service demand of the paper's Eq. 2).
     pub fn service_demand(&self, m: usize) -> f64 {
-        self.demands[m].total() * self.cumulative_visits(m) as f64
+        match self.per_visit.get(m) {
+            Some(v) if !v.is_empty() => v.iter().map(StageDemand::total).sum(),
+            _ => self.demands[m].total() * self.cumulative_visits(m) as f64,
+        }
     }
 
     /// The end-to-end visit ratio `V_m` from the client to tier `m`

@@ -1,0 +1,119 @@
+//! A deterministic journal of *why* runs failed.
+//!
+//! The fuzzing campaign (`repro hunt`) checks hundreds of generated
+//! scenarios against invariant oracles; when one fails, the interesting
+//! artifact is not the panic but the story — which scenario, which
+//! oracle, what the oracle saw. A [`FailureLog`] collects those records
+//! in campaign order and renders them as text (for the console) and JSON
+//! (for `results/hunt.json`, which CI byte-compares across `--jobs`
+//! values — so the log holds virtual quantities and strings only, never
+//! wall-clock or host data).
+
+use crate::json::escape;
+
+/// One failed run: which scenario, which oracle rejected it, and the
+/// oracle's explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// The campaign index of the failing scenario.
+    pub scenario: u64,
+    /// The oracle that rejected the run (`conservation`, `replay`, ...).
+    pub oracle: String,
+    /// The oracle's explanation: the violated identity with both sides,
+    /// or the mismatching quantities.
+    pub detail: String,
+}
+
+/// An append-only journal of failed runs, in campaign order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureLog {
+    records: Vec<FailureRecord>,
+}
+
+impl FailureLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        FailureLog::default()
+    }
+
+    /// Appends one failure.
+    pub fn record(&mut self, scenario: u64, oracle: &str, detail: &str) {
+        self.records.push(FailureRecord {
+            scenario,
+            oracle: oracle.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// The recorded failures, in append order.
+    pub fn records(&self) -> &[FailureRecord] {
+        &self.records
+    }
+
+    /// True when nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Recorded failure count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// One line per failure, for the console.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!(
+                "scenario {} violated {}: {}\n",
+                r.scenario, r.oracle, r.detail
+            ));
+        }
+        out
+    }
+
+    /// The records as a JSON array (deterministic field order and
+    /// escaping; safe for byte-compared artifacts).
+    pub fn to_json_array(&self) -> String {
+        let mut json = String::from("[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!(
+                "{{\"scenario\": {}, \"oracle\": \"{}\", \"detail\": \"{}\"}}",
+                r.scenario,
+                escape(&r.oracle),
+                escape(&r.detail)
+            ));
+        }
+        json.push(']');
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_in_order_with_escaping() {
+        let mut log = FailureLog::new();
+        assert!(log.is_empty());
+        log.record(3, "conservation", "in_flight = 2 at drain");
+        log.record(7, "replay", "run \"a\" != run \"b\"");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].scenario, 3);
+        let text = log.render_text();
+        assert!(text.starts_with("scenario 3 violated conservation:"));
+        let json = log.to_json_array();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\\\"a\\\""), "quotes must be escaped: {json}");
+        assert!(json.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_log_is_an_empty_array() {
+        assert_eq!(FailureLog::new().to_json_array(), "[]");
+    }
+}

@@ -55,11 +55,13 @@
 
 mod json;
 
+pub mod faillog;
 pub mod journal;
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
+pub use faillog::{FailureLog, FailureRecord};
 pub use journal::{Decision, DecisionJournal, FitSnapshot, JournalEntry, TierObservation};
 pub use metrics::{PerfLog, Registry, SeriesTable};
 pub use recorder::{RecorderStats, SamplerConfig, SpanRecorder};

@@ -559,7 +559,18 @@ impl<W> Engine<W> {
             }
             self.retire(ev.slot);
             self.live -= 1;
-            debug_assert!(ev.at >= self.now, "event scheduled in the past");
+            // Release-mode guard for the calendar's ordering contract: a
+            // cursor advance past a not-yet-redistributed far minimum (the
+            // all-tombstone-bucket purge path) would surface here as a pop
+            // that travels backwards in time. One u64 compare per event —
+            // cheap enough to keep on in release, where a silent reorder
+            // would otherwise corrupt the simulation undetected.
+            assert!(
+                ev.at >= self.now,
+                "event queue ordering violated: popped t={:?} while clock at t={:?}",
+                ev.at,
+                self.now
+            );
             self.now = ev.at;
             self.executed += 1;
             (ev.action)(world, self);

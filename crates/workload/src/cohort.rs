@@ -153,6 +153,10 @@ impl CohortPopulation {
     /// match [`crate::generator::UserPopulation`], so `cohort_size == 1`
     /// reproduces it bit-identically). `think = None` is a closed loop.
     ///
+    /// `cohort_size > users` collapses to a single cohort holding everyone
+    /// and is bit-identical to `cohort_size == users`; a non-dividing
+    /// `cohort_size` leaves the last cohort short by the remainder.
+    ///
     /// # Panics
     ///
     /// Panics if `cohort_size == 0`.
@@ -183,6 +187,9 @@ impl CohortPopulation {
     /// think time instead of at the start instant. Fleet-scale runs use
     /// this to avoid a synchronized burst of a million requests at `t = 0`
     /// (the closed network reaches the same steady state either way).
+    ///
+    /// Edge cases follow [`Self::start_with_think_dist`]: oversized
+    /// cohorts collapse to one, remainders shorten the last cohort.
     ///
     /// # Panics
     ///
@@ -506,6 +513,84 @@ mod tests {
         assert!(pop.completion_count() > 0);
         assert_eq!(pop.active_users(), 0, "users retire at stop");
         assert_eq!(world.system.counters().in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort size must be positive")]
+    fn zero_cohort_size_is_rejected() {
+        run_cohort(1, 10, 0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort size must be positive")]
+    fn zero_cohort_size_is_rejected_for_staggered_start() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().seed(1).build();
+        CohortPopulation::start_staggered(
+            &mut world,
+            &mut engine,
+            ProfileFactory::rubbos(),
+            10,
+            0,
+            Dist::exponential_mean(1.0),
+            SimTime::from_secs(5),
+        );
+    }
+
+    /// `cohort_size > users` must collapse to one cohort holding everyone:
+    /// `div_ceil` gives a single cohort and every `member / cohort_size`
+    /// maps to it, so the schedule is bit-identical to `cohort_size ==
+    /// users`.
+    #[test]
+    fn oversized_cohort_is_bit_identical_to_single_exact_cohort() {
+        let think = Some(Dist::exponential_mean(0.4));
+        let (exact, exact_events) = run_cohort(29, 8, 8, think.clone());
+        let (oversized, oversized_events) = run_cohort(29, 8, 1_000, think);
+        assert!(!exact.is_empty());
+        assert_eq!(exact, oversized, "completion logs diverged");
+        assert_eq!(exact_events, oversized_events, "event counts diverged");
+    }
+
+    /// A non-dividing `cohort_size` (13 users in cohorts of 5 → cohorts of
+    /// 5, 5, and 3) must spawn every user exactly once and conserve
+    /// requests through the ragged last cohort.
+    #[test]
+    fn non_dividing_remainder_conserves_users_and_requests() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().seed(31).build();
+        let pop = CohortPopulation::start_with_think_dist(
+            &mut world,
+            &mut engine,
+            ProfileFactory::rubbos(),
+            13,
+            5,
+            Some(Dist::exponential_mean(0.3)),
+            SimTime::from_secs(15),
+        );
+        assert_eq!(pop.inner.borrow().cohorts.len(), 3);
+        engine.run(&mut world);
+        assert!(pop.completion_count() > 0);
+        assert_eq!(pop.total_spawned(), 13);
+        assert_eq!(pop.active_users(), 0, "every user retires at stop");
+        assert_eq!(world.system.counters().in_flight(), 0);
+    }
+
+    /// Zero users is inert, not a panic: `div_ceil` yields zero cohorts
+    /// and the run completes with nothing submitted.
+    #[test]
+    fn empty_population_is_inert() {
+        let (mut world, mut engine) = ThreeTierBuilder::new().seed(3).build();
+        let pop = CohortPopulation::start_with_think_dist(
+            &mut world,
+            &mut engine,
+            ProfileFactory::rubbos(),
+            0,
+            4,
+            None,
+            SimTime::from_secs(5),
+        );
+        engine.run(&mut world);
+        assert_eq!(pop.completion_count(), 0);
+        assert_eq!(pop.total_spawned(), 0);
+        assert_eq!(world.system.counters().submitted, 0);
     }
 
     #[test]

@@ -118,9 +118,23 @@ impl ProfileFactory {
             post: app * (1.0 - self.app_pre_fraction),
         };
         let queries = servlet.db_queries.max(1);
+        // Each query's demand is an independent draw: reusing one sample
+        // across a request's queries correlates the DB station's service
+        // times (long query ⇒ the next is long too), which inflates
+        // queueing beyond the product-form model the MVA oracle solves.
+        // The first query reuses `db` so single-query requests draw
+        // exactly as before.
+        let per_query: Vec<StageDemand> = if queries > 1 {
+            std::iter::once(db)
+                .chain((1..queries).map(|_| self.db_base.sample(rng) * servlet.db_mult))
+                .map(StageDemand::pre_only)
+                .collect()
+        } else {
+            Vec::new()
+        };
         if self.four_tier {
             // web → app → lb (per query) → db (one forward each).
-            RequestProfile::new(
+            let profile = RequestProfile::new(
                 vec![
                     StageDemand::pre_only(web),
                     app_demand,
@@ -129,9 +143,14 @@ impl ProfileFactory {
                 ],
                 vec![1, 1, queries, 1],
                 idx as u16,
-            )
+            );
+            if per_query.is_empty() {
+                profile
+            } else {
+                profile.with_per_visit_demands(3, per_query)
+            }
         } else {
-            RequestProfile::new(
+            let profile = RequestProfile::new(
                 vec![
                     StageDemand::pre_only(web),
                     app_demand,
@@ -139,7 +158,12 @@ impl ProfileFactory {
                 ],
                 vec![1, 1, queries],
                 idx as u16,
-            )
+            );
+            if per_query.is_empty() {
+                profile
+            } else {
+                profile.with_per_visit_demands(2, per_query)
+            }
         }
     }
 }
