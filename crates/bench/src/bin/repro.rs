@@ -13,8 +13,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use dcm_bench::experiments::{
-    ablation, chaos, fig2, fig4, fig5, fleet, gamma, hunt, queuebench, table1, trace_export,
-    validate, Fidelity,
+    ablation, chaos, fig2, fig4, fig5, fleet, gamma, hunt, league, queuebench, table1,
+    trace_export, validate, Fidelity,
 };
 use dcm_bench::format::TextTable;
 use dcm_obs::PerfLog;
@@ -143,6 +143,14 @@ fn usage() -> String {
      \x20 perf        the performance baseline: training + trace +\n\
      \x20             queuebench + fleet in one run, accumulated into\n\
      \x20             results/perf.json (the file CI gates against)\n\
+     \x20 league      controller league: DCM, EC2-AutoScale, MPC,\n\
+     \x20             MMC-Threshold, and Holt-Winters on the step, flash,\n\
+     \x20             sine, and chaos traces, ranked by SLO-violation\n\
+     \x20             seconds then VM-hours then decision latency (writes\n\
+     \x20             results/league.json, results/league.csv, and the MPC\n\
+     \x20             plan journal results/league_mpc.journal.json —\n\
+     \x20             byte-identical for every --jobs value; `repro\n\
+     \x20             explain league` renders the ranking + journal)\n\
      \x20 hunt        adversarial scenario fuzzing: a seed-deterministic\n\
      \x20             campaign of random topologies, traces, fault\n\
      \x20             schedules, and controller configs checked against\n\
@@ -432,6 +440,7 @@ fn main() -> ExitCode {
         "extensions",
         "faults",
         "chaos",
+        "league",
         "trace",
         "explain",
     ]
@@ -539,14 +548,21 @@ fn main() -> ExitCode {
         matched = true;
         let models = models.expect("trained above");
         let experiment = cli.experiment.as_deref().unwrap_or("fig5");
-        if experiment != "fig5" {
+        if cli.command == "explain" && experiment == "league" {
+            out.section("Explain: the controller league ranking and the MPC plan journal");
+            let result = perf.time("league", || league::run_league(f, models));
+            out.table("league_standings", &result.standings_table());
+            out.findings(&result.findings());
+            println!("\n-- MPC decision journal (step trace) --\n");
+            print!("{}", result.mpc_journal_explain);
+        } else if experiment != "fig5" {
             eprintln!(
-                "unknown experiment `{experiment}` for {} (only `fig5` has an obs pipeline)",
+                "unknown experiment `{experiment}` for {} (only `fig5` has an obs \
+                 pipeline; `explain` also accepts `league`)",
                 cli.command
             );
             return ExitCode::FAILURE;
-        }
-        if run_perf {
+        } else if run_perf {
             // Timing reference only: same workload as `trace`, but the obs
             // artifacts stay untouched (they are regenerated by `repro
             // trace`, not by the perf baseline).
@@ -665,6 +681,38 @@ fn main() -> ExitCode {
                 dir.join("chaos.csv").display()
             ),
             Err(err) => eprintln!("warning: could not write chaos results: {err}"),
+        }
+    }
+
+    // `league` runs the full controller × trace matrix; like `hunt` it is
+    // its own CI job, not part of `all`.
+    if cli.command == "league" {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("League: every controller on every trace, ranked");
+        let result = perf.time("league", || league::run_league(f, models));
+        out.table("league_standings", &result.standings_table());
+        println!();
+        out.table("league", &result.table());
+        out.findings(&result.findings());
+        let dir = PathBuf::from("results");
+        let write = fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(dir.join("league.json"), result.to_json()))
+            .and_then(|()| fs::write(dir.join("league.csv"), result.to_csv()))
+            .and_then(|()| {
+                fs::write(
+                    dir.join("league_mpc.journal.json"),
+                    &result.mpc_journal_json,
+                )
+            });
+        match write {
+            Ok(()) => println!(
+                "\nwrote {}, {} and {}",
+                dir.join("league.json").display(),
+                dir.join("league.csv").display(),
+                dir.join("league_mpc.journal.json").display()
+            ),
+            Err(err) => eprintln!("warning: could not write league results: {err}"),
         }
     }
 

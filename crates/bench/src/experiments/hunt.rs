@@ -23,6 +23,10 @@
 //! * **mva** — where the product-form model applies (zero-overhead laws),
 //!   the DES must conform to exact MVA within tolerance and respect the
 //!   asymptotic throughput bound.
+//! * **league** — no controller in the zoo (EC2-AutoScale, DCM, MPC,
+//!   M/M/c threshold, Holt-Winters) may exceed its configured VM cap or
+//!   per-tick step limit in any sampled scenario, and no controller may
+//!   drain a tier to zero servers.
 //!
 //! Campaigns are bit-identical across `--jobs`: every scenario is derived
 //! from the campaign seed via [`derive_seed`] streams, runs fan out
@@ -36,12 +40,16 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use dcm_core::agents::Action;
 use dcm_core::controller::{Dcm, DcmConfig, DcmModels, Ec2AutoScale};
 use dcm_core::experiment::{
     run_trace_experiment, steady_state_throughput, SteadyStateOptions, TraceExperimentConfig,
     TraceRunResult,
 };
+use dcm_core::mpc::{ModelPredictive, MpcConfig};
 use dcm_core::policy::ScalingConfig;
+use dcm_core::predictor::HoltConfig;
+use dcm_core::zoo::{HoltWinters, StaffingConfig, ThresholdMmc};
 use dcm_model::concurrency::ConcurrencyModel;
 use dcm_ntier::law::{reference, ServiceLaw};
 use dcm_ntier::system::InterTierRetry;
@@ -95,6 +103,9 @@ pub enum OracleKind {
     Doubling,
     /// Exact-MVA conformance where product-form applies.
     Mva,
+    /// Controller-zoo actuation discipline: VM caps, per-tick step
+    /// limits, and never draining a tier to zero.
+    League,
 }
 
 impl OracleKind {
@@ -106,6 +117,7 @@ impl OracleKind {
             OracleKind::Cohort => "cohort",
             OracleKind::Doubling => "doubling",
             OracleKind::Mva => "mva",
+            OracleKind::League => "league",
         }
     }
 
@@ -117,18 +129,22 @@ impl OracleKind {
             "cohort" => Ok(OracleKind::Cohort),
             "doubling" => Ok(OracleKind::Doubling),
             "mva" => Ok(OracleKind::Mva),
+            "league" => Ok(OracleKind::League),
             other => Err(format!("unknown oracle {other:?}")),
         }
     }
 
-    /// All oracles, in campaign rotation order.
-    pub fn all() -> [OracleKind; 5] {
+    /// All oracles, in campaign rotation order. `League` is appended at
+    /// the end so indices 0–4 keep generating the same scenarios as
+    /// before the zoo landed.
+    pub fn all() -> [OracleKind; 6] {
         [
             OracleKind::Conservation,
             OracleKind::Replay,
             OracleKind::Cohort,
             OracleKind::Doubling,
             OracleKind::Mva,
+            OracleKind::League,
         ]
     }
 }
@@ -170,6 +186,12 @@ pub enum ControllerKind {
     Ec2,
     /// The paper's dynamic concurrency manager.
     Dcm,
+    /// The MVA-planning model-predictive controller.
+    Mpc,
+    /// The M/M/c threshold-staffing baseline.
+    Mmc,
+    /// Holt-Winters forecast staffing.
+    Hw,
 }
 
 impl ControllerKind {
@@ -177,6 +199,9 @@ impl ControllerKind {
         match self {
             ControllerKind::Ec2 => "ec2",
             ControllerKind::Dcm => "dcm",
+            ControllerKind::Mpc => "mpc",
+            ControllerKind::Mmc => "mmc",
+            ControllerKind::Hw => "hw",
         }
     }
 
@@ -184,6 +209,9 @@ impl ControllerKind {
         match s {
             "ec2" => Ok(ControllerKind::Ec2),
             "dcm" => Ok(ControllerKind::Dcm),
+            "mpc" => Ok(ControllerKind::Mpc),
+            "mmc" => Ok(ControllerKind::Mmc),
+            "hw" => Ok(ControllerKind::Hw),
             other => Err(format!("unknown controller {other:?}")),
         }
     }
@@ -271,6 +299,18 @@ pub struct HuntScenario {
     pub db_visits: u32,
     /// Target DB utilization the MVA population is sized for.
     pub mva_util: f64,
+    /// Mean response-time SLO the MPC plans against (seconds).
+    pub mpc_slo_secs: f64,
+    /// MPC scale-in hysteresis margin.
+    pub mpc_scale_in_margin: f64,
+    /// Per-server utilization target for the staffing controllers.
+    pub rho_target: f64,
+    /// Holt-Winters level smoothing factor.
+    pub hw_level_alpha: f64,
+    /// Holt-Winters trend smoothing factor.
+    pub hw_trend_beta: f64,
+    /// Per-tick VM step limit for the MPC and staffing controllers.
+    pub step_limit: u32,
 }
 
 fn uni(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
@@ -294,7 +334,7 @@ fn coin(rng: &mut SimRng, p: f64) -> bool {
 pub fn generate(campaign_seed: u64, index: u64) -> HuntScenario {
     let seed = derive_seed(campaign_seed, index);
     let mut rng = SimRng::seed_from(derive_seed(seed, GEN_STREAM));
-    let oracle = OracleKind::all()[(index % 5) as usize];
+    let oracle = OracleKind::all()[(index % 6) as usize];
 
     let web = uni_u32(&mut rng, 1, 2);
     let app = uni_u32(&mut rng, 1, 3);
@@ -354,10 +394,14 @@ pub fn generate(campaign_seed: u64, index: u64) -> HuntScenario {
     };
     let inter_tier_retry = coin(&mut rng, 0.5);
 
-    let controller = if coin(&mut rng, 0.5) {
-        ControllerKind::Ec2
-    } else {
-        ControllerKind::Dcm
+    // One draw, like the old ec2/dcm coin, so every later field keeps its
+    // position in the stream.
+    let controller = match (rng.next_f64() * 5.0) as usize {
+        0 => ControllerKind::Ec2,
+        1 => ControllerKind::Dcm,
+        2 => ControllerKind::Mpc,
+        3 => ControllerKind::Mmc,
+        _ => ControllerKind::Hw,
     };
     let up_threshold = uni(&mut rng, 0.6, 0.9);
     let down_threshold = uni(&mut rng, 0.15, up_threshold - 0.25);
@@ -375,6 +419,15 @@ pub fn generate(campaign_seed: u64, index: u64) -> HuntScenario {
     let db_demand = uni(&mut rng, 0.02, 0.08);
     let db_visits = uni_u32(&mut rng, 1, 2);
     let mva_util = uni(&mut rng, 0.25, 0.55);
+
+    // Zoo knobs, appended after every pre-existing draw so older fields
+    // keep their values for a given (seed, index).
+    let mpc_slo_secs = uni(&mut rng, 0.7, 2.0);
+    let mpc_scale_in_margin = uni(&mut rng, 0.6, 0.95);
+    let rho_target = uni(&mut rng, 0.45, 0.85);
+    let hw_level_alpha = uni(&mut rng, 0.2, 0.8);
+    let hw_trend_beta = uni(&mut rng, 0.05, 0.45);
+    let step_limit = uni_u32(&mut rng, 1, 3);
 
     HuntScenario {
         oracle,
@@ -415,6 +468,12 @@ pub fn generate(campaign_seed: u64, index: u64) -> HuntScenario {
         db_demand,
         db_visits,
         mva_util,
+        mpc_slo_secs,
+        mpc_scale_in_margin,
+        rho_target,
+        hw_level_alpha,
+        hw_trend_beta,
+        step_limit,
     }
 }
 
@@ -530,6 +589,15 @@ fn dcm_models() -> DcmModels {
     }
 }
 
+fn staffing_config_for(s: &HuntScenario) -> StaffingConfig {
+    StaffingConfig {
+        rho_target: s.rho_target,
+        max_servers: s.max_servers as usize,
+        step_limit: s.step_limit as usize,
+        ..StaffingConfig::default()
+    }
+}
+
 fn run_trace_scenario(s: &HuntScenario) -> TraceRunResult {
     let config = trace_config_for(s);
     match s.controller {
@@ -543,6 +611,28 @@ fn run_trace_scenario(s: &HuntScenario) -> TraceRunResult {
                 ..DcmConfig::default()
             };
             Dcm::new(bus, dcm_config, dcm_models())
+        }),
+        ControllerKind::Mpc => run_trace_experiment(&config, |bus| {
+            let mpc_config = MpcConfig {
+                slo_secs: s.mpc_slo_secs,
+                think_time_secs: s.think_secs,
+                max_servers: s.max_servers as usize,
+                step_limit: s.step_limit as usize,
+                scale_in_margin: s.mpc_scale_in_margin,
+                ..MpcConfig::default()
+            };
+            ModelPredictive::new(bus, mpc_config, dcm_models())
+        }),
+        ControllerKind::Mmc => run_trace_experiment(&config, |bus| {
+            ThresholdMmc::new(bus, staffing_config_for(s))
+        }),
+        ControllerKind::Hw => run_trace_experiment(&config, |bus| {
+            let holt = HoltConfig {
+                level_alpha: s.hw_level_alpha,
+                trend_beta: s.hw_trend_beta,
+                ..HoltConfig::default()
+            };
+            HoltWinters::new(bus, staffing_config_for(s), holt)
         }),
     }
 }
@@ -830,6 +920,81 @@ fn check_mva(s: &HuntScenario) -> CheckOutcome {
     }
 }
 
+/// Per-tick net-VM-change allowance for the league oracle. The threshold
+/// policies move one VM per decision; the MPC and staffing controllers
+/// are configured with the scenario's step limit. A crash frees a slot
+/// that the desired-capacity memory legitimately refills in the same tick
+/// as a regular step, so crash scenarios get one extra.
+fn league_step_allowance(s: &HuntScenario) -> i64 {
+    let base = match s.controller {
+        ControllerKind::Ec2 | ControllerKind::Dcm => 1,
+        ControllerKind::Mpc | ControllerKind::Mmc | ControllerKind::Hw => i64::from(s.step_limit),
+    };
+    base + i64::from(s.crash_at_secs > 0.0)
+}
+
+fn check_league(s: &HuntScenario) -> CheckOutcome {
+    let run = run_trace_scenario(s);
+    let mut fnv = Fnv::new();
+    fingerprint_run(&mut fnv, &run);
+    let mut problems = Vec::new();
+
+    // Fold the actuation log into per-tier VM counts. Crashes are not in
+    // the log, so the folded count is an upper bound on live servers; a
+    // crash scenario may exceed the cap by the one replacement it boots.
+    let cap = i64::from(s.max_servers) + i64::from(s.crash_at_secs > 0.0);
+    let allowance = league_step_allowance(s);
+    let mut counts = [i64::from(s.web), i64::from(s.app), i64::from(s.db)];
+    let mut tick: Option<SimTime> = None;
+    let mut deltas = [0i64; 3];
+    let flush = |at: Option<SimTime>, deltas: &mut [i64; 3], problems: &mut Vec<String>| {
+        for (tier, d) in deltas.iter().enumerate() {
+            if d.abs() > allowance {
+                problems.push(format!(
+                    "tier {tier} moved {d:+} VMs in one tick at t={:.0}s (allowance {allowance})",
+                    at.map_or(0.0, SimTime::as_secs_f64)
+                ));
+            }
+        }
+        *deltas = [0; 3];
+    };
+    for rec in &run.actions {
+        if tick != Some(rec.at) {
+            flush(tick, &mut deltas, &mut problems);
+            tick = Some(rec.at);
+        }
+        let moved = match rec.action {
+            Action::ScaleOut { tier } if tier < 3 => Some((tier, 1)),
+            Action::ScaleIn { tier } if tier < 3 => Some((tier, -1)),
+            _ => None,
+        };
+        if let Some((tier, delta)) = moved {
+            counts[tier] += delta;
+            deltas[tier] += delta;
+            if counts[tier] > cap {
+                problems.push(format!(
+                    "tier {tier} reached {} VMs (cap {cap}) at t={:.0}s",
+                    counts[tier],
+                    rec.at.as_secs_f64()
+                ));
+            }
+            if counts[tier] < 1 {
+                problems.push(format!(
+                    "tier {tier} drained to {} servers at t={:.0}s",
+                    counts[tier],
+                    rec.at.as_secs_f64()
+                ));
+            }
+        }
+    }
+    flush(tick, &mut deltas, &mut problems);
+
+    CheckOutcome {
+        fingerprint: fnv.0,
+        violation: (!problems.is_empty()).then(|| problems.join("; ")),
+    }
+}
+
 /// Runs one scenario through its oracle.
 pub fn check(s: &HuntScenario) -> CheckOutcome {
     match s.oracle {
@@ -838,6 +1003,7 @@ pub fn check(s: &HuntScenario) -> CheckOutcome {
         OracleKind::Cohort => check_cohort(s),
         OracleKind::Doubling => check_doubling(s),
         OracleKind::Mva => check_mva(s),
+        OracleKind::League => check_league(s),
     }
 }
 
@@ -882,6 +1048,12 @@ fn reductions(s: &HuntScenario) -> Vec<HuntScenario> {
         };
     });
     push(&|c| c.controller = ControllerKind::Ec2);
+    push(&|c| c.mpc_slo_secs = 1.0);
+    push(&|c| c.mpc_scale_in_margin = 0.8);
+    push(&|c| c.rho_target = 0.6);
+    push(&|c| c.hw_level_alpha = 0.5);
+    push(&|c| c.hw_trend_beta = 0.3);
+    push(&|c| c.step_limit = c.step_limit.min(2));
     push(&|c| c.web = (c.web - 1).max(1));
     push(&|c| c.app = (c.app - 1).max(1));
     push(&|c| c.db = (c.db - 1).max(1));
@@ -941,8 +1113,10 @@ pub fn shrink(original: &HuntScenario, detail: &str) -> ShrinkResult {
     }
 }
 
-/// Fixed kv field order for [`HuntScenario::to_kv`] / [`from_kv`].
-const KV_FIELDS: [&str; 38] = [
+/// Fixed kv field order for [`HuntScenario::to_kv`] / [`from_kv`]. The
+/// zoo fields sit at the end and default when absent, so regression files
+/// pinned before the zoo landed still parse.
+const KV_FIELDS: [&str; 44] = [
     "oracle",
     "seed",
     "web",
@@ -981,7 +1155,16 @@ const KV_FIELDS: [&str; 38] = [
     "db_demand",
     "db_visits",
     "mva_util",
+    "mpc_slo_secs",
+    "mpc_scale_in_margin",
+    "rho_target",
+    "hw_level_alpha",
+    "hw_trend_beta",
+    "step_limit",
 ];
+
+/// Defaults for the zoo fields when parsing pre-zoo regression files.
+const KV_ZOO_DEFAULTS: (f64, f64, f64, f64, f64, u32) = (1.0, 0.8, 0.6, 0.5, 0.3, 2);
 
 impl HuntScenario {
     /// Serializes the scenario as `key value` lines in a fixed order.
@@ -1029,6 +1212,12 @@ impl HuntScenario {
                 "db_demand" => self.db_demand.to_string(),
                 "db_visits" => self.db_visits.to_string(),
                 "mva_util" => self.mva_util.to_string(),
+                "mpc_slo_secs" => self.mpc_slo_secs.to_string(),
+                "mpc_scale_in_margin" => self.mpc_scale_in_margin.to_string(),
+                "rho_target" => self.rho_target.to_string(),
+                "hw_level_alpha" => self.hw_level_alpha.to_string(),
+                "hw_trend_beta" => self.hw_trend_beta.to_string(),
+                "step_limit" => self.step_limit.to_string(),
                 _ => unreachable!("field list is exhaustive"),
             };
             let _ = writeln!(out, "{key} {value}");
@@ -1078,6 +1267,23 @@ impl HuntScenario {
                 .parse::<bool>()
                 .map_err(|e| format!("bad bool for {key:?}: {e}"))
         };
+        let get_f64_or = |key: &str, default: f64| -> Result<f64, String> {
+            match map.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad f64 for {key:?}: {e}")),
+            }
+        };
+        let get_u32_or = |key: &str, default: u32| -> Result<u32, String> {
+            match map.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad u32 for {key:?}: {e}")),
+            }
+        };
+        let (d_slo, d_margin, d_rho, d_alpha, d_beta, d_step) = KV_ZOO_DEFAULTS;
         Ok(HuntScenario {
             oracle: OracleKind::parse(get("oracle")?)?,
             seed: get_u64("seed")?,
@@ -1117,6 +1323,12 @@ impl HuntScenario {
             db_demand: get_f64("db_demand")?,
             db_visits: get_u32("db_visits")?,
             mva_util: get_f64("mva_util")?,
+            mpc_slo_secs: get_f64_or("mpc_slo_secs", d_slo)?,
+            mpc_scale_in_margin: get_f64_or("mpc_scale_in_margin", d_margin)?,
+            rho_target: get_f64_or("rho_target", d_rho)?,
+            hw_level_alpha: get_f64_or("hw_level_alpha", d_alpha)?,
+            hw_trend_beta: get_f64_or("hw_trend_beta", d_beta)?,
+            step_limit: get_u32_or("step_limit", d_step)?,
         })
     }
 
@@ -1371,16 +1583,75 @@ mod tests {
 
     #[test]
     fn small_campaign_is_deterministic_and_clean() {
-        let a = run_hunt(5, SEED);
-        let b = run_hunt(5, SEED);
+        let a = run_hunt(6, SEED);
+        let b = run_hunt(6, SEED);
         assert_eq!(a.to_json(), b.to_json(), "campaign is not deterministic");
         assert!(
             a.passed(),
             "campaign found violations:\n{}",
             a.log.render_text()
         );
-        assert_eq!(a.oracle_counts.values().sum::<u64>(), 5);
-        assert_eq!(a.table().len(), 5);
+        assert_eq!(a.oracle_counts.values().sum::<u64>(), 6);
+        assert_eq!(a.table().len(), 6);
+        // The sixth scenario is the first league check.
+        assert_eq!(generate(SEED, 5).oracle, OracleKind::League);
+    }
+
+    #[test]
+    fn zoo_fields_default_when_absent_from_kv() {
+        // A pre-zoo kv payload: serialize a scenario, drop the zoo lines,
+        // and parse — the zoo knobs must come back as the documented
+        // defaults while everything else round-trips.
+        let s = generate(SEED, 7);
+        let pre_zoo: String = s
+            .to_kv()
+            .lines()
+            .filter(|l| {
+                let key = l.split(' ').next().unwrap_or("");
+                !matches!(
+                    key,
+                    "mpc_slo_secs"
+                        | "mpc_scale_in_margin"
+                        | "rho_target"
+                        | "hw_level_alpha"
+                        | "hw_trend_beta"
+                        | "step_limit"
+                )
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = HuntScenario::from_kv(&pre_zoo).expect("pre-zoo kv parses");
+        let (d_slo, d_margin, d_rho, d_alpha, d_beta, d_step) = KV_ZOO_DEFAULTS;
+        assert_eq!(parsed.mpc_slo_secs, d_slo);
+        assert_eq!(parsed.mpc_scale_in_margin, d_margin);
+        assert_eq!(parsed.rho_target, d_rho);
+        assert_eq!(parsed.hw_level_alpha, d_alpha);
+        assert_eq!(parsed.hw_trend_beta, d_beta);
+        assert_eq!(parsed.step_limit, d_step);
+        assert_eq!(parsed.seed, s.seed);
+        assert_eq!(parsed.controller, s.controller);
+    }
+
+    #[test]
+    fn league_oracle_rejects_cap_and_step_breaches() {
+        // Drive the checker's folding logic through a scenario whose
+        // controller is known to respect its limits (a clean pass), then
+        // assert the allowance arithmetic flags the crash headroom.
+        let mut s = generate(SEED, 5);
+        assert_eq!(s.oracle, OracleKind::League);
+        let outcome = check(&s);
+        assert!(
+            outcome.violation.is_none(),
+            "clean controller flagged: {:?}",
+            outcome.violation
+        );
+        // Crash scenarios get exactly one extra step and one cap slot.
+        let without_crash = {
+            s.crash_at_secs = 0.0;
+            league_step_allowance(&s)
+        };
+        s.crash_at_secs = 30.0;
+        assert_eq!(league_step_allowance(&s), without_crash + 1);
     }
 
     #[test]

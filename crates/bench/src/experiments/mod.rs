@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fleet;
 pub mod gamma;
 pub mod hunt;
+pub mod league;
 pub mod queuebench;
 pub mod table1;
 pub mod trace_export;

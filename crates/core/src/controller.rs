@@ -40,16 +40,23 @@ pub trait Controller {
     /// [`JournalEntry`] per tick — inputs, model state, decisions, reasons.
     /// The default implementation journals nothing.
     fn attach_journal(&mut self, _journal: Rc<RefCell<DecisionJournal>>) {}
+
+    /// Total candidate-plan evaluations the controller has performed — the
+    /// deterministic proxy for decision latency the league ranks on (wall
+    /// clocks are banned in Strict crates). Model-free controllers cost 0.
+    fn planner_evals(&self) -> u64 {
+        0
+    }
 }
 
 /// Shared metric-consumption plumbing.
-struct MetricsFeed {
+pub(crate) struct MetricsFeed {
     bus: MetricsBus,
     consumer: GroupConsumer,
 }
 
 impl MetricsFeed {
-    fn new(bus: MetricsBus, group: &str) -> Self {
+    pub(crate) fn new(bus: MetricsBus, group: &str) -> Self {
         let consumer = {
             let broker = bus.borrow();
             GroupConsumer::new(group, METRICS_TOPIC, &broker)
@@ -58,7 +65,7 @@ impl MetricsFeed {
         MetricsFeed { bus, consumer }
     }
 
-    fn poll_windows(&mut self) -> std::collections::BTreeMap<usize, TierWindow> {
+    pub(crate) fn poll_windows(&mut self) -> std::collections::BTreeMap<usize, TierWindow> {
         let records = {
             let broker = self.bus.borrow();
             self.consumer
@@ -78,20 +85,20 @@ impl MetricsFeed {
 /// Consecutive silent control periods before a tier that *has* capacity is
 /// treated as wedged (a tier with no capacity at all is flagged on the
 /// first silent period — there is nothing to wait for).
-const SILENT_TICKS_FOR_PRESSURE: u32 = 2;
+pub(crate) const SILENT_TICKS_FOR_PRESSURE: u32 = 2;
 
 /// Per-tier outcome of the shared VM-scaling pass: the journal-ready
 /// observation, the policy's decision, whether the agent executed it, and
 /// the reason with the numbers that drove it.
-struct TierTickReport {
-    observation: TierObservation,
-    decision: ScaleDecision,
-    applied: bool,
-    reason: String,
+pub(crate) struct TierTickReport {
+    pub(crate) observation: TierObservation,
+    pub(crate) decision: ScaleDecision,
+    pub(crate) applied: bool,
+    pub(crate) reason: String,
 }
 
 impl TierTickReport {
-    fn to_decision(&self) -> Decision {
+    pub(crate) fn to_decision(&self) -> Decision {
         let action = match self.decision {
             ScaleDecision::Out => "scale-out",
             ScaleDecision::In => "scale-in",
@@ -118,7 +125,7 @@ impl TierTickReport {
 /// crashed or wedged so hard they stopped sampling. Such a tier used to be
 /// skipped — held forever — and is now treated as maximal pressure,
 /// mirroring the wedged-tier `mean_dwell: None` rule below.
-fn vm_decisions(
+pub(crate) fn vm_decisions(
     world: &mut World,
     engine: &mut SimEngine,
     policy: &mut ThresholdPolicy,
@@ -317,6 +324,7 @@ impl Controller for Ec2AutoScale {
                 observations: reports.iter().map(|r| r.observation.clone()).collect(),
                 fits: Vec::new(),
                 decisions: reports.iter().map(TierTickReport::to_decision).collect(),
+                plan: None,
             });
         }
     }
@@ -767,6 +775,7 @@ impl Controller for Dcm {
                     fit_snapshot("db", &self.models.db, self.db_fit),
                 ],
                 decisions,
+                plan: None,
             });
         }
         // Online-refit points are only comparable within one configuration:

@@ -156,6 +156,10 @@ pub struct TraceRunResult {
     pub tier_cpu_util: Vec<TimeSeries>,
     /// The controller's actuation timeline.
     pub actions: Vec<ActionRecord>,
+    /// Candidate-plan evaluations the controller performed over the run —
+    /// the deterministic decision-latency proxy (0 for model-free
+    /// controllers).
+    pub planner_evals: u64,
     /// Per-tier VM-seconds consumed (the resource-cost metric).
     pub vm_seconds: Vec<f64>,
     /// System conservation counters at the end of the run.
@@ -664,6 +668,7 @@ where
         tier_vm_counts: recorder.tier_vm_counts,
         tier_cpu_util: recorder.tier_cpu_util,
         actions: controller.actions(),
+        planner_evals: controller.planner_evals(),
         vm_seconds,
         counters: world.system.counters(),
         horizon: config.horizon,

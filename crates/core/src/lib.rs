@@ -13,6 +13,10 @@
 //! * [`controller`] — the Optimization Controller ([`controller::Dcm`]) and
 //!   the hardware-only baseline ([`controller::Ec2AutoScale`]); both share
 //!   the quick-start/slow-stop threshold policy ([`policy`]).
+//! * [`mpc`] — the model-predictive controller: exact-MVA planning over
+//!   candidate topologies and pool sizes via [`dcm_oracle::planner`].
+//! * [`zoo`] — league baselines: M/M/c-style staffing ([`zoo::ThresholdMmc`])
+//!   and Holt-trend predictive staffing ([`zoo::HoltWinters`]).
 //! * [`agents`] — the two actuators: VM-agent (boot/drain VMs) and
 //!   APP-agent (runtime pool resizing).
 //! * [`training`] — the offline §V-A pipeline that fits the
@@ -45,9 +49,11 @@ pub mod aggregate;
 pub mod controller;
 pub mod experiment;
 pub mod monitor;
+pub mod mpc;
 pub mod policy;
 pub mod predictor;
 pub mod training;
+pub mod zoo;
 
 pub use agents::{Action, ActionRecord, AppAgent, VmAgent};
 pub use aggregate::{aggregate_by_tier, TierWindow};
@@ -57,6 +63,8 @@ pub use experiment::{
     SteadyStateReport, TraceExperimentConfig, TraceRunResult,
 };
 pub use monitor::{install_monitor, new_metrics_bus, MetricsBus, MonitorConfig, METRICS_TOPIC};
+pub use mpc::{ModelPredictive, MpcConfig};
 pub use policy::{ScaleDecision, ScalingConfig, ThresholdPolicy};
 pub use predictor::{HoltConfig, HoltTrend};
 pub use training::{train_app_model, train_db_model, SweepOptions, SweepPoint, TrainingRun};
+pub use zoo::{HoltWinters, StaffingConfig, ThresholdMmc};

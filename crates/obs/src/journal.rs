@@ -82,6 +82,27 @@ pub struct Decision {
     pub reason: String,
 }
 
+/// Provenance of a model-predictive plan: what the planner searched, what
+/// it predicted for the plan it chose, and how the *previous* prediction
+/// compared against what the system then actually delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProvenance {
+    /// Candidate plans the planner evaluated this tick.
+    pub candidates: u32,
+    /// Predicted system throughput of the chosen plan (req/s).
+    pub predicted_throughput: f64,
+    /// Predicted mean response time of the chosen plan (seconds).
+    pub predicted_response: f64,
+    /// Human-readable identity of the chosen plan (tier sizes, N).
+    pub chosen: String,
+    /// Why this plan won (`meets-slo-cheapest`, `best-effort`, ...).
+    pub reason: String,
+    /// Relative error of the *last* tick's predicted throughput against
+    /// the throughput measured since (`None` on the first tick or when no
+    /// measurement arrived).
+    pub prediction_error: Option<f64>,
+}
+
 /// Everything one control tick recorded.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalEntry {
@@ -96,6 +117,10 @@ pub struct JournalEntry {
     pub fits: Vec<FitSnapshot>,
     /// Decisions, in the order they were taken.
     pub decisions: Vec<Decision>,
+    /// Model-predictive planner provenance (`None` for controllers that
+    /// do not plan; omitted from JSON so existing artifacts are
+    /// byte-stable).
+    pub plan: Option<PlanProvenance>,
 }
 
 /// The journal: an append-only sequence of [`JournalEntry`]s.
@@ -197,7 +222,22 @@ impl DecisionJournal {
                     if j + 1 < e.decisions.len() { "," } else { "" },
                 ));
             }
-            out.push_str("  ]\n}");
+            out.push_str("  ]");
+            if let Some(p) = &e.plan {
+                out.push_str(&format!(
+                    ",\n  \"plan\": {{\"candidates\": {}, \
+                     \"predicted_throughput\": {}, \"predicted_response\": {}, \
+                     \"chosen\": \"{}\", \"reason\": \"{}\", \
+                     \"prediction_error\": {}}}",
+                    p.candidates,
+                    num(p.predicted_throughput),
+                    num(p.predicted_response),
+                    escape(&p.chosen),
+                    escape(&p.reason),
+                    opt_num(p.prediction_error),
+                ));
+            }
+            out.push_str("\n}");
             out.push_str(if i + 1 < self.entries.len() {
                 ",\n"
             } else {
@@ -265,6 +305,20 @@ impl DecisionJournal {
                         .map_or_else(String::new, |r2| format!(", r2={r2:.4}")),
                 ));
             }
+            if let Some(p) = &e.plan {
+                out.push_str(&format!(
+                    "  plan: {} (of {} candidates, {}) predicted X={:.1}/s R={:.3}s{}\n",
+                    p.chosen,
+                    p.candidates,
+                    p.reason,
+                    p.predicted_throughput,
+                    p.predicted_response,
+                    p.prediction_error.map_or_else(String::new, |e| format!(
+                        " | last prediction err {:.1} %",
+                        100.0 * e
+                    )),
+                ));
+            }
             for d in &e.decisions {
                 if d.action == "hold" && !verbose {
                     continue;
@@ -325,6 +379,7 @@ mod tests {
                 applied: true,
                 reason: "cpu_util 0.91 > up_threshold 0.80".into(),
             }],
+            plan: None,
         }
     }
 
@@ -340,6 +395,35 @@ mod tests {
         assert!(json.contains("\"action\": \"scale-out\""));
         // Byte-determinism: rendering twice is identical.
         assert_eq!(json, j.to_json());
+    }
+
+    #[test]
+    fn plan_provenance_serializes_only_when_present() {
+        let mut j = DecisionJournal::new();
+        j.push(entry());
+        let without = j.to_json();
+        assert!(!without.contains("\"plan\""), "plan absent must be omitted");
+
+        let mut planned = entry();
+        planned.controller = "MPC".into();
+        planned.plan = Some(PlanProvenance {
+            candidates: 42,
+            predicted_throughput: 118.3,
+            predicted_response: 0.412,
+            chosen: "web=1 app=2 db=1 N=36".into(),
+            reason: "meets-slo-cheapest".into(),
+            prediction_error: Some(0.013),
+        });
+        let mut j2 = DecisionJournal::new();
+        j2.push(planned);
+        let json = j2.to_json();
+        assert!(json.contains("\"candidates\": 42"));
+        assert!(json.contains("\"predicted_throughput\": 118.300000"));
+        assert!(json.contains("\"prediction_error\": 0.013000"));
+        assert!(json.contains("\"chosen\": \"web=1 app=2 db=1 N=36\""));
+        let text = j2.render_explain(false);
+        assert!(text.contains("plan: web=1 app=2 db=1 N=36 (of 42 candidates"));
+        assert!(text.contains("last prediction err 1.3 %"));
     }
 
     #[test]

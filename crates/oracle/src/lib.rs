@@ -29,8 +29,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod conformance;
+pub mod planner;
 
 pub use conformance::{
     default_grid, run_scenario, run_scenario_cohort, ConformancePoint, Scenario, ScenarioKind,
     TierComparison,
 };
+pub use planner::{predict, throughput_bound, PlannedTier, Prediction};

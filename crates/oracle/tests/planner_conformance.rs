@@ -1,0 +1,96 @@
+//! Predicted-vs-realized conformance for the MPC planner: on frictionless
+//! scenarios the planner's MVA prediction of the *deployed* configuration
+//! must match the DES-measured throughput within the PR-3 zero-overhead
+//! gate (2 %). This is the planner-side half of the satellite; the
+//! full-stack half (the MPC's journaled per-tick prediction error) lives
+//! in the bench crate's full-stack tests.
+
+use dcm_ntier::law::ServiceLaw;
+use dcm_oracle::planner::{predict, PlannedTier};
+use dcm_oracle::{run_scenario, Scenario, ScenarioKind};
+
+/// Ample web/app pools in the conformance topology: model them as very
+/// wide queueing stations (numerically a delay station at these
+/// populations).
+const AMPLE: u32 = 4096;
+
+/// The PR-3 zero-overhead conformance gate.
+const GATE: f64 = 0.02;
+
+fn planner_tiers(s: &Scenario) -> Vec<PlannedTier> {
+    vec![
+        PlannedTier {
+            servers: s.counts.0,
+            concurrency: AMPLE,
+            demand: s.web_demand,
+            visits: 1.0,
+        },
+        PlannedTier {
+            servers: s.counts.1,
+            concurrency: AMPLE,
+            demand: s.app_demand,
+            visits: 1.0,
+        },
+        PlannedTier {
+            servers: s.counts.2,
+            concurrency: s.db_threads,
+            demand: s.db_demand,
+            visits: f64::from(s.db_visits),
+        },
+    ]
+}
+
+fn scenario(name: &'static str, db_threads: u32, db_demand: f64, db_visits: u32) -> Scenario {
+    Scenario {
+        name,
+        kind: ScenarioKind::ZeroOverhead,
+        counts: (1, 1, 1),
+        db_threads,
+        web_demand: 0.005,
+        app_demand: 0.012,
+        db_demand,
+        db_visits,
+        think: 1.0,
+        db_law: ServiceLaw::frictionless(db_demand),
+        populations: &[],
+        warmup: 200.0,
+        measure: 4000.0,
+    }
+}
+
+#[test]
+fn planner_prediction_matches_des_within_gates() {
+    // Single-DB frictionless points: the planner's one pooled station is
+    // exactly the conformance network, so the 2 % gate applies directly.
+    let cases = [
+        (scenario("plan-mm1", 1, 0.04, 1), 12u32),
+        (scenario("plan-mm1-hot", 1, 0.04, 1), 22u32),
+        (scenario("plan-mm4", 4, 0.05, 2), 16u32),
+        (scenario("plan-mm4-hot", 4, 0.05, 2), 36u32),
+    ];
+    for (s, population) in cases {
+        let point = run_scenario(&s, population, 0x0D0C_5EED);
+        let plan = predict(&planner_tiers(&s), s.think, population);
+        let err = (plan.throughput - point.throughput.des).abs() / plan.throughput;
+        assert!(
+            err <= GATE,
+            "{} N={population}: planner X {:.4} vs DES {:.4} ({:.2} % > {:.0} %)",
+            s.name,
+            plan.throughput,
+            point.throughput.des,
+            100.0 * err,
+            100.0 * GATE
+        );
+        assert_eq!(point.audit_violations, 0, "{} audit", s.name);
+        // The planner agrees with the conformance harness's own MVA to
+        // float precision (same network, same solver).
+        let mva_err = (plan.throughput - point.throughput.mva).abs() / plan.throughput;
+        assert!(
+            mva_err < 1e-9,
+            "{}: planner X {:.6} vs oracle MVA {:.6}",
+            s.name,
+            plan.throughput,
+            point.throughput.mva
+        );
+    }
+}
