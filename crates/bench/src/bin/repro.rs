@@ -139,10 +139,12 @@ fn usage() -> String {
      \x20             byte-identical for every --jobs value)\n\
      \x20 queuebench  event-queue microbenchmarks: calendar engine vs a\n\
      \x20             binary-heap reference (hold / cancel-heavy /\n\
-     \x20             timeout-churn; wall-clock rates go to perf.json)\n\
+     \x20             timeout-churn; wall-clock rates feed the perf log)\n\
      \x20 perf        the performance baseline: training + trace +\n\
      \x20             queuebench + fleet in one run, accumulated into\n\
-     \x20             results/perf.json (the file CI gates against)\n\
+     \x20             results/perf.json (the file CI gates against; every\n\
+     \x20             other command writes its wall-clock log to the\n\
+     \x20             gitignored results/perf_<command>.json instead)\n\
      \x20 league      controller league: DCM, EC2-AutoScale, MPC,\n\
      \x20             MMC-Threshold, and Holt-Winters on the step, flash,\n\
      \x20             sine, and chaos traces, ranked by SLO-violation\n\
@@ -173,8 +175,10 @@ fn usage() -> String {
      \x20             measurements, fitted model, and reason behind it\n\
      \x20 all         everything above, in order\n\
      \x20 lint        dcm-lint determinism static analysis over the whole\n\
-     \x20             workspace (writes results/lint.json, exits non-zero\n\
-     \x20             on any violation)\n\
+     \x20             workspace: cross-file taint, hot-path allocation,\n\
+     \x20             panic-safety, and atomics-ordering rule families\n\
+     \x20             (writes results/lint.json + results/lint.sarif,\n\
+     \x20             exits non-zero on any violation)\n\
      flags:\n\
      \x20 --quick       short windows / coarse sweeps\n\
      \x20 --audit       run every experiment under the conservation auditor\n\
@@ -192,8 +196,10 @@ fn usage() -> String {
         .to_string()
 }
 
-/// Per-experiment wall-clock and simulated-event accounting, written to
-/// `results/perf.json` at the end of the run. The measurements live in a
+/// Per-experiment wall-clock and simulated-event accounting, written at
+/// the end of the run to `results/perf.json` (for `repro perf`, the
+/// committed CI baseline) or `results/perf_<command>.json` (everything
+/// else). The measurements live in a
 /// [`dcm_obs::PerfLog`] (backed by the obs metrics registry); only the
 /// wall-clock `Instant`s stay here — dcm-obs itself is wall-clock-free
 /// under the Strict lint policy.
@@ -251,7 +257,15 @@ impl Perf {
             return;
         }
         let dir = PathBuf::from("results");
-        let path = dir.join("perf.json");
+        // Only `repro perf` may write the committed CI baseline; every
+        // other command gets its own per-experiment log (gitignored) so a
+        // local `repro hunt` / `league` / `validate` cannot clobber the
+        // file perfgate compares against.
+        let path = if command == "perf" {
+            dir.join("perf.json")
+        } else {
+            dir.join(format!("perf_{command}.json"))
+        };
         let fidelity = if fidelity == Fidelity::Quick {
             "quick"
         } else {
@@ -271,8 +285,8 @@ impl Perf {
 }
 
 /// `repro lint` — run the dcm-lint determinism pass over the workspace,
-/// write `results/lint.json`, and fail on any violation. Equivalent to
-/// `cargo run -p dcm-lint -- --format json`.
+/// write `results/lint.json` and `results/lint.sarif`, and fail on any
+/// violation. Equivalent to `cargo run -p dcm-lint -- --format json`.
 fn run_lint() -> ExitCode {
     let root = dcm_lint::default_root();
     let report = match dcm_lint::lint_workspace(&root) {
@@ -284,10 +298,13 @@ fn run_lint() -> ExitCode {
     };
     print!("{}", report.render_text());
     let path = root.join("results/lint.json");
-    match fs::create_dir_all(root.join("results")).and_then(|()| fs::write(&path, report.to_json()))
-    {
-        Ok(()) => println!("\nwrote {}", path.display()),
-        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    let sarif_path = root.join("results/lint.sarif");
+    let write = fs::create_dir_all(root.join("results"))
+        .and_then(|()| fs::write(&path, report.to_json()))
+        .and_then(|()| fs::write(&sarif_path, report.to_sarif()));
+    match write {
+        Ok(()) => println!("\nwrote {} and {}", path.display(), sarif_path.display()),
+        Err(err) => eprintln!("warning: could not write lint reports: {err}"),
     }
     if report.errors() > 0 {
         ExitCode::FAILURE

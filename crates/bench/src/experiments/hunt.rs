@@ -753,7 +753,7 @@ fn check_cohort(s: &HuntScenario) -> CheckOutcome {
                     horizon,
                 );
                 engine.run(&mut world);
-                pop.completions()
+                pop.with_completions(|log| log.to_vec())
             }
         };
         (completions, engine.executed(), world.system.counters())

@@ -640,11 +640,11 @@ mod tests {
 
     #[test]
     fn multiple_rules_in_one_directive() {
-        let src = "// dcm-lint: allow(wall-clock, unwrap-in-lib) reason=\"startup only\"\n";
+        let src = "// dcm-lint: allow(wall-clock, panic-path) reason=\"startup only\"\n";
         let lexed = lex(src);
         assert_eq!(
             lexed.suppressions[0].rules,
-            vec!["wall-clock".to_string(), "unwrap-in-lib".to_string()]
+            vec!["wall-clock".to_string(), "panic-path".to_string()]
         );
     }
 }

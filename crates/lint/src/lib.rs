@@ -10,12 +10,20 @@
 //!
 //! * a dependency-free token-level [`lexer`] (comments, strings, and
 //!   `#[cfg(test)]` spans handled properly),
+//! * a lightweight [`parse`] layer (fn items and their body spans) on top
+//!   of the token stream,
 //! * a [`rules`] engine with crate-scoped severity (strict library crates
-//!   vs relaxed harness/tooling code vs tests),
+//!   vs relaxed harness/tooling code vs tests), including the panic-path,
+//!   hot-path-allocation, and atomics-ordering families,
+//! * a cross-file determinism [`taint`] pass: wall-clock/entropy sources
+//!   tracked through bindings, struct fields, and free-fn calls (per-crate
+//!   summaries, see [`lint_files`]) into scheduling / seeding / queue-key /
+//!   `results/*`-write sinks,
 //! * inline suppressions — `// dcm-lint: allow(<rule>) reason="..."` — with
 //!   a mandatory reason, forbidden entirely in `sim`/`ntier`/`model`/
 //!   `oracle`, and
-//! * byte-stable text and JSON [`report`]s (CI `cmp`s two runs).
+//! * byte-stable text, JSON, and SARIF 2.1.0 [`report`]s (CI `cmp`s two
+//!   runs of each).
 //!
 //! Run it as `cargo run -p dcm-lint`, or `repro lint` from the bench
 //! harness. Exit code is nonzero iff any strict-scope violation (or bad
@@ -42,10 +50,13 @@
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod taint;
 pub mod workspace;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -53,11 +64,68 @@ use std::path::Path;
 pub use report::Report;
 pub use rules::{Diagnostic, FileOutcome, Severity};
 
-/// Lints one in-memory source file under an explicit scope. This is the
-/// entry point the fixture tests (and any future editor integration) use.
+/// Lints one in-memory source file under an explicit scope, with no
+/// cross-file call summary. This is the entry point single-file fixture
+/// tests (and any future editor integration) use; multi-file analyses go
+/// through [`lint_files`].
 pub fn lint_source(path: &str, crate_name: &str, scope: rules::Scope, source: &str) -> FileOutcome {
     let lexed = lexer::lex(source);
     rules::check_file(path, crate_name, scope, &lexed)
+}
+
+/// One in-memory source file for [`lint_files`].
+pub struct FileInput<'a> {
+    /// Workspace-relative path (forward slashes) — drives the hot-module
+    /// list and appears in diagnostics.
+    pub rel_path: &'a str,
+    /// Workspace crate directory name (`sim`, `core`, ...).
+    pub crate_name: &'a str,
+    /// Policy scope of the file.
+    pub scope: rules::Scope,
+    /// The file's source text.
+    pub source: &'a str,
+}
+
+/// Lints a set of in-memory files as one workspace: pass 1 lexes and
+/// parses everything and pools the free-fn taint summaries per crate;
+/// pass 2 runs every rule on each file with its crate's symbol table, so
+/// a wall-clock value returned by a free function in one file is caught
+/// reaching a sink in another file of the same crate.
+pub fn lint_files(files: &[FileInput]) -> Report {
+    let lexed: Vec<_> = files.iter().map(|f| lexer::lex(f.source)).collect();
+    let parsed: Vec<_> = lexed.iter().map(parse::parse).collect();
+
+    let mut tables: BTreeMap<&str, taint::SymbolTable> = BTreeMap::new();
+    for (i, f) in files.iter().enumerate() {
+        if f.scope == rules::Scope::Test {
+            continue;
+        }
+        let table = tables.entry(f.crate_name).or_default();
+        for (name, origin) in taint::summarize(&lexed[i], &parsed[i]) {
+            table.tainted_fns.entry(name).or_insert(origin);
+        }
+    }
+
+    let empty = taint::SymbolTable::default();
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for (i, f) in files.iter().enumerate() {
+        let symbols = tables.get(f.crate_name).unwrap_or(&empty);
+        let outcome = rules::check_file_with(
+            f.rel_path,
+            f.crate_name,
+            f.scope,
+            &lexed[i],
+            &parsed[i],
+            symbols,
+        );
+        report.diagnostics.extend(outcome.diagnostics);
+        report.suppressions.extend(outcome.used_suppressions);
+    }
+    report.finalize();
+    report
 }
 
 /// Lints the whole workspace rooted at `root`.
@@ -76,18 +144,21 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             format!("no Rust sources found under {}", root.display()),
         ));
     }
-    let mut report = Report {
-        files_scanned: files.len(),
-        ..Report::default()
-    };
-    for file in &files {
-        let source = fs::read_to_string(&file.abs_path)?;
-        let outcome = lint_source(&file.rel_path, &file.crate_name, file.scope, &source);
-        report.diagnostics.extend(outcome.diagnostics);
-        report.suppressions.extend(outcome.used_suppressions);
-    }
-    report.finalize();
-    Ok(report)
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| fs::read_to_string(&f.abs_path))
+        .collect::<io::Result<_>>()?;
+    let inputs: Vec<FileInput> = files
+        .iter()
+        .zip(&sources)
+        .map(|(f, source)| FileInput {
+            rel_path: &f.rel_path,
+            crate_name: &f.crate_name,
+            scope: f.scope,
+            source,
+        })
+        .collect();
+    Ok(lint_files(&inputs))
 }
 
 /// Convenience used by binaries: locate the workspace root from the

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p dcm-lint                  # text diagnostics, exit 1 on errors
-//! cargo run -p dcm-lint -- --format json # also writes results/lint.json
+//! cargo run -p dcm-lint -- --format json # also writes results/lint.json + lint.sarif
 //! cargo run -p dcm-lint -- --root ../dcm --format json --out /tmp/lint.json
 //! ```
 
@@ -79,8 +79,16 @@ fn main() -> ExitCode {
             eprintln!("dcm-lint: cannot write {}: {err}", out.display());
             return ExitCode::FAILURE;
         }
+        // The SARIF twin rides along for CI annotations, named after the
+        // JSON path (`lint.json` → `lint.sarif`).
+        let sarif_out = out.with_extension("sarif");
+        if let Err(err) = fs::write(&sarif_out, report.to_sarif()) {
+            eprintln!("dcm-lint: cannot write {}: {err}", sarif_out.display());
+            return ExitCode::FAILURE;
+        }
         print!("{json}");
         eprintln!("dcm-lint: wrote {}", out.display());
+        eprintln!("dcm-lint: wrote {}", sarif_out.display());
     } else {
         print!("{}", report.render_text());
     }

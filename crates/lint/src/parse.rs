@@ -1,0 +1,279 @@
+//! A lightweight item/expression parser over the token stream — just
+//! enough structure for the cross-file determinism taint pass.
+//!
+//! This is deliberately *not* a Rust grammar. The taint analysis in
+//! [`crate::taint`] needs four things a flat token scan cannot give it:
+//!
+//! 1. function items with their parameter names and body token spans
+//!    (so taint can be tracked per function and summarized per crate),
+//! 2. whether a function is *free* (module-level) or an associated item —
+//!    only free functions enter the cross-file call summary, because a
+//!    bare method name cannot be resolved to a receiver type without
+//!    type inference,
+//! 3. statement boundaries inside a body (let bindings, assignments,
+//!    returns, trailing expressions), and
+//! 4. matching-delimiter spans, shared with the rule engine.
+//!
+//! Anything the parser cannot classify it simply skips; the taint pass is
+//! conservative about what it *does* see, never about what it doesn't.
+
+use crate::lexer::{LexedFile, Token};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Parameter binding names, in order (`self` included when present).
+    pub params: Vec<String>,
+    /// Token range of the body, exclusive of the braces: `[start, end)`.
+    /// Empty for bodiless trait-method declarations.
+    pub body: (usize, usize),
+    /// True when the item sits at module level (not inside an `impl` or
+    /// `trait` block). Only free functions enter the cross-file summary.
+    pub free: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// The parsed form of one file: every `fn` item, in source order.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All function items (free and associated, nested ones included).
+    pub fns: Vec<FnItem>,
+}
+
+/// Index of the token matching the opening delimiter at `open`
+/// (`(`/`[`/`{`), or `toks.len()` when unterminated. All three delimiter
+/// kinds are tracked so a stray bracket inside the span cannot derail the
+/// match.
+pub fn matching(toks: &[Token], open: usize) -> usize {
+    let (op, cl) = match &toks[open].kind {
+        crate::lexer::TokKind::Punct('(') => ('(', ')'),
+        crate::lexer::TokKind::Punct('[') => ('[', ']'),
+        crate::lexer::TokKind::Punct('{') => ('{', '}'),
+        _ => return open,
+    };
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct(op) {
+            depth += 1;
+        } else if toks[j].is_punct(cl) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Parses every `fn` item out of a lexed file.
+pub fn parse(lexed: &LexedFile) -> ParsedFile {
+    let toks = &lexed.tokens;
+    let mut fns = Vec::new();
+    // Block-context tracking: an `impl`/`trait` keyword taints the next
+    // `{` it opens, and any fn whose enclosing block stack contains one is
+    // an associated item. `assoc_depth` counts how many currently-open
+    // braces belong to impl/trait blocks.
+    let mut pending_assoc = false;
+    let mut stack: Vec<bool> = Vec::new(); // per open brace: is impl/trait?
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") || t.is_ident("trait") {
+            pending_assoc = true;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            stack.push(pending_assoc);
+            pending_assoc = false;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            stack.pop();
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            // `impl Trait for Type;` never happens, but a stray `;` after
+            // an impl keyword (e.g. in macros) must clear the flag.
+            pending_assoc = false;
+            i += 1;
+            continue;
+        }
+        if !t.is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(Token::ident) else {
+            i += 1;
+            continue;
+        };
+        let line = t.line;
+        // Find the parameter list: first `(` after the name (skipping
+        // generics `<...>`).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                angle += 1;
+            } else if toks[j].is_punct('>') {
+                angle -= 1;
+            } else if toks[j].is_punct('(') && angle <= 0 {
+                break;
+            } else if toks[j].is_punct('{') || toks[j].is_punct(';') {
+                break; // malformed; bail on this item
+            }
+            j += 1;
+        }
+        if !(j < toks.len() && toks[j].is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let params_close = matching(toks, j);
+        let params = param_names(&toks[j + 1..params_close.min(toks.len())]);
+        // Find the body `{` (skipping `-> Type` and where-clauses), or a
+        // `;` for a bodiless declaration.
+        let mut k = params_close + 1;
+        let mut body = (0usize, 0usize);
+        while k < toks.len() {
+            if toks[k].is_punct('{') {
+                let close = matching(toks, k);
+                body = (k + 1, close.min(toks.len()));
+                break;
+            }
+            if toks[k].is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        fns.push(FnItem {
+            name: name.to_string(),
+            params,
+            body,
+            free: !stack.iter().any(|&assoc| assoc),
+            line,
+        });
+        // Continue scanning *inside* the body too (nested fns, and the
+        // block-context stack stays consistent because we did not skip
+        // the braces).
+        i += 2;
+    }
+    ParsedFile { fns }
+}
+
+/// Extracts parameter binding names from a parameter-list token span:
+/// `self`, `mut name: Type`, `name: Type`. Pattern parameters
+/// (`(a, b): (u32, u32)`) are skipped — the taint pass just loses sight of
+/// them, which is the conservative direction for a *source* tracker.
+fn param_names(span: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    let mut at_param_start = true;
+    let mut idx = 0usize;
+    while idx < span.len() {
+        let t = &span[idx];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            at_param_start = true;
+            idx += 1;
+            continue;
+        } else if at_param_start && depth == 0 {
+            if t.is_punct('&') || t.is_ident("mut") {
+                idx += 1;
+                continue; // `&self`, `&mut self`, `mut name`
+            }
+            if let Some(name) = t.ident() {
+                // `self` has no `: Type` annotation; everything else must
+                // be followed by a single `:` (not a `::` path) to count
+                // as a plain binding.
+                let plain_binding = span.get(idx + 1).is_some_and(|n| n.is_punct(':'))
+                    && !span.get(idx + 2).is_some_and(|n| n.is_punct(':'));
+                if name == "self" || plain_binding {
+                    names.push(name.to_string());
+                }
+            }
+            at_param_start = false;
+        }
+        idx += 1;
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn free_and_associated_fns_are_distinguished() {
+        let src = r#"
+            pub fn helper(x: u64) -> u64 { x + 1 }
+            struct S { v: u64 }
+            impl S {
+                fn method(&self, y: u64) -> u64 { self.v + y }
+            }
+            trait T {
+                fn decl(&self);
+                fn defaulted(&self) -> u64 { 0 }
+            }
+            mod inner {
+                pub fn nested_free() -> u64 { 7 }
+            }
+        "#;
+        let parsed = parse_src(src);
+        let by_name = |n: &str| parsed.fns.iter().find(|f| f.name == n).expect("fn parsed");
+        assert!(by_name("helper").free);
+        assert!(!by_name("method").free);
+        assert!(!by_name("decl").free);
+        assert!(!by_name("defaulted").free);
+        assert!(
+            by_name("nested_free").free,
+            "mod blocks do not make items associated"
+        );
+        assert_eq!(
+            by_name("decl").body,
+            (0, 0),
+            "bodiless decl has an empty body span"
+        );
+    }
+
+    #[test]
+    fn params_are_collected() {
+        let parsed = parse_src("fn f(a: u64, mut b: f64, &self, (c, d): (u8, u8)) {}");
+        let f = &parsed.fns[0];
+        assert_eq!(f.params, vec!["a", "b", "self"]);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_confuse_the_body_span() {
+        let src = "fn g<T: Ord>(x: T) -> Vec<T> where T: Clone { let v = make(x); v }";
+        let parsed = parse_src(src);
+        let f = &parsed.fns[0];
+        assert_eq!(f.name, "g");
+        assert_eq!(f.params, vec!["x"]);
+        let lexed = lex(src);
+        let body = &lexed.tokens[f.body.0..f.body.1];
+        assert!(body.iter().any(|t| t.is_ident("make")));
+        assert!(!body.iter().any(|t| t.is_ident("where")));
+    }
+
+    #[test]
+    fn nested_fns_are_found_and_free() {
+        let parsed = parse_src("fn outer() { fn inner(q: u8) -> u8 { q } inner(1); }");
+        assert_eq!(parsed.fns.len(), 2);
+        assert!(parsed.fns.iter().all(|f| f.free));
+    }
+}

@@ -134,6 +134,49 @@ impl Report {
         json.push_str("  ]\n}\n");
         json
     }
+
+    /// SARIF 2.1.0 rendering, so findings surface as CI annotations.
+    ///
+    /// The output is byte-stable under the same rules as [`Self::to_json`]:
+    /// rules in registry order, results in `(path, line, rule)` order, no
+    /// timestamps, hosts, or absolute paths. Severity maps to SARIF
+    /// `level` (`error`/`warning`); suppressions that silenced a finding
+    /// are not SARIF results (they are audited via the JSON report).
+    pub fn to_sarif(&self) -> String {
+        let mut sarif = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"dcm-lint\",\n          \
+             \"rules\": [\n",
+        );
+        for (i, r) in RULES.iter().enumerate() {
+            sarif.push_str(&format!(
+                "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+                 \"help\": {{\"text\": \"{}\"}}}}{}\n",
+                escape(r.name),
+                escape(r.description),
+                escape(r.hint),
+                comma(i, RULES.len())
+            ));
+        }
+        sarif.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            sarif.push_str(&format!(
+                "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+                 \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+                escape(d.rule),
+                d.severity.label(),
+                escape(&d.message),
+                escape(&d.path),
+                d.line,
+                comma(i, self.diagnostics.len())
+            ));
+        }
+        sarif.push_str("      ]\n    }\n  ]\n}\n");
+        sarif
+    }
 }
 
 fn plural(n: usize) -> &'static str {
@@ -207,6 +250,22 @@ mod tests {
             a.contains("\\\"\\\""),
             "expect(\\\"\\\") in rule docs survives escaping"
         );
+    }
+
+    #[test]
+    fn sarif_is_stable_and_complete() {
+        let r = sample();
+        let a = r.to_sarif();
+        assert_eq!(a, r.to_sarif(), "two renders must be byte-identical");
+        assert!(a.contains("\"version\": \"2.1.0\""));
+        assert!(a.contains("\"name\": \"dcm-lint\""));
+        // Every registered rule and every diagnostic appears.
+        for rule in RULES {
+            assert!(a.contains(&format!("\"id\": \"{}\"", rule.name)));
+        }
+        assert!(a.contains("\"ruleId\": \"wall-clock\", \"level\": \"error\""));
+        assert!(a.contains("\"uri\": \"crates/core/src/a.rs\""));
+        assert!(a.contains("\"startLine\": 9"));
     }
 
     #[test]

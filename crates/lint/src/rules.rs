@@ -9,6 +9,8 @@
 //! suppression comments.
 
 use crate::lexer::{LexedFile, Suppression, TokKind, Token};
+use crate::parse::{self, matching, ParsedFile};
+use crate::taint::{self, SymbolTable};
 
 /// Where a file sits in the workspace policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -120,11 +122,40 @@ pub const RULES: &[RuleSpec] = &[
                or accumulate into an index-addressed buffer",
     },
     RuleSpec {
-        name: "unwrap-in-lib",
-        description: "unwrap()/expect(\"\") in library code: panics without a stated \
-                      invariant (tests may unwrap freely)",
+        name: "panic-path",
+        description: "panic-prone construct in library code: bare unwrap()/expect(\"\"), \
+                      unchecked intrinsics, or slice-range arithmetic that can overrun \
+                      (tests may panic freely)",
         strict_only: true,
-        hint: "use expect(\"why this cannot fail\") or propagate the Result/Option",
+        hint: "use expect(\"why this cannot fail\"), propagate the Result/Option, or \
+               bound the range before slicing",
+    },
+    RuleSpec {
+        name: "hot-path-alloc",
+        description: "allocation in a hot module (sim::engine, sim::queue, ntier::flow, \
+                      workload::cohort): clone()/to_vec()/format! or unbounded Vec \
+                      growth inside the per-event path erases DES throughput",
+        strict_only: true,
+        hint: "borrow instead of cloning, pre-size with with_capacity, or hoist the \
+               allocation out of the per-event path",
+    },
+    RuleSpec {
+        name: "atomics-ordering",
+        description: "Ordering::Relaxed load feeding a control decision (if/while/match): \
+                      relaxed loads may observe stale values, so control flow can \
+                      diverge between runs once live mode introduces real threads",
+        strict_only: true,
+        hint: "use Acquire for the load (and Release for the matching store), or make \
+               the value a plain field if it is single-threaded",
+    },
+    RuleSpec {
+        name: "determinism-taint",
+        description: "a wall-clock or entropy value flows (through bindings, fields, or \
+                      a cross-file call) into an event schedule, a seed, a queue \
+                      ordering key, or a committed results/* artifact",
+        strict_only: false,
+        hint: "derive the value from SimTime/derive_seed instead; wall-clock telemetry \
+               may only reach results/perf* files",
     },
     RuleSpec {
         name: "todo-markers",
@@ -153,6 +184,22 @@ pub const RULES: &[RuleSpec] = &[
 /// Crates whose strict scope admits no suppressions at all.
 pub const NO_SUPPRESS_CRATES: &[&str] = &["sim", "ntier", "model", "oracle"];
 
+/// Workspace-relative paths of the hot modules: the per-event simulation
+/// path where an allocation is paid millions of times per experiment.
+/// `hot-path-alloc` (and the plain-arithmetic-index leg of `panic-path`)
+/// only run here.
+pub const HOT_MODULES: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/queue.rs",
+    "crates/ntier/src/flow.rs",
+    "crates/workload/src/cohort.rs",
+];
+
+/// True when `path` names one of the configured hot modules.
+pub fn is_hot_module(path: &str) -> bool {
+    HOT_MODULES.contains(&path)
+}
+
 fn spec(name: &str) -> &'static RuleSpec {
     RULES
         .iter()
@@ -173,12 +220,36 @@ pub struct FileOutcome {
     pub used_suppressions: Vec<UsedSuppression>,
 }
 
-/// Runs every applicable rule over one lexed file.
+/// Runs every applicable rule over one lexed file, parsing it on the spot
+/// and without any cross-file call summary. Single-file entry point used
+/// by [`crate::lint_source`] and the unit tests; the workspace scan goes
+/// through [`check_file_with`] so taint can cross file boundaries.
+pub fn check_file(path: &str, crate_name: &str, scope: Scope, lexed: &LexedFile) -> FileOutcome {
+    let parsed = parse::parse(lexed);
+    check_file_with(
+        path,
+        crate_name,
+        scope,
+        lexed,
+        &parsed,
+        &SymbolTable::default(),
+    )
+}
+
+/// Runs every applicable rule over one lexed+parsed file.
 ///
 /// `crate_name` is the workspace directory name (`sim`, `core`, ...; empty
 /// for top-level `tests/` and `examples/`). It drives the
-/// no-suppressions-in-sim-critical-crates policy.
-pub fn check_file(path: &str, crate_name: &str, scope: Scope, lexed: &LexedFile) -> FileOutcome {
+/// no-suppressions-in-sim-critical-crates policy. `symbols` is the
+/// per-crate free-fn taint summary built in pass 1 of the workspace scan.
+pub fn check_file_with(
+    path: &str,
+    crate_name: &str,
+    scope: Scope,
+    lexed: &LexedFile,
+    parsed: &ParsedFile,
+    symbols: &SymbolTable,
+) -> FileOutcome {
     let mut raw: Vec<Diagnostic> = Vec::new();
     let severity = match scope {
         Scope::Strict => Severity::Error,
@@ -191,11 +262,23 @@ pub fn check_file(path: &str, crate_name: &str, scope: Scope, lexed: &LexedFile)
         if scope == Scope::Strict {
             rule_hash_iter_order(path, toks, &live, &mut raw);
             rule_wall_clock(path, toks, &live, &mut raw);
-            rule_unwrap_in_lib(path, toks, &live, &mut raw);
+            rule_panic_path(path, toks, &live, &mut raw);
+            rule_hot_path_alloc(path, toks, &live, &mut raw);
+            rule_atomics_ordering(path, toks, &live, &mut raw);
         }
         rule_unseeded_rng(path, toks, &live, severity, &mut raw);
         rule_float_reduction(path, toks, &live, severity, &mut raw);
         rule_todo_markers(path, toks, &live, severity, &mut raw);
+        for finding in taint::analyze(lexed, parsed, symbols) {
+            push(
+                &mut raw,
+                path,
+                finding.line,
+                "determinism-taint",
+                severity,
+                finding.message,
+            );
+        }
     }
 
     // Suppression pass: a well-formed directive silences matching
@@ -353,7 +436,298 @@ fn rule_wall_clock(
     }
 }
 
-fn rule_unwrap_in_lib(
+/// Panic-prone constructs in library code. Four legs:
+///
+/// 1. bare `.unwrap()` (no invariant stated),
+/// 2. `.expect("")` (empty invariant),
+/// 3. unchecked intrinsics (`get_unchecked`, `unwrap_unchecked`,
+///    `unchecked_add`/`sub`/`mul`) — UB, not even a clean panic,
+/// 4. index/slice expressions whose bracket span does arithmetic:
+///    `buf[start..start + n]` can overrun anywhere (flagged in all strict
+///    files); a plain arithmetic index `m[i * cols + j]` is only flagged in
+///    hot modules, where a panic also costs a bounds check per event —
+///    quantile/MVA/linalg code legitimately index-computes everywhere else.
+fn rule_panic_path(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    const UNCHECKED: &[&str] = &[
+        "get_unchecked",
+        "get_unchecked_mut",
+        "unwrap_unchecked",
+        "unchecked_add",
+        "unchecked_sub",
+        "unchecked_mul",
+    ];
+    let hot = is_hot_module(path);
+    for i in 0..toks.len() {
+        if !live(i) {
+            continue;
+        }
+        if toks[i].is_punct('.') {
+            let Some(name) = toks.get(i + 1).and_then(Token::ident) else {
+                continue;
+            };
+            if name == "unwrap"
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                push(
+                    out,
+                    path,
+                    toks[i + 1].line,
+                    "panic-path",
+                    Severity::Error,
+                    "bare `unwrap()` in library code".to_string(),
+                );
+            }
+            if name == "expect" && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                if let Some(TokKind::Str(s)) = toks.get(i + 3).map(|t| &t.kind) {
+                    if s.trim().is_empty() {
+                        push(
+                            out,
+                            path,
+                            toks[i + 1].line,
+                            "panic-path",
+                            Severity::Error,
+                            "`expect(\"\")` with an empty justification".to_string(),
+                        );
+                    }
+                }
+            }
+            if UNCHECKED.contains(&name) {
+                push(
+                    out,
+                    path,
+                    toks[i + 1].line,
+                    "panic-path",
+                    Severity::Error,
+                    format!("unchecked intrinsic `{name}` in library code"),
+                );
+            }
+            continue;
+        }
+        // Postfix index/slice `expr[...]`: the `[` must follow an ident,
+        // `)`, or `]` — which excludes attributes (`#[...]`), macro brackets
+        // preceded by `!` (`vec![...]`), and slice-type positions (`&[u8]`).
+        if toks[i].is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let postfix =
+                matches!(prev.kind, TokKind::Ident(_)) || prev.is_punct(')') || prev.is_punct(']');
+            // Macro brackets (`vec![`) put `!` right before the `[`, so
+            // the postfix test above already rejects them.
+            if !postfix {
+                continue;
+            }
+            let close = matching(toks, i);
+            let span = &toks[i + 1..close.min(toks.len())];
+            let has_range = span
+                .windows(2)
+                .any(|w| w[0].is_punct('.') && w[1].is_punct('.'));
+            let has_arith = span.iter().any(|t| t.is_punct('+') || t.is_punct('-'));
+            if has_range && has_arith {
+                push(
+                    out,
+                    path,
+                    toks[i].line,
+                    "panic-path",
+                    Severity::Error,
+                    "slice range computed by arithmetic can overrun".to_string(),
+                );
+            } else if has_arith && hot {
+                push(
+                    out,
+                    path,
+                    toks[i].line,
+                    "panic-path",
+                    Severity::Error,
+                    "arithmetic index in a hot module (panic path + bounds check per event)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Allocations on the per-event path of a hot module.
+fn rule_hot_path_alloc(
+    path: &str,
+    toks: &[Token],
+    live: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !is_hot_module(path) {
+        return;
+    }
+    const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string"];
+    for i in 0..toks.len() {
+        if !live(i) {
+            continue;
+        }
+        // `.clone()` / `.to_vec()` / ... — method-position allocators.
+        if toks[i].is_punct('.') {
+            if let Some(name) = toks.get(i + 1).and_then(Token::ident) {
+                if ALLOC_METHODS.contains(&name)
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+                {
+                    push(
+                        out,
+                        path,
+                        toks[i + 1].line,
+                        "hot-path-alloc",
+                        Severity::Error,
+                        format!("`.{name}()` allocates on the hot path"),
+                    );
+                }
+            }
+            continue;
+        }
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        // `format!(...)` and `String::from(...)`.
+        if name == "format" && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            push(
+                out,
+                path,
+                toks[i].line,
+                "hot-path-alloc",
+                Severity::Error,
+                "`format!` allocates on the hot path".to_string(),
+            );
+        }
+        if name == "String"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("from"))
+        {
+            push(
+                out,
+                path,
+                toks[i].line,
+                "hot-path-alloc",
+                Severity::Error,
+                "`String::from` allocates on the hot path".to_string(),
+            );
+        }
+        // Non-empty `vec![...]` (an empty `vec![]` allocates nothing).
+        if name == "vec"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+        {
+            let close = matching(toks, i + 2);
+            if close > i + 3 {
+                push(
+                    out,
+                    path,
+                    toks[i].line,
+                    "hot-path-alloc",
+                    Severity::Error,
+                    "non-empty `vec![...]` allocates on the hot path".to_string(),
+                );
+            }
+        }
+    }
+    // Unbounded growth: a local bound to `Vec::new()`/`vec![]` before a
+    // loop, pushed into inside the loop — each event pays amortized
+    // reallocation. Field pushes (`self.buf.push`) are the engine's own
+    // ring storage and stay exempt; so do locals pre-sized with
+    // `with_capacity`.
+    let unsized_locals = collect_unsized_vec_locals(toks);
+    if unsized_locals.is_empty() {
+        return;
+    }
+    for (lstart, lend) in loop_bodies(toks) {
+        let mut j = lstart;
+        while j < lend {
+            if live(j)
+                && toks[j].is_punct('.')
+                && toks.get(j + 1).is_some_and(|t| t.is_ident("push"))
+            {
+                if let Some(recv) = j.checked_sub(1).and_then(|p| toks[p].ident()) {
+                    let dotted_recv = j >= 2 && toks[j - 2].is_punct('.');
+                    if !dotted_recv
+                        && unsized_locals
+                            .iter()
+                            .any(|(n, bind)| n == recv && *bind < lstart)
+                    {
+                        push(
+                            out,
+                            path,
+                            toks[j + 1].line,
+                            "hot-path-alloc",
+                            Severity::Error,
+                            format!(
+                                "unbounded `{recv}.push` in a loop (pre-size with with_capacity)"
+                            ),
+                        );
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Locals bound to an unsized Vec (`let [mut] x = Vec::new()` or
+/// `= vec![]`), with the token index of the binding.
+fn collect_unsized_vec_locals(toks: &[Token]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).and_then(Token::ident) else {
+            continue;
+        };
+        if !toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        let new_vec = toks.get(j + 2).is_some_and(|t| t.is_ident("Vec"))
+            && toks.get(j + 5).is_some_and(|t| t.is_ident("new"));
+        let empty_macro = toks.get(j + 2).is_some_and(|t| t.is_ident("vec"))
+            && toks.get(j + 3).is_some_and(|t| t.is_punct('!'))
+            && toks.get(j + 4).is_some_and(|t| t.is_punct('['))
+            && toks.get(j + 5).is_some_and(|t| t.is_punct(']'));
+        if new_vec || empty_macro {
+            out.push((name.to_string(), i));
+        }
+    }
+    out
+}
+
+/// Token spans (exclusive of braces) of every `for`/`while`/`loop` body.
+fn loop_bodies(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let is_loop = toks[i]
+            .ident()
+            .is_some_and(|n| matches!(n, "for" | "while" | "loop"));
+        if !is_loop {
+            continue;
+        }
+        // The body is the next `{` before a `;` (a `;` means this `for` was
+        // something else, e.g. an ident in a type position).
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_punct('{') {
+            out.push((j + 1, matching(toks, j).min(toks.len())));
+        }
+    }
+    out
+}
+
+/// `Ordering::Relaxed` loads feeding control flow.
+fn rule_atomics_ordering(
     path: &str,
     toks: &[Token],
     live: &dyn Fn(usize) -> bool,
@@ -363,35 +737,41 @@ fn rule_unwrap_in_lib(
         if !live(i) || !toks[i].is_punct('.') {
             continue;
         }
-        let Some(name) = toks.get(i + 1).and_then(Token::ident) else {
-            continue;
-        };
-        if name == "unwrap"
-            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
-            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        if !toks.get(i + 1).is_some_and(|t| t.is_ident("load"))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct('('))
         {
+            continue;
+        }
+        let args = argument_span(toks, i + 2);
+        if !args.iter().any(|t| t.is_ident("Relaxed")) {
+            continue;
+        }
+        // Backward scan to the start of the statement: a control keyword
+        // there means this load steers a branch.
+        let mut back = i;
+        let mut steers = false;
+        while back > 0 {
+            back -= 1;
+            let t = &toks[back];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if t.ident()
+                .is_some_and(|n| matches!(n, "if" | "while" | "match"))
+            {
+                steers = true;
+                break;
+            }
+        }
+        if steers {
             push(
                 out,
                 path,
                 toks[i + 1].line,
-                "unwrap-in-lib",
+                "atomics-ordering",
                 Severity::Error,
-                "bare `unwrap()` in library code".to_string(),
+                "`Ordering::Relaxed` load feeds a control decision".to_string(),
             );
-        }
-        if name == "expect" && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
-            if let Some(TokKind::Str(s)) = toks.get(i + 3).map(|t| &t.kind) {
-                if s.trim().is_empty() {
-                    push(
-                        out,
-                        path,
-                        toks[i + 1].line,
-                        "unwrap-in-lib",
-                        Severity::Error,
-                        "`expect(\"\")` with an empty justification".to_string(),
-                    );
-                }
-            }
         }
     }
 }
@@ -828,9 +1208,9 @@ mod tests {
     #[test]
     fn unwrap_in_lib_and_empty_expect() {
         let out = strict("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
-        assert_eq!(rules_of(&out), vec!["unwrap-in-lib"]);
+        assert_eq!(rules_of(&out), vec!["panic-path"]);
         let out = strict("fn f(x: Option<u32>) -> u32 { x.expect(\"\") }");
-        assert_eq!(rules_of(&out), vec!["unwrap-in-lib"]);
+        assert_eq!(rules_of(&out), vec!["panic-path"]);
         assert!(
             strict("fn f(x: Option<u32>) -> u32 { x.expect(\"always set\") }")
                 .diagnostics
@@ -889,6 +1269,84 @@ mod tests {
                    // dcm-lint: nonsense\n";
         let out = check_file("t.rs", "core", Scope::Test, &lex(src));
         assert_eq!(rules_of(&out), vec!["bad-suppression"]);
+    }
+
+    fn hot(src: &str) -> FileOutcome {
+        check_file("crates/sim/src/engine.rs", "sim", Scope::Strict, &lex(src))
+    }
+
+    #[test]
+    fn panic_path_arith_index_only_in_hot_modules() {
+        let src =
+            "pub fn at(m: &[f64], i: usize, j: usize, cols: usize) -> f64 { m[i * cols + j] }";
+        assert_eq!(rules_of(&hot(src)), vec!["panic-path"]);
+        assert!(
+            strict(src).diagnostics.is_empty(),
+            "row-major indexing is legitimate outside hot modules"
+        );
+        // Slice-range arithmetic is flagged in every strict file...
+        let slice = "pub fn w(b: &[u8], s: usize, n: usize) -> &[u8] { &b[s..s + n] }";
+        assert_eq!(rules_of(&strict(slice)), vec!["panic-path"]);
+        // ...while attribute/macro brackets and plain indexing never are.
+        let ok = "#[derive(Clone)]\npub struct S;\npub fn f(v: &[u8], i: usize) -> u8 { v[i] }";
+        assert!(strict(ok).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_unbounded_push_leg() {
+        let src = "pub fn drain(n: usize) -> Vec<u64> {\n\
+                   let mut acc = Vec::new();\n\
+                   for i in 0..n {\n    acc.push(step(i));\n  }\n  acc\n}";
+        let out = hot(src);
+        assert_eq!(rules_of(&out), vec!["hot-path-alloc"]);
+        assert_eq!(out.diagnostics[0].line, 4);
+        // Pre-sizing is the fix and lints clean; so does the same code
+        // outside a hot module.
+        let sized = src.replace("Vec::new()", "Vec::with_capacity(n)");
+        assert!(hot(&sized).diagnostics.is_empty());
+        assert!(strict(src).diagnostics.is_empty());
+        // Field pushes (the engine's own ring storage) stay exempt.
+        let field = "pub fn route(&mut self, idx: usize, ev: Event) {\n\
+                     loop {\n    self.ring.push(ev);\n    break;\n  }\n}";
+        assert!(hot(field).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn atomics_relaxed_counters_are_allowed() {
+        // RMW counters and straight-line loads are fine; only a Relaxed
+        // load steering a branch is flagged.
+        let ok = "pub fn bump(c: &AtomicU64) -> u64 {\n\
+                  c.fetch_add(1, Ordering::Relaxed);\n\
+                  let snapshot = c.load(Ordering::Relaxed);\n  snapshot\n}";
+        assert!(strict(ok).diagnostics.is_empty());
+        let bad = "pub fn spin(c: &AtomicU64) {\n\
+                   while c.load(Ordering::Relaxed) == 0 {}\n}";
+        assert_eq!(rules_of(&strict(bad)), vec!["atomics-ordering"]);
+        let acq = "pub fn spin(c: &AtomicU64) {\n\
+                   while c.load(Ordering::Acquire) == 0 {}\n}";
+        assert!(strict(acq).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn taint_reaches_queue_keys_and_results_writes() {
+        // A tainted Ord key perturbs pop order.
+        let queue = "pub fn enqueue(h: &mut std::collections::BinaryHeap<u64>) {\n\
+                     let stamp = nanos(std::time::SystemTime::now());\n\
+                     h.push(stamp);\n}";
+        let out = check_file("b.rs", "bench", Scope::Relaxed, &lex(queue));
+        assert_eq!(rules_of(&out), vec!["determinism-taint"]);
+        assert_eq!(out.diagnostics[0].line, 3);
+        // A tainted value written into a committed artifact is flagged...
+        let artifact = "pub fn dump() {\n\
+                        let t = std::time::Instant::now();\n\
+                        let line = fmt(t);\n\
+                        write_file(\"results/fig2a.json\", line);\n}";
+        let out = check_file("b.rs", "bench", Scope::Relaxed, &lex(artifact));
+        assert_eq!(rules_of(&out), vec!["determinism-taint"]);
+        // ...but results/perf* is the sanctioned wall-clock telemetry.
+        let perf = artifact.replace("results/fig2a.json", "results/perf.json");
+        let out = check_file("b.rs", "bench", Scope::Relaxed, &lex(&perf));
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
     }
 
     #[test]

@@ -1,0 +1,628 @@
+//! The determinism taint pass: track wall-clock and entropy values from
+//! their *sources*, through let bindings, struct fields, and one level of
+//! cross-file calls, to the *sinks* where nondeterminism would corrupt a
+//! committed artifact.
+//!
+//! The per-file token rules (`wall-clock`, `unseeded-rng`) catch a source
+//! used *in place*. What they cannot see is a wall-clock or entropy value
+//! that crosses a `let` binding, a function return, or a struct field
+//! before reaching an event timestamp or a seed — exactly the leak shape
+//! that silently breaks the `--jobs` bit-identity guarantee. This pass
+//! closes that gap:
+//!
+//! * **Sources** — `SystemTime` / `Instant` (and `.elapsed()`),
+//!   `thread_rng` / `from_entropy` / `OsRng` / `getrandom` / `rand::random`.
+//! * **Propagation** — `let x = <tainted expr>`, reassignments, struct
+//!   fields (both `obj.field = tainted` and `Struct { field: tainted }`
+//!   literals), and calls to *free* functions whose return value is
+//!   tainted. Free-fn summaries are pooled per crate, so a leak can cross
+//!   a file boundary once (the one-level call summary). Associated
+//!   functions are excluded from the summary: a bare method name cannot
+//!   be resolved to its receiver type without inference, and a name-keyed
+//!   summary of `new`-like constructors would poison every crate.
+//! * **Sinks** — event-scheduling arguments (`schedule_at` / `schedule_in`
+//!   / `schedule_now`), seed derivation (`derive_seed`, `seed_from`,
+//!   `seed_from_u64`, `.seed(...)`), `push`/`insert` keys of ordered or
+//!   hashed queue structures (`BinaryHeap`, `BTreeMap`, `BTreeSet`), and
+//!   writes aimed at a `"results/..."` path literal. Writes whose literal
+//!   names a `results/perf` file are exempt: the perf telemetry is the
+//!   one sanctioned wall-clock artifact and is excluded from every
+//!   determinism `cmp`.
+//!
+//! The pass is conservative about what it sees and silent about what it
+//! cannot parse; combined with the source rules above, a false *negative*
+//! here still needs the leak to start from a construct the token rules
+//! banned in strict scope.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{LexedFile, TokKind, Token};
+use crate::parse::{matching, FnItem, ParsedFile};
+
+/// Rule name this pass reports under.
+pub const RULE: &str = "determinism-taint";
+
+/// Taint sources: identifier and the origin label used in diagnostics.
+/// `elapsed` only counts as a method call (`.elapsed()`); the rest match
+/// as plain identifiers.
+const SOURCES: &[(&str, &str)] = &[
+    ("SystemTime", "wall clock (SystemTime)"),
+    ("Instant", "wall clock (Instant)"),
+    ("thread_rng", "process entropy (thread_rng)"),
+    ("ThreadRng", "process entropy (ThreadRng)"),
+    ("from_entropy", "process entropy (from_entropy)"),
+    ("OsRng", "process entropy (OsRng)"),
+    ("getrandom", "process entropy (getrandom)"),
+];
+
+/// Method-position sources (must be preceded by `.`).
+const METHOD_SOURCES: &[(&str, &str)] = &[("elapsed", "wall clock (elapsed)")];
+
+/// Event-scheduling sink methods (tainted arguments = tainted timestamps
+/// or tainted event payload ordering).
+const SCHEDULE_SINKS: &[&str] = &["schedule_at", "schedule_in", "schedule_now"];
+
+/// Seed-derivation sinks: a tainted input makes every downstream stream
+/// nondeterministic.
+const SEED_SINKS: &[&str] = &["derive_seed", "seed_from", "seed_from_u64"];
+
+/// Queue structures whose `push`/`insert` keys are `Ord`/hash-ordered; a
+/// tainted key perturbs pop order.
+const QUEUE_TYPES: &[&str] = &["BinaryHeap", "BTreeMap", "BTreeSet"];
+
+/// Per-crate summary of free functions whose return value carries taint.
+/// Maps function name to the origin label of the taint it returns.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    /// `fn name -> origin` for tainted-returning free functions.
+    pub tainted_fns: BTreeMap<String, String>,
+}
+
+/// One taint finding: a tainted value reaching a sink.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// 1-based line of the sink.
+    pub line: u32,
+    /// Human-readable description: origin and sink.
+    pub message: String,
+}
+
+/// Builds the free-fn taint summary for one file (pass 1 of the
+/// workspace scan). Returns `(fn name, origin)` pairs.
+pub fn summarize(lexed: &LexedFile, parsed: &ParsedFile) -> Vec<(String, String)> {
+    let empty = SymbolTable::default();
+    let state = propagate(lexed, parsed, &empty);
+    let mut out = Vec::new();
+    for (fi, f) in parsed.fns.iter().enumerate() {
+        if !f.free {
+            continue;
+        }
+        if let Some(origin) = fn_returns_tainted(lexed, f, fi, &state) {
+            out.push((f.name.clone(), origin));
+        }
+    }
+    out
+}
+
+/// Runs the full taint analysis over one file (pass 2), with `symbols`
+/// holding the per-crate free-fn summary. Findings inside `#[cfg(test)]`
+/// spans are dropped.
+pub fn analyze(lexed: &LexedFile, parsed: &ParsedFile, symbols: &SymbolTable) -> Vec<Finding> {
+    let state = propagate(lexed, parsed, symbols);
+    // Queue-typed bindings are collected file-wide: parameters and struct
+    // fields declare their types outside any fn body span.
+    let queues = collect_queue_bindings(&lexed.tokens, 0, lexed.tokens.len());
+    let mut findings = Vec::new();
+    for (fi, f) in parsed.fns.iter().enumerate() {
+        find_sinks(lexed, f, fi, &state, &queues, &mut findings);
+    }
+    findings.sort_by(|a, b| (a.line, &a.message).cmp(&(b.line, &b.message)));
+    findings.dedup_by(|a, b| a.line == b.line && a.message == b.message);
+    findings
+}
+
+/// Inserts `name -> origin` unless already present; returns true when the
+/// map changed (the fixpoint's progress signal).
+fn insert_new(map: &mut BTreeMap<String, String>, name: &str, origin: &str) -> bool {
+    if map.contains_key(name) {
+        return false;
+    }
+    map.insert(name.to_string(), origin.to_string());
+    true
+}
+
+/// The resolved taint state of one file: per-fn tainted locals and the
+/// file-level tainted field set.
+struct TaintState<'a> {
+    /// Index-aligned with `parsed.fns`: local binding name -> origin.
+    locals: Vec<BTreeMap<String, String>>,
+    /// Struct field name -> origin (file-level: assigned in one method,
+    /// read in another).
+    fields: BTreeMap<String, String>,
+    symbols: &'a SymbolTable,
+}
+
+/// Fixpoint propagation over all fns: locals via let/assign, fields via
+/// field assignment and struct literals. Bounded iteration keeps the pass
+/// linear in practice.
+fn propagate<'a>(
+    lexed: &LexedFile,
+    parsed: &ParsedFile,
+    symbols: &'a SymbolTable,
+) -> TaintState<'a> {
+    let toks = &lexed.tokens;
+    let mut state = TaintState {
+        locals: vec![BTreeMap::new(); parsed.fns.len()],
+        fields: BTreeMap::new(),
+        symbols,
+    };
+    for _round in 0..6 {
+        let mut changed = false;
+        for (fi, f) in parsed.fns.iter().enumerate() {
+            // Forward scan of the body, twice per round so a use-before-let
+            // ordering still converges.
+            for _ in 0..2 {
+                changed |= scan_fn(toks, f, fi, &mut state);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    state
+}
+
+/// One forward scan of `f`'s body: returns true when any new taint was
+/// learned.
+fn scan_fn(toks: &[Token], f: &FnItem, fi: usize, state: &mut TaintState) -> bool {
+    let (start, end) = f.body;
+    let mut changed = false;
+    let mut i = start;
+    while i < end {
+        // `let [mut] name [: Ty] = expr ;`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(Token::ident) {
+                if let Some((eq, semi)) = init_span(toks, j + 1, end) {
+                    if let Some(origin) = expr_tainted(toks, eq + 1, semi, fi, state) {
+                        if !state.locals[fi].contains_key(name) {
+                            state.locals[fi].insert(name.to_string(), origin);
+                            changed = true;
+                        }
+                    }
+                    i = semi;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `obj.field = expr ;` (field write) and `name = expr ;`
+        // (reassignment). Statement position: previous token ends a
+        // statement or opens a block.
+        let stmt_start = i == start
+            || toks[i - 1].is_punct(';')
+            || toks[i - 1].is_punct('{')
+            || toks[i - 1].is_punct('}');
+        if stmt_start {
+            if let Some(name) = toks[i].ident() {
+                // Walk a field path `a.b.c`; remember the last segment.
+                let mut j = i;
+                let mut last = name;
+                while toks.get(j + 1).is_some_and(|t| t.is_punct('.')) {
+                    match toks.get(j + 2).and_then(Token::ident) {
+                        Some(seg) => {
+                            last = seg;
+                            j += 2;
+                        }
+                        None => break,
+                    }
+                }
+                let is_assign = toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+                    && !toks.get(j + 2).is_some_and(|t| t.is_punct('='));
+                if is_assign {
+                    let semi = stmt_end(toks, j + 2, end);
+                    if let Some(origin) = expr_tainted(toks, j + 2, semi, fi, state) {
+                        let map_changed = if j > i {
+                            insert_new(&mut state.fields, last, &origin)
+                        } else {
+                            insert_new(&mut state.locals[fi], last, &origin)
+                        };
+                        changed |= map_changed;
+                    }
+                    i = semi;
+                    continue;
+                }
+            }
+        }
+        // Struct literal `TypeName { field: expr, ... }`.
+        if let Some(tyname) = toks[i].ident() {
+            let is_type = tyname.chars().next().is_some_and(char::is_uppercase);
+            let prev_blocks = i > 0
+                && toks[i - 1].ident().is_some_and(|p| {
+                    matches!(
+                        p,
+                        "struct" | "enum" | "union" | "impl" | "trait" | "for" | "mod"
+                    )
+                });
+            if is_type && !prev_blocks && toks.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+                let close = matching(toks, i + 1).min(end);
+                changed |= scan_struct_literal(toks, i + 2, close, fi, state);
+                // Do not skip the span: nested literals/lets inside are
+                // handled by the main loop too.
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// Scans struct-literal fields `name: expr` in `[start, end)` at depth 0
+/// of that span, tainting field names whose initializer is tainted.
+fn scan_struct_literal(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    fi: usize,
+    state: &mut TaintState,
+) -> bool {
+    let mut changed = false;
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 {
+            if let Some(fname) = t.ident() {
+                // `fname : expr` but not `fname :: path`.
+                if toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    let vend = field_value_end(toks, i + 2, end);
+                    if let Some(origin) = expr_tainted(toks, i + 2, vend, fi, state) {
+                        changed |= insert_new(&mut state.fields, fname, &origin);
+                    }
+                    i = vend;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// End of a struct-literal field value: the next `,` at depth 0, or `end`.
+fn field_value_end(toks: &[Token], start: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Locates a `let` initializer: returns `(index of '=', index of ';')`.
+/// Skips the optional `: Type` annotation; gives up on pattern bindings.
+fn init_span(toks: &[Token], from: usize, end: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.is_punct('=') && depth == 0 {
+            if toks.get(i + 1).is_some_and(|n| n.is_punct('=')) {
+                return None; // `==` cannot start an initializer
+            }
+            return Some((i, stmt_end(toks, i + 1, end)));
+        } else if t.is_punct(';') && depth == 0 {
+            return None; // `let x;` — no initializer
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `;` ending the statement starting at `from` (or `end`),
+/// with parens/brackets/braces balanced so `let x = if c { a } else { b };`
+/// spans the whole expression.
+fn stmt_end(toks: &[Token], from: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth <= 0 {
+            return i;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Whether the token span `[start, end)` carries taint; returns the origin
+/// label of the first tainted element.
+fn expr_tainted(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    fi: usize,
+    state: &TaintState,
+) -> Option<String> {
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        if let Some(name) = toks[i].ident() {
+            let after_dot = i > 0 && toks[i - 1].is_punct('.');
+            if after_dot {
+                // Method or field position: method sources and tainted
+                // fields.
+                if let Some(&(_, origin)) = METHOD_SOURCES.iter().find(|(n, _)| *n == name) {
+                    if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                        return Some(origin.to_string());
+                    }
+                }
+                if let Some(origin) = state.fields.get(name) {
+                    return Some(origin.clone());
+                }
+            } else {
+                if let Some(&(_, origin)) = SOURCES.iter().find(|(n, _)| *n == name) {
+                    return Some(origin.to_string());
+                }
+                // `rand::random` — entropy via path call.
+                if name == "random"
+                    && i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("rand")
+                {
+                    return Some("process entropy (rand::random)".to_string());
+                }
+                if let Some(origin) = state.locals[fi].get(name) {
+                    return Some(origin.clone());
+                }
+                // One-level cross-file call: a free fn known to return
+                // taint. Definitions (`fn name(...)`) do not count.
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && !(i > 0 && toks[i - 1].is_ident("fn"))
+                {
+                    if let Some(origin) = state.symbols.tainted_fns.get(name) {
+                        return Some(format!("{origin} via `{name}()`"));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether `f`'s return value is tainted: any `return <tainted>;` or a
+/// tainted trailing expression.
+fn fn_returns_tainted(
+    lexed: &LexedFile,
+    f: &FnItem,
+    fi: usize,
+    state: &TaintState,
+) -> Option<String> {
+    let toks = &lexed.tokens;
+    let (start, end) = f.body;
+    if start >= end {
+        return None;
+    }
+    // `return expr;` anywhere in the body.
+    let mut i = start;
+    while i < end {
+        if toks[i].is_ident("return") {
+            let semi = stmt_end(toks, i + 1, end);
+            if let Some(origin) = expr_tainted(toks, i + 1, semi, fi, state) {
+                return Some(origin);
+            }
+            i = semi;
+        }
+        i += 1;
+    }
+    // Trailing expression: tokens after the last top-level statement
+    // boundary (a `;` at depth 0, or a `}` closing a depth-0 block that no
+    // expression continues from — a `)`/`]` closing a call or index is
+    // part of the expression, never a boundary).
+    let mut depth = 0i32;
+    let mut boundary = start;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if t.is_punct('}') && depth == 0 && !is_expr_tail(toks, i + 1, end) {
+                boundary = i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            boundary = i + 1;
+        }
+        i += 1;
+    }
+    if boundary < end {
+        expr_tainted(toks, boundary, end, fi, state)
+    } else {
+        None
+    }
+}
+
+/// After a depth-0 `}`, does an expression continue (`.method()`, `?`,
+/// operator)? If so the `}` is not a statement boundary.
+fn is_expr_tail(toks: &[Token], i: usize, end: usize) -> bool {
+    i < end
+        && (toks[i].is_punct('.')
+            || toks[i].is_punct('?')
+            || toks[i].is_punct('+')
+            || toks[i].is_punct('-')
+            || toks[i].is_punct('*')
+            || toks[i].is_punct('/'))
+}
+
+/// Sink detection inside one fn, with the fully-propagated state.
+fn find_sinks(
+    lexed: &LexedFile,
+    f: &FnItem,
+    fi: usize,
+    state: &TaintState,
+    queues: &[String],
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    let (start, end) = f.body;
+    let mut i = start;
+    while i < end {
+        if lexed.in_test.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks[i].ident() else {
+            i += 1;
+            continue;
+        };
+        let after_dot = i > 0 && toks[i - 1].is_punct('.');
+        let is_call = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let is_def = i > 0 && toks[i - 1].is_ident("fn");
+        if is_call && !is_def {
+            if after_dot && SCHEDULE_SINKS.contains(&name) {
+                let close = matching(toks, i + 1);
+                if let Some(origin) = expr_tainted(toks, i + 2, close, fi, state) {
+                    out.push(Finding {
+                        line: toks[i].line,
+                        message: format!(
+                            "value tainted by {origin} reaches `{name}(...)` (event schedule/timestamp)"
+                        ),
+                    });
+                }
+            }
+            if SEED_SINKS.contains(&name) || (after_dot && name == "seed") {
+                let close = matching(toks, i + 1);
+                if let Some(origin) = expr_tainted(toks, i + 2, close, fi, state) {
+                    out.push(Finding {
+                        line: toks[i].line,
+                        message: format!(
+                            "value tainted by {origin} reaches `{name}(...)` (seed derivation)"
+                        ),
+                    });
+                }
+            }
+            if after_dot && (name == "push" || name == "insert") && i >= 2 {
+                if let Some(recv) = toks[i - 2].ident() {
+                    if queues.contains(&recv.to_string()) {
+                        let close = matching(toks, i + 1);
+                        if let Some(origin) = expr_tainted(toks, i + 2, close, fi, state) {
+                            out.push(Finding {
+                                line: toks[i].line,
+                                message: format!(
+                                    "value tainted by {origin} reaches `{recv}.{name}(...)` \
+                                     (Ord/hash key of a queue structure)"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    // Results-artifact writes: statement-level scan.
+    let mut s = start;
+    while s < end {
+        let e = stmt_end(toks, s, end);
+        let span = &toks[s..e.min(toks.len())];
+        let has_write = span
+            .iter()
+            .any(|t| t.ident().is_some_and(|n| n.contains("write")));
+        let results_lit = span.iter().find_map(|t| match &t.kind {
+            TokKind::Str(text) if text.starts_with("results/") => Some(text.clone()),
+            _ => None,
+        });
+        let in_test = lexed.in_test.get(s).copied().unwrap_or(false);
+        if has_write && !in_test {
+            if let Some(lit) = results_lit {
+                // results/perf* is the sanctioned wall-clock artifact.
+                if !lit.starts_with("results/perf") {
+                    if let Some(origin) = expr_tainted(toks, s, e, fi, state) {
+                        out.push(Finding {
+                            line: toks[s].line,
+                            message: format!(
+                                "value tainted by {origin} written into committed artifact `{lit}`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        s = e + 1;
+    }
+}
+
+/// Queue-structure bindings in a body span: `name: BinaryHeap<..>` /
+/// `let name = BTreeMap::new()`.
+fn collect_queue_bindings(toks: &[Token], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let is_queue = |t: &Token| t.ident().is_some_and(|n| QUEUE_TYPES.contains(&n));
+    let mut i = start;
+    while i < end {
+        if let Some(name) = toks[i].ident() {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                // 12-token window: enough for `&mut std :: collections ::
+                // BinaryHeap` (each `::` is two tokens).
+                for t in toks.iter().take(end).skip(i + 2).take(12) {
+                    if is_queue(t) {
+                        out.push(name.to_string());
+                        break;
+                    }
+                    if t.is_punct(',') || t.is_punct(';') || t.is_punct(')') || t.is_punct('=') {
+                        break;
+                    }
+                }
+            }
+            if name == "let" {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(bound) = toks.get(j).and_then(Token::ident) {
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                        for t in toks.iter().take(end).skip(j + 2).take(6) {
+                            if is_queue(t) {
+                                out.push(bound.to_string());
+                                break;
+                            }
+                            if t.is_punct(';') || t.is_punct('(') {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}

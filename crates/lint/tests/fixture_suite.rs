@@ -3,18 +3,21 @@
 //! machinery must behave per the grammar. Ends with the self-test that the
 //! live workspace lints clean.
 
-use dcm_lint::rules::{Scope, NO_SUPPRESS_CRATES, RULES};
-use dcm_lint::{lint_source, FileOutcome};
+use dcm_lint::rules::{Scope, HOT_MODULES, NO_SUPPRESS_CRATES, RULES};
+use dcm_lint::{lint_files, lint_source, FileInput, FileOutcome};
 use std::fs;
 use std::path::Path;
 
-fn lint_fixture(rel: &str, crate_name: &str, scope: Scope) -> FileOutcome {
+fn fixture_source(rel: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(rel);
-    let source = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-    lint_source(rel, crate_name, scope, &source)
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn lint_fixture(rel: &str, crate_name: &str, scope: Scope) -> FileOutcome {
+    lint_source(rel, crate_name, scope, &fixture_source(rel))
 }
 
 /// (fixture dir, rule that must fire, line it must fire on).
@@ -23,7 +26,10 @@ const PAIRS: &[(&str, &str, u32)] = &[
     ("wall_clock", "wall-clock", 4),
     ("unseeded_rng", "unseeded-rng", 4),
     ("float_reduction", "float-reduction", 7),
-    ("unwrap_in_lib", "unwrap-in-lib", 4),
+    ("panic_path", "panic-path", 4),
+    ("panic_path_slice", "panic-path", 5),
+    ("panic_path_unchecked", "panic-path", 5),
+    ("atomics_ordering", "atomics-ordering", 7),
     ("todo_markers", "todo-markers", 4),
 ];
 
@@ -62,9 +68,14 @@ fn every_clean_twin_is_quiet() {
 
 #[test]
 fn pairs_cover_every_behavioural_rule() {
-    // The two suppression-hygiene rules are covered by the tests below;
-    // every other rule in the registry must have a fixture pair.
-    let covered: Vec<&str> = PAIRS.iter().map(|&(_, rule, _)| rule).collect();
+    // The two suppression-hygiene rules are covered by the directive tests
+    // below; `hot-path-alloc` needs a hot-module path and is covered by
+    // `hot_module_rules_fire_under_a_hot_path`; `determinism-taint` needs
+    // Relaxed scope (so the strict source rules stay out of the way) and is
+    // covered by the three `taint_*` tests. Every other rule in the
+    // registry must have a PAIRS fixture pair.
+    let mut covered: Vec<&str> = PAIRS.iter().map(|&(_, rule, _)| rule).collect();
+    covered.extend(["hot-path-alloc", "determinism-taint"]);
     for rule in RULES {
         if rule.name == "bad-suppression" || rule.name == "forbidden-suppression" {
             continue;
@@ -75,6 +86,133 @@ fn pairs_cover_every_behavioural_rule() {
             rule.name
         );
     }
+}
+
+#[test]
+fn hot_module_rules_fire_under_a_hot_path() {
+    // `hot-path-alloc` keys on the file path, so the fixture is linted as
+    // though it were each configured hot module in turn.
+    for hot_path in HOT_MODULES {
+        let crate_name = hot_path.split('/').nth(1).expect("crates/<name>/...");
+        let out = lint_source(
+            hot_path,
+            crate_name,
+            Scope::Strict,
+            &fixture_source("hot_path_alloc/bad.rs"),
+        );
+        assert_eq!(
+            out.diagnostics.len(),
+            1,
+            "{hot_path}: expected exactly one finding, got {:?}",
+            out.diagnostics
+        );
+        assert_eq!(out.diagnostics[0].rule, "hot-path-alloc");
+        assert_eq!(out.diagnostics[0].line, 5);
+
+        let clean = lint_source(
+            hot_path,
+            crate_name,
+            Scope::Strict,
+            &fixture_source("hot_path_alloc/clean.rs"),
+        );
+        assert!(clean.diagnostics.is_empty(), "got {:?}", clean.diagnostics);
+    }
+    // Outside the hot-module list the same source is not hot-path-checked.
+    let elsewhere = lint_fixture("hot_path_alloc/bad.rs", "core", Scope::Strict);
+    assert!(
+        elsewhere.diagnostics.is_empty(),
+        "hot-path-alloc must not fire outside HOT_MODULES, got {:?}",
+        elsewhere.diagnostics
+    );
+}
+
+#[test]
+fn taint_leak_through_let_binding() {
+    // Relaxed scope: `wall-clock` is strict-only, so the only thing that
+    // can see this leak is the taint pass.
+    let out = lint_fixture("taint_binding/bad.rs", "bench", Scope::Relaxed);
+    assert_eq!(
+        out.diagnostics.len(),
+        1,
+        "expected exactly the taint finding, got {:?}",
+        out.diagnostics
+    );
+    assert_eq!(out.diagnostics[0].rule, "determinism-taint");
+    assert_eq!(out.diagnostics[0].line, 9);
+    assert!(out.diagnostics[0].message.contains("schedule_at"));
+
+    let clean = lint_fixture("taint_binding/clean.rs", "bench", Scope::Relaxed);
+    assert!(clean.diagnostics.is_empty(), "got {:?}", clean.diagnostics);
+}
+
+#[test]
+fn taint_leak_through_struct_field() {
+    let out = lint_fixture("taint_field/bad.rs", "bench", Scope::Relaxed);
+    assert_eq!(
+        out.diagnostics.len(),
+        1,
+        "expected exactly the taint finding, got {:?}",
+        out.diagnostics
+    );
+    assert_eq!(out.diagnostics[0].rule, "determinism-taint");
+    assert_eq!(out.diagnostics[0].line, 16);
+    assert!(out.diagnostics[0].message.contains("seed_from_u64"));
+
+    let clean = lint_fixture("taint_field/clean.rs", "bench", Scope::Relaxed);
+    assert!(clean.diagnostics.is_empty(), "got {:?}", clean.diagnostics);
+}
+
+#[test]
+fn taint_leak_through_cross_file_call() {
+    let lint_pair = |source_file: &str, sink_file: &str| {
+        let source = fixture_source(source_file);
+        let sink = fixture_source(sink_file);
+        let inputs = [
+            FileInput {
+                rel_path: source_file,
+                crate_name: "bench",
+                scope: Scope::Relaxed,
+                source: &source,
+            },
+            FileInput {
+                rel_path: sink_file,
+                crate_name: "bench",
+                scope: Scope::Relaxed,
+                source: &sink,
+            },
+        ];
+        lint_files(&inputs)
+    };
+
+    let report = lint_pair(
+        "taint_crossfile/bad_source.rs",
+        "taint_crossfile/bad_sink.rs",
+    );
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "expected exactly the cross-file taint finding, got {:?}",
+        report.diagnostics
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, "determinism-taint");
+    assert_eq!(d.path, "taint_crossfile/bad_sink.rs");
+    assert_eq!(d.line, 7);
+    assert!(
+        d.message.contains("boot_nanos"),
+        "finding must name the cross-file carrier: {}",
+        d.message
+    );
+
+    let clean = lint_pair(
+        "taint_crossfile/clean_source.rs",
+        "taint_crossfile/clean_sink.rs",
+    );
+    assert!(
+        clean.diagnostics.is_empty(),
+        "clean twins must be quiet, got {:?}",
+        clean.diagnostics
+    );
 }
 
 #[test]

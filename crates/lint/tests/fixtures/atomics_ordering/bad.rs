@@ -1,0 +1,11 @@
+//! Fixture: exactly one atomics-ordering violation (line 7): a Relaxed
+//! load steering a branch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn gate(flag: &AtomicUsize) -> bool {
+    if flag.load(Ordering::Relaxed) > 0 {
+        return true;
+    }
+    false
+}

@@ -1,0 +1,11 @@
+//! Clean twin: an Acquire load pairs with the writer's Release store, so
+//! the branch sees a coherent value.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn gate(flag: &AtomicUsize) -> bool {
+    if flag.load(Ordering::Acquire) > 0 {
+        return true;
+    }
+    false
+}

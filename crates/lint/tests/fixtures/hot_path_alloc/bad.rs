@@ -1,0 +1,6 @@
+//! Fixture: exactly one hot-path-alloc violation (line 5) when linted
+//! under a hot-module path (the rule does not run elsewhere).
+
+pub fn snapshot(members: &[u32]) -> Vec<u32> {
+    members.to_vec()
+}

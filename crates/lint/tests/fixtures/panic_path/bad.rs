@@ -1,4 +1,4 @@
-//! Fixture: exactly one unwrap-in-lib violation (line 4).
+//! Fixture: exactly one panic-path violation (line 4): bare unwrap.
 
 pub fn head(values: &[u32]) -> u32 {
     *values.first().unwrap()

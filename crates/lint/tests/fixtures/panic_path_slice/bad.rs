@@ -1,0 +1,6 @@
+//! Fixture: exactly one panic-path violation (line 5): slice range
+//! computed by arithmetic can overrun.
+
+pub fn window(buf: &[u8], start: usize, len: usize) -> &[u8] {
+    &buf[start..start + len]
+}

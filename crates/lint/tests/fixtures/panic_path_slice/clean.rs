@@ -1,0 +1,5 @@
+//! Clean twin: a checked `get` surfaces the overrun to the caller.
+
+pub fn window(buf: &[u8], start: usize, len: usize) -> Option<&[u8]> {
+    buf.get(start..start.saturating_add(len))
+}

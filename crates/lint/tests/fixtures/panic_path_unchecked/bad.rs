@@ -1,0 +1,6 @@
+//! Fixture: exactly one panic-path violation (line 5): unchecked access
+//! is UB on a bad index, not even a clean panic.
+
+pub fn pick(values: &[u32], idx: usize) -> u32 {
+    unsafe { *values.get_unchecked(idx) }
+}

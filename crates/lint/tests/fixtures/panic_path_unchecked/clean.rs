@@ -1,0 +1,5 @@
+//! Clean twin: the checked accessor returns the absence instead.
+
+pub fn pick(values: &[u32], idx: usize) -> Option<u32> {
+    values.get(idx).copied()
+}

@@ -1,0 +1,10 @@
+//! Fixture: exactly one determinism-taint violation (line 9): a wall-clock
+//! value crosses a let binding and lands in an event schedule. Linted under
+//! Relaxed scope, where `wall-clock` itself does not run — only the taint
+//! pass sees the leak.
+
+pub fn kick(engine: &mut Engine) {
+    let start = std::time::Instant::now();
+    let at = nanos(start);
+    engine.schedule_at(at, Event::Tick);
+}

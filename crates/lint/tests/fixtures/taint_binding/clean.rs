@@ -1,0 +1,7 @@
+//! Clean twin: the schedule time derives from simulation time, which is
+//! deterministic by construction.
+
+pub fn kick(engine: &mut Engine) {
+    let at = engine.now().saturating_add(5);
+    engine.schedule_at(at, Event::Tick);
+}

@@ -1,0 +1,8 @@
+//! Cross-file fixture, file 2 of 2: exactly one determinism-taint
+//! violation (line 7) — the tainted return of `boot_nanos()` (defined in
+//! `bad_source.rs`, same crate) reaches an event schedule here.
+
+pub fn kick(engine: &mut Engine) {
+    let at = boot_nanos();
+    engine.schedule_at(at, Event::Tick);
+}

@@ -1,0 +1,8 @@
+//! Cross-file fixture, file 1 of 2: a free function whose return value is
+//! wall-clock tainted. The leak itself is reported in `bad_sink.rs`, which
+//! calls this through the per-crate symbol table.
+
+pub fn boot_nanos() -> u64 {
+    let t = std::time::Instant::now();
+    as_nanos(t)
+}

@@ -1,0 +1,7 @@
+//! Clean twin of `bad_sink.rs`: identical call shape; with the clean
+//! `boot_nanos` there is nothing to report.
+
+pub fn kick(engine: &mut Engine) {
+    let at = boot_nanos();
+    engine.schedule_at(at, Event::Tick);
+}

@@ -1,0 +1,6 @@
+//! Clean twin of `bad_source.rs`: the epoch is a configured constant, so
+//! the same free function shape carries no taint.
+
+pub fn boot_nanos() -> u64 {
+    CONFIGURED_EPOCH_NANOS
+}

@@ -1,0 +1,18 @@
+//! Fixture: exactly one determinism-taint violation (line 16): wall-clock
+//! taint stored into a struct field in one method reaches a seed
+//! derivation in another. Linted under Relaxed scope so only the taint
+//! pass sees it.
+
+pub struct Harness {
+    seed_material: u64,
+}
+
+impl Harness {
+    pub fn build() -> Harness {
+        Harness { seed_material: nanos(std::time::SystemTime::now()) }
+    }
+
+    pub fn arm(&self, rng: &mut Rng) {
+        rng.seed_from_u64(self.seed_material);
+    }
+}

@@ -847,8 +847,11 @@ pub fn set_tier_thread_pools(
     if tier >= world.system.tier_count() {
         return Err(ScaleError::NoSuchTier { tier });
     }
-    let members: Vec<ServerId> = world.system.tier(tier).members().to_vec();
-    for sid in members {
+    // Index loop: membership cannot change inside the resize calls, and an
+    // index walk avoids cloning the member list per scaling action.
+    let n = world.system.tier(tier).members().len();
+    for i in 0..n {
+        let sid = world.system.tier(tier).members()[i];
         set_server_thread_pool(world, engine, sid, size);
     }
     Ok(())
@@ -869,8 +872,10 @@ pub fn set_tier_conn_pools(
     if tier >= world.system.tier_count() {
         return Err(ScaleError::NoSuchTier { tier });
     }
-    let members: Vec<ServerId> = world.system.tier(tier).members().to_vec();
-    for sid in members {
+    // Index loop for the same reason as `set_tier_thread_pools`.
+    let n = world.system.tier(tier).members().len();
+    for i in 0..n {
+        let sid = world.system.tier(tier).members()[i];
         set_server_conn_pool(world, engine, sid, size);
     }
     Ok(())

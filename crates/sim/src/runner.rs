@@ -27,13 +27,13 @@ static JOBS: AtomicUsize = AtomicUsize::new(0);
 /// Sets the process-wide worker count for [`run_ordered`]. `0` restores the
 /// default of [`available_parallelism`]. `1` forces the serial path.
 pub fn set_jobs(jobs: usize) {
-    JOBS.store(jobs, Ordering::Relaxed);
+    JOBS.store(jobs, Ordering::Release);
 }
 
 /// The configured worker count after resolving `0` to the machine's
 /// available parallelism. Always at least 1.
 pub fn jobs() -> usize {
-    match JOBS.load(Ordering::Relaxed) {
+    match JOBS.load(Ordering::Acquire) {
         0 => available_parallelism(),
         n => n,
     }

@@ -279,12 +279,10 @@ impl CohortPopulation {
         self.inner.borrow().stats.completed as usize
     }
 
-    /// A copy of the completion log (empty after [`Self::disable_log`]).
-    pub fn completions(&self) -> Vec<Completion> {
-        self.inner.borrow().log.clone()
-    }
-
-    /// Runs `f` over the completion log without copying.
+    /// Runs `f` over the completion log without copying (the log is empty
+    /// after [`Self::disable_log`]). Callers that need an owned copy do
+    /// `with_completions(<[Completion]>::to_vec)` at their own expense —
+    /// there is deliberately no cloning accessor on the cohort hot path.
     pub fn with_completions<R>(&self, f: impl FnOnce(&[Completion]) -> R) -> R {
         f(&self.inner.borrow().log)
     }
@@ -438,7 +436,10 @@ mod tests {
             SimTime::from_secs(20),
         );
         engine.run(&mut world);
-        (pop.completions(), engine.executed())
+        (
+            pop.with_completions(<[Completion]>::to_vec),
+            engine.executed(),
+        )
     }
 
     /// The metamorphic anchor: cohorts of one ARE the per-user generator —
@@ -607,7 +608,10 @@ mod tests {
         );
         pop.disable_log();
         engine.run(&mut world);
-        assert!(pop.completions().is_empty(), "log disabled");
+        assert!(
+            pop.with_completions(<[Completion]>::is_empty),
+            "log disabled"
+        );
         let stats = pop.stats();
         assert!(stats.completed > 0);
         assert_eq!(pop.completion_count(), stats.completed as usize);
