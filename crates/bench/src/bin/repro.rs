@@ -13,7 +13,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use dcm_bench::experiments::{
-    ablation, chaos, fig2, fig4, fig5, fleet, gamma, hunt, league, queuebench, table1,
+    ablation, chaos, fig2, fig4, fig5, fleet, gamma, hunt, league, mesh, queuebench, table1,
     trace_export, validate, Fidelity,
 };
 use dcm_bench::format::TextTable;
@@ -153,6 +153,12 @@ fn usage() -> String {
      \x20             plan journal results/league_mpc.journal.json —\n\
      \x20             byte-identical for every --jobs value; `repro\n\
      \x20             explain league` renders the ranking + journal)\n\
+     \x20 mesh        controllers off the chain: DCM, MPC, and\n\
+     \x20             EC2-AutoScale on a fan-out microservice mesh with a\n\
+     \x20             warming cache (bottleneck migrates mid-run) and a\n\
+     \x20             mixed small/large VM fleet ranked on dollars (writes\n\
+     \x20             results/mesh.json and results/mesh.csv —\n\
+     \x20             byte-identical for every --jobs value)\n\
      \x20 hunt        adversarial scenario fuzzing: a seed-deterministic\n\
      \x20             campaign of random topologies, traces, fault\n\
      \x20             schedules, and controller configs checked against\n\
@@ -458,6 +464,7 @@ fn main() -> ExitCode {
         "faults",
         "chaos",
         "league",
+        "mesh",
         "trace",
         "explain",
     ]
@@ -733,6 +740,30 @@ fn main() -> ExitCode {
         }
     }
 
+    // `mesh` takes the controllers off the three-tier chain: a fan-out
+    // microservice DAG with a warming cache and a mixed VM fleet. Like
+    // `league` it is its own CI job, not part of `all`.
+    if cli.command == "mesh" {
+        matched = true;
+        let models = models.expect("trained above");
+        out.section("Mesh: DCM vs MPC vs EC2 on a fan-out DAG with warming cache");
+        let result = perf.time("mesh", || mesh::run_mesh(f, models));
+        out.table("mesh", &result.table());
+        out.findings(&result.findings());
+        let dir = PathBuf::from("results");
+        let write = fs::create_dir_all(&dir)
+            .and_then(|()| fs::write(dir.join("mesh.json"), result.to_json()))
+            .and_then(|()| fs::write(dir.join("mesh.csv"), result.to_csv()));
+        match write {
+            Ok(()) => println!(
+                "\nwrote {} and {}",
+                dir.join("mesh.json").display(),
+                dir.join("mesh.csv").display()
+            ),
+            Err(err) => eprintln!("warning: could not write mesh results: {err}"),
+        }
+    }
+
     if wants("queuebench") {
         matched = true;
         out.section("Queue microbenchmarks: calendar engine vs binary-heap reference");
@@ -793,13 +824,14 @@ fn main() -> ExitCode {
             eprintln!(
                 "validate: conformance gate FAILED (per-user worst {:.3}% / {:.3}% \
                  zero-overhead / load-dependent vs gates {:.0}% / {:.0}%; cohort \
-                 worst {:.3}% / {:.3}% under the same gates)",
+                 worst {:.3}% / {:.3}% under the same gates; mesh worst {:.3}%)",
                 100.0 * result.max_rel_err(dcm_oracle::ScenarioKind::ZeroOverhead),
                 100.0 * result.max_rel_err(dcm_oracle::ScenarioKind::LoadDependent),
                 100.0 * result.tol_zero,
                 100.0 * result.tol_law,
                 100.0 * result.cohort_max_rel_err(dcm_oracle::ScenarioKind::ZeroOverhead),
                 100.0 * result.cohort_max_rel_err(dcm_oracle::ScenarioKind::LoadDependent),
+                100.0 * result.mesh_max_rel_err(),
             );
             gate_failed = true;
         }

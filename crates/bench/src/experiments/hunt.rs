@@ -3,7 +3,11 @@
 //! A seed-deterministic campaign harness that generates random full-stack
 //! scenarios — topology, workload shape, fault schedule, controller
 //! configuration — runs each through the simulator, and checks the result
-//! against invariant oracles:
+//! against invariant oracles. A quarter of the trace-driven scenarios
+//! (those whose [`mesh_active`] coin lands) swap the three-tier chain for
+//! a fan-out microservice mesh with a warming cache and, optionally, a
+//! mixed small/large VM fleet, so the conservation, replay, and league
+//! oracles continuously fuzz the DAG dispatch path too:
 //!
 //! * **conservation** — a faulted, controller-driven trace run must end
 //!   with a clean [`ConservationAuditor`] report and zero in-flight
@@ -41,19 +45,24 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use dcm_core::agents::Action;
-use dcm_core::controller::{Dcm, DcmConfig, DcmModels, Ec2AutoScale};
+use dcm_core::controller::{Controller, Dcm, DcmConfig, DcmModels, Ec2AutoScale};
 use dcm_core::experiment::{
-    run_trace_experiment, steady_state_throughput, SteadyStateOptions, TraceExperimentConfig,
-    TraceRunResult,
+    run_mesh_trace_experiment, run_trace_experiment, steady_state_throughput,
+    MeshExperimentConfig, SteadyStateOptions, TraceExperimentConfig, TraceRunResult,
 };
+use dcm_core::monitor::MetricsBus;
 use dcm_core::mpc::{ModelPredictive, MpcConfig};
 use dcm_core::policy::ScalingConfig;
 use dcm_core::predictor::HoltConfig;
 use dcm_core::zoo::{HoltWinters, StaffingConfig, ThresholdMmc};
 use dcm_model::concurrency::ConcurrencyModel;
+use dcm_ntier::graph::TopologyGraph;
 use dcm_ntier::law::{reference, ServiceLaw};
-use dcm_ntier::system::InterTierRetry;
-use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+use dcm_ntier::server::VmType;
+use dcm_ntier::system::{InterTierRetry, VmPolicy};
+use dcm_ntier::topology::{MeshNode, SoftConfig, ThreeTierBuilder};
+use dcm_workload::cache::CacheDynamics;
+use dcm_workload::profile::{CacheEdge, NodeDemand};
 use dcm_obs::FailureLog;
 use dcm_oracle::{run_scenario, Scenario, ScenarioKind};
 use dcm_sim::dist::Dist;
@@ -311,6 +320,30 @@ pub struct HuntScenario {
     pub hw_trend_beta: f64,
     /// Per-tick VM step limit for the MPC and staffing controllers.
     pub step_limit: u32,
+    /// Mesh activation draw: below [`MESH_PROB`] the trace-driven oracles
+    /// run the fan-out mesh world instead of the three-tier chain.
+    pub mesh_coin: f64,
+    /// Calls per request on the fan-out app→db edge of the mesh.
+    pub fanout_calls: u32,
+    /// Steady-state maximum hit ratio of the mesh's app→db cache
+    /// (0 disables the cache).
+    pub cache_hit: f64,
+    /// Requests over which the mesh cache warms to `1 − 1/e` of its max.
+    pub cache_warmup: f64,
+    /// CPU-capacity multiplier of the large VM flavor in mixed fleets.
+    pub vm_large_capacity: f64,
+    /// Launch the mesh DB tier as an alternating small/large fleet.
+    pub vm_mix: bool,
+}
+
+/// Fraction of trace-driven scenarios that run the mesh world. The draw
+/// sits at the end of the generation stream, so pre-mesh campaigns keep
+/// every earlier knob bit-identical.
+pub const MESH_PROB: f64 = 0.25;
+
+/// True when this scenario's trace-driven oracles run the mesh world.
+pub fn mesh_active(s: &HuntScenario) -> bool {
+    s.mesh_coin < MESH_PROB
 }
 
 fn uni(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
@@ -429,6 +462,20 @@ pub fn generate(campaign_seed: u64, index: u64) -> HuntScenario {
     let hw_trend_beta = uni(&mut rng, 0.05, 0.45);
     let step_limit = uni_u32(&mut rng, 1, 3);
 
+    // Mesh knobs, appended after every pre-existing draw (including the
+    // zoo's) so older fields keep their values for a given (seed, index).
+    let mesh_coin = rng.next_f64();
+    let fanout_calls = uni_u32(&mut rng, 1, 3);
+    let cache_hit = if coin(&mut rng, 0.6) {
+        uni(&mut rng, 0.2, 0.7)
+    } else {
+        let _ = uni(&mut rng, 0.2, 0.7);
+        0.0
+    };
+    let cache_warmup = uni(&mut rng, 100.0, 2000.0).round();
+    let vm_large_capacity = uni(&mut rng, 1.5, 4.0);
+    let vm_mix = coin(&mut rng, 0.5);
+
     HuntScenario {
         oracle,
         seed,
@@ -474,6 +521,12 @@ pub fn generate(campaign_seed: u64, index: u64) -> HuntScenario {
         hw_level_alpha,
         hw_trend_beta,
         step_limit,
+        mesh_coin,
+        fanout_calls,
+        cache_hit,
+        cache_warmup,
+        vm_large_capacity,
+        vm_mix,
     }
 }
 
@@ -598,13 +651,67 @@ fn staffing_config_for(s: &HuntScenario) -> StaffingConfig {
     }
 }
 
+/// The mesh world a mesh-active scenario runs: `web → app → {db×fanout,
+/// svc}`, the scenario's pool sizes and tier counts on the first three
+/// nodes, an optional warming cache on the app→db edge, and (when
+/// `vm_mix`) an alternating small/large DB fleet whose large flavor has
+/// the scenario's capacity multiplier.
+fn mesh_config_for(s: &HuntScenario) -> MeshExperimentConfig {
+    let graph = TopologyGraph::from_edges(4, &[(0, 1, 1), (1, 2, s.fanout_calls), (1, 3, 1)]);
+    let db_policy = if s.vm_mix {
+        let large = VmType {
+            name: "hunt-large",
+            capacity: s.vm_large_capacity,
+            price_per_hour: VmType::SMALL.price_per_hour * s.vm_large_capacity * 1.2,
+        };
+        VmPolicy::cycle(vec![VmType::SMALL, large])
+    } else {
+        VmPolicy::default()
+    };
+    MeshExperimentConfig {
+        run: trace_config_for(s),
+        nodes: vec![
+            MeshNode::new("web", reference::apache(), s.web_threads).count(s.web),
+            MeshNode::new("app", reference::tomcat(), s.app_threads)
+                .conns(s.db_conns)
+                .count(s.app),
+            MeshNode::new("db", reference::mysql(), 800)
+                .count(s.db)
+                .vm_policy(db_policy),
+            MeshNode::new("svc", reference::tomcat(), 50),
+        ],
+        graph,
+        demands: vec![
+            NodeDemand::split(Dist::constant(0.002)),
+            NodeDemand::split(Dist::constant(0.008)),
+            NodeDemand::leaf(Dist::exponential_mean(0.02)).iid_visits(),
+            NodeDemand::leaf(Dist::exponential_mean(0.012)).iid_visits(),
+        ],
+        cache: (s.cache_hit > 0.0).then(|| CacheEdge {
+            from: 1,
+            to: 2,
+            dynamics: CacheDynamics::new(s.cache_hit, s.cache_warmup),
+        }),
+    }
+}
+
+/// Runs one trace-driven scenario on whichever world its mesh coin chose.
+fn drive<C, F>(s: &HuntScenario, make: F) -> TraceRunResult
+where
+    C: Controller + 'static,
+    F: FnOnce(MetricsBus) -> C,
+{
+    if mesh_active(s) {
+        run_mesh_trace_experiment(&mesh_config_for(s), make)
+    } else {
+        run_trace_experiment(&trace_config_for(s), make)
+    }
+}
+
 fn run_trace_scenario(s: &HuntScenario) -> TraceRunResult {
-    let config = trace_config_for(s);
     match s.controller {
-        ControllerKind::Ec2 => {
-            run_trace_experiment(&config, |bus| Ec2AutoScale::new(bus, scaling_config_for(s)))
-        }
-        ControllerKind::Dcm => run_trace_experiment(&config, |bus| {
+        ControllerKind::Ec2 => drive(s, |bus| Ec2AutoScale::new(bus, scaling_config_for(s))),
+        ControllerKind::Dcm => drive(s, |bus| {
             let dcm_config = DcmConfig {
                 scaling: scaling_config_for(s),
                 headroom: s.headroom,
@@ -612,7 +719,7 @@ fn run_trace_scenario(s: &HuntScenario) -> TraceRunResult {
             };
             Dcm::new(bus, dcm_config, dcm_models())
         }),
-        ControllerKind::Mpc => run_trace_experiment(&config, |bus| {
+        ControllerKind::Mpc => drive(s, |bus| {
             let mpc_config = MpcConfig {
                 slo_secs: s.mpc_slo_secs,
                 think_time_secs: s.think_secs,
@@ -623,10 +730,8 @@ fn run_trace_scenario(s: &HuntScenario) -> TraceRunResult {
             };
             ModelPredictive::new(bus, mpc_config, dcm_models())
         }),
-        ControllerKind::Mmc => run_trace_experiment(&config, |bus| {
-            ThresholdMmc::new(bus, staffing_config_for(s))
-        }),
-        ControllerKind::Hw => run_trace_experiment(&config, |bus| {
+        ControllerKind::Mmc => drive(s, |bus| ThresholdMmc::new(bus, staffing_config_for(s))),
+        ControllerKind::Hw => drive(s, |bus| {
             let holt = HoltConfig {
                 level_alpha: s.hw_level_alpha,
                 trend_beta: s.hw_trend_beta,
@@ -649,6 +754,9 @@ fn fingerprint_run(fnv: &mut Fnv, run: &TraceRunResult) {
     fnv.u64(run.actions.len() as u64);
     for vs in &run.vm_seconds {
         fnv.f64(*vs);
+    }
+    for vc in &run.vm_cost {
+        fnv.f64(*vc);
     }
 }
 
@@ -708,6 +816,16 @@ fn check_replay(s: &HuntScenario) -> CheckOutcome {
         problems.push(format!(
             "vm-seconds diverged: {:?} vs {:?}",
             a.vm_seconds, b.vm_seconds
+        ));
+    }
+    if a.vm_cost
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(b.vm_cost.iter().map(|v| v.to_bits()))
+    {
+        problems.push(format!(
+            "vm-dollars diverged: {:?} vs {:?}",
+            a.vm_cost, b.vm_cost
         ));
     }
     CheckOutcome {
@@ -1030,6 +1148,15 @@ fn reductions(s: &HuntScenario) -> Vec<HuntScenario> {
             out.push(c);
         }
     };
+    // Mesh knobs first: a violation that survives the walk back to the
+    // chain (or with the cache, mixed fleet, and fan-out stripped) is not
+    // a mesh bug, and the pinned case should say so.
+    push(&|c| c.mesh_coin = 1.0);
+    push(&|c| c.cache_hit = 0.0);
+    push(&|c| c.vm_mix = false);
+    push(&|c| c.fanout_calls = 1);
+    push(&|c| c.vm_large_capacity = 2.0);
+    push(&|c| c.cache_warmup = 1000.0);
     push(&|c| c.transient_prob = 0.0);
     push(&|c| c.straggler_at_secs = 0.0);
     push(&|c| c.crash_at_secs = 0.0);
@@ -1114,9 +1241,9 @@ pub fn shrink(original: &HuntScenario, detail: &str) -> ShrinkResult {
 }
 
 /// Fixed kv field order for [`HuntScenario::to_kv`] / [`from_kv`]. The
-/// zoo fields sit at the end and default when absent, so regression files
-/// pinned before the zoo landed still parse.
-const KV_FIELDS: [&str; 44] = [
+/// zoo and mesh fields sit at the end and default when absent, so
+/// regression files pinned before either landed still parse.
+const KV_FIELDS: [&str; 50] = [
     "oracle",
     "seed",
     "web",
@@ -1161,10 +1288,20 @@ const KV_FIELDS: [&str; 44] = [
     "hw_level_alpha",
     "hw_trend_beta",
     "step_limit",
+    "mesh_coin",
+    "fanout_calls",
+    "cache_hit",
+    "cache_warmup",
+    "vm_large_capacity",
+    "vm_mix",
 ];
 
 /// Defaults for the zoo fields when parsing pre-zoo regression files.
 const KV_ZOO_DEFAULTS: (f64, f64, f64, f64, f64, u32) = (1.0, 0.8, 0.6, 0.5, 0.3, 2);
+
+/// Defaults for the mesh fields when parsing pre-mesh regression files.
+/// `mesh_coin = 1.0` keeps every pinned chain scenario on the chain.
+const KV_MESH_DEFAULTS: (f64, u32, f64, f64, f64, bool) = (1.0, 2, 0.0, 1000.0, 2.0, false);
 
 impl HuntScenario {
     /// Serializes the scenario as `key value` lines in a fixed order.
@@ -1218,6 +1355,12 @@ impl HuntScenario {
                 "hw_level_alpha" => self.hw_level_alpha.to_string(),
                 "hw_trend_beta" => self.hw_trend_beta.to_string(),
                 "step_limit" => self.step_limit.to_string(),
+                "mesh_coin" => self.mesh_coin.to_string(),
+                "fanout_calls" => self.fanout_calls.to_string(),
+                "cache_hit" => self.cache_hit.to_string(),
+                "cache_warmup" => self.cache_warmup.to_string(),
+                "vm_large_capacity" => self.vm_large_capacity.to_string(),
+                "vm_mix" => self.vm_mix.to_string(),
                 _ => unreachable!("field list is exhaustive"),
             };
             let _ = writeln!(out, "{key} {value}");
@@ -1283,7 +1426,16 @@ impl HuntScenario {
                     .map_err(|e| format!("bad u32 for {key:?}: {e}")),
             }
         };
+        let get_bool_or = |key: &str, default: bool| -> Result<bool, String> {
+            match map.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .parse::<bool>()
+                    .map_err(|e| format!("bad bool for {key:?}: {e}")),
+            }
+        };
         let (d_slo, d_margin, d_rho, d_alpha, d_beta, d_step) = KV_ZOO_DEFAULTS;
+        let (d_coin, d_fanout, d_hit, d_warm, d_cap, d_mix) = KV_MESH_DEFAULTS;
         Ok(HuntScenario {
             oracle: OracleKind::parse(get("oracle")?)?,
             seed: get_u64("seed")?,
@@ -1329,6 +1481,12 @@ impl HuntScenario {
             hw_level_alpha: get_f64_or("hw_level_alpha", d_alpha)?,
             hw_trend_beta: get_f64_or("hw_trend_beta", d_beta)?,
             step_limit: get_u32_or("step_limit", d_step)?,
+            mesh_coin: get_f64_or("mesh_coin", d_coin)?,
+            fanout_calls: get_u32_or("fanout_calls", d_fanout)?,
+            cache_hit: get_f64_or("cache_hit", d_hit)?,
+            cache_warmup: get_f64_or("cache_warmup", d_warm)?,
+            vm_large_capacity: get_f64_or("vm_large_capacity", d_cap)?,
+            vm_mix: get_bool_or("vm_mix", d_mix)?,
         })
     }
 
@@ -1630,6 +1788,71 @@ mod tests {
         assert_eq!(parsed.step_limit, d_step);
         assert_eq!(parsed.seed, s.seed);
         assert_eq!(parsed.controller, s.controller);
+    }
+
+    #[test]
+    fn mesh_fields_default_when_absent_from_kv() {
+        // A pre-mesh kv payload must parse with the mesh coin inactive, so
+        // every pinned chain regression keeps replaying on the chain.
+        let s = generate(SEED, 11);
+        let pre_mesh: String = s
+            .to_kv()
+            .lines()
+            .filter(|l| {
+                let key = l.split(' ').next().unwrap_or("");
+                !matches!(
+                    key,
+                    "mesh_coin"
+                        | "fanout_calls"
+                        | "cache_hit"
+                        | "cache_warmup"
+                        | "vm_large_capacity"
+                        | "vm_mix"
+                )
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = HuntScenario::from_kv(&pre_mesh).expect("pre-mesh kv parses");
+        let (d_coin, d_fanout, d_hit, d_warm, d_cap, d_mix) = KV_MESH_DEFAULTS;
+        assert_eq!(parsed.mesh_coin, d_coin);
+        assert!(!mesh_active(&parsed));
+        assert_eq!(parsed.fanout_calls, d_fanout);
+        assert_eq!(parsed.cache_hit, d_hit);
+        assert_eq!(parsed.cache_warmup, d_warm);
+        assert_eq!(parsed.vm_large_capacity, d_cap);
+        assert_eq!(parsed.vm_mix, d_mix);
+        assert_eq!(parsed.seed, s.seed);
+    }
+
+    #[test]
+    fn mesh_active_scenario_drives_the_dag_world_cleanly() {
+        // Force a conservation-oracle scenario onto the mesh with the
+        // cache and the mixed fleet both on: the audit (per-edge flow
+        // balance included) and the in-flight accounting must stay clean,
+        // and replaying it must be bit-identical.
+        let mut s = generate(SEED, 0);
+        assert_eq!(s.oracle, OracleKind::Conservation);
+        s.mesh_coin = 0.0;
+        s.fanout_calls = 2;
+        s.cache_hit = 0.5;
+        s.cache_warmup = 300.0;
+        s.vm_mix = true;
+        s.vm_large_capacity = 2.0;
+        s.horizon_secs = 60.0;
+        assert!(mesh_active(&s));
+        let outcome = check(&s);
+        assert!(
+            outcome.violation.is_none(),
+            "mesh conservation flagged: {:?}",
+            outcome.violation
+        );
+        s.oracle = OracleKind::Replay;
+        let outcome = check(&s);
+        assert!(
+            outcome.violation.is_none(),
+            "mesh replay flagged: {:?}",
+            outcome.violation
+        );
     }
 
     #[test]

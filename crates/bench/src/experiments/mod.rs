@@ -14,6 +14,7 @@ pub mod fleet;
 pub mod gamma;
 pub mod hunt;
 pub mod league;
+pub mod mesh;
 pub mod queuebench;
 pub mod table1;
 pub mod trace_export;

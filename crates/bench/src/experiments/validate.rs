@@ -8,7 +8,10 @@
 //! 2 %, load-dependent points within 5 %, the asymptotic bounds must never
 //! be violated, and every point's conservation audit must be clean.
 
-use dcm_oracle::{default_grid, run_scenario, run_scenario_cohort, ConformancePoint, ScenarioKind};
+use dcm_oracle::{
+    default_grid, default_mesh_grid, run_mesh_scenario, run_scenario, run_scenario_cohort,
+    ConformancePoint, MeshPoint, ScenarioKind,
+};
 use dcm_sim::rng::derive_seed;
 
 use crate::format::{num, TextTable};
@@ -48,6 +51,10 @@ pub struct ValidatePoint {
 pub struct Validate {
     /// Every measured grid point, in grid order.
     pub points: Vec<ValidatePoint>,
+    /// Every mesh grid point (fan-out DAG, steady-state cache,
+    /// heterogeneous VM capacity), in grid order. All mesh scenarios are
+    /// frictionless, so the zero-overhead tolerance gates them.
+    pub mesh_points: Vec<MeshPoint>,
     /// The zero-overhead tolerance applied.
     pub tol_zero: f64,
     /// The load-dependent tolerance applied.
@@ -79,8 +86,27 @@ pub fn run_validate(fidelity: Fidelity) -> Validate {
         per_user: run_scenario(&scenario, population, seed),
         cohort: run_scenario_cohort(&scenario, population, seed, COHORT_SIZE),
     });
+    let mut mesh_jobs = Vec::new();
+    for (i, scenario) in default_mesh_grid().into_iter().enumerate() {
+        let scale = match fidelity {
+            Fidelity::Quick => 0.1,
+            Fidelity::Full => 1.0,
+        };
+        for (j, &population) in scenario.populations.iter().enumerate() {
+            let mut s = scenario.clone();
+            s.warmup *= scale;
+            s.measure *= scale;
+            // Distinct index space from the chain grid's `(i << 8) | j`.
+            let seed = derive_seed(SEED, (0x4D << 16) | (i as u64) << 8 | j as u64);
+            mesh_jobs.push((s, population, seed));
+        }
+    }
+    let mesh_points = dcm_sim::runner::run_ordered(mesh_jobs, |(scenario, population, seed)| {
+        run_mesh_scenario(&scenario, population, seed)
+    });
     Validate {
         points,
+        mesh_points,
         tol_zero,
         tol_law,
         cohort_size: COHORT_SIZE,
@@ -102,11 +128,26 @@ impl Validate {
         p.max_rel_err() <= self.tolerance(p.kind) && p.bound_ok && p.audit_violations == 0
     }
 
-    /// Whether every point passed, per-user and cohort alike.
+    /// Whether one mesh measurement satisfies its gate. Mesh scenarios are
+    /// all frictionless, so the zero-overhead tolerance applies.
+    pub fn mesh_point_ok(&self, p: &MeshPoint) -> bool {
+        p.max_rel_err() <= self.tol_zero && p.bound_ok && p.audit_violations == 0
+    }
+
+    /// Whether every point passed — per-user, cohort, and mesh alike.
     pub fn passed(&self) -> bool {
         self.points
             .iter()
             .all(|p| self.point_ok(&p.per_user) && self.point_ok(&p.cohort))
+            && self.mesh_points.iter().all(|p| self.mesh_point_ok(p))
+    }
+
+    /// The largest relative error across the mesh grid.
+    pub fn mesh_max_rel_err(&self) -> f64 {
+        self.mesh_points
+            .iter()
+            .map(MeshPoint::max_rel_err)
+            .fold(0.0, f64::max)
     }
 
     /// The largest per-user relative error across points of the given kind.
@@ -172,6 +213,37 @@ impl Validate {
                 if self.point_ok(c) { "yes" } else { "NO" }.to_string(),
             ]);
         }
+        for p in &self.mesh_points {
+            // Mesh rows reuse the chain columns: the first two residence
+            // slots are nodes 0 and 1, the third is the worst remaining
+            // node; cohort columns do not apply.
+            let r0 = p.residence.first().map_or(0.0, |t| t.rel_err);
+            let r1 = p.residence.get(1).map_or(0.0, |t| t.rel_err);
+            let rest = p
+                .residence
+                .iter()
+                .skip(2)
+                .map(|t| t.rel_err)
+                .fold(0.0, f64::max);
+            t.row([
+                p.scenario.to_string(),
+                "mesh".to_string(),
+                p.population.to_string(),
+                num(p.throughput.des, 3),
+                num(p.throughput.mva, 3),
+                num(100.0 * p.throughput.rel_err, 3),
+                num(100.0 * r0, 3),
+                num(100.0 * r1, 3),
+                num(100.0 * rest, 3),
+                "-".to_string(),
+                if p.bound_ok { "yes" } else { "NO" }.to_string(),
+                p.audit_violations.to_string(),
+                if self.mesh_point_ok(p) { "yes" } else { "NO" }.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
         t
     }
 
@@ -203,6 +275,10 @@ impl Validate {
         json.push_str(&format!(
             "  \"cohort_max_rel_err_load_dependent\": {:.6},\n",
             self.cohort_max_rel_err(ScenarioKind::LoadDependent)
+        ));
+        json.push_str(&format!(
+            "  \"max_rel_err_mesh\": {:.6},\n",
+            self.mesh_max_rel_err()
         ));
         json.push_str(&format!("  \"passed\": {},\n", self.passed()));
         json.push_str("  \"points\": [\n");
@@ -239,6 +315,37 @@ impl Validate {
                 c.max_rel_err(),
                 self.point_ok(c),
                 if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str("  \"mesh_points\": [\n");
+        for (i, p) in self.mesh_points.iter().enumerate() {
+            let nodes: Vec<String> = p
+                .node_names
+                .iter()
+                .zip(&p.residence)
+                .map(|(name, r)| format!("{{\"node\": \"{name}\", \"rel_err\": {:.6}}}", r.rel_err))
+                .collect();
+            json.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"population\": {}, \
+                 \"completions\": {}, \
+                 \"throughput_des\": {:.6}, \"throughput_mva\": {:.6}, \
+                 \"throughput_rel_err\": {:.6}, \
+                 \"residence\": [{}], \
+                 \"throughput_bound\": {:.6}, \"bound_ok\": {}, \
+                 \"audit_violations\": {}, \"pass\": {}}}{}\n",
+                p.scenario,
+                p.population,
+                p.completions,
+                p.throughput.des,
+                p.throughput.mva,
+                p.throughput.rel_err,
+                nodes.join(", "),
+                p.throughput_bound,
+                p.bound_ok,
+                p.audit_violations,
+                self.mesh_point_ok(p),
+                if i + 1 < self.mesh_points.len() { "," } else { "" }
             ));
         }
         json.push_str("  ]\n}\n");
@@ -291,6 +398,15 @@ impl Validate {
                     .count(),
                 self.points.len()
             ),
+            format!(
+                "mesh conformance: {} points (fan-out DAG, steady-state cache, \
+                 heterogeneous VM capacity), worst error {:.3}% (gate {:.0}%) — \
+                 DAG visit ratios, Bernoulli cache routing, and capacity-rescaled \
+                 stations stay exact product-form",
+                self.mesh_points.len(),
+                100.0 * self.mesh_max_rel_err(),
+                100.0 * self.tol_zero
+            ),
         ]
     }
 }
@@ -310,6 +426,7 @@ mod tests {
     fn quick_validate_passes_and_serializes() {
         let result = run_validate(Fidelity::Quick);
         assert!(result.points.len() >= 18, "grid too small");
+        assert!(result.mesh_points.len() >= 9, "mesh grid too small");
         assert!(
             result.passed(),
             "conformance gate failed:\n{}",
@@ -319,7 +436,12 @@ mod tests {
         assert!(json.contains("\"passed\": true"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"cohort_max_rel_err\""));
-        assert_eq!(result.findings().len(), 4);
-        assert_eq!(result.table().len(), result.points.len());
+        assert!(json.contains("\"mesh_points\""));
+        assert!(json.contains("\"max_rel_err_mesh\""));
+        assert_eq!(result.findings().len(), 5);
+        assert_eq!(
+            result.table().len(),
+            result.points.len() + result.mesh_points.len()
+        );
     }
 }

@@ -13,8 +13,9 @@ use dcm_ntier::ids::ServerId;
 use dcm_ntier::metrics::ServerSample;
 use dcm_ntier::request::Completion;
 use dcm_ntier::spans::Span;
+use dcm_ntier::graph::TopologyGraph;
 use dcm_ntier::system::{InterTierRetry, SystemCounters};
-use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+use dcm_ntier::topology::{MeshBuilder, MeshNode, SoftConfig, ThreeTierBuilder};
 use dcm_ntier::world::{SimEngine, World};
 use dcm_obs::journal::DecisionJournal;
 use dcm_obs::metrics::{Registry, SeriesTable};
@@ -24,7 +25,7 @@ use dcm_sim::faults::FaultPlan;
 use dcm_sim::stats::TimeSeries;
 use dcm_sim::time::{SimDuration, SimTime};
 use dcm_workload::generator::{RetryPolicy, UserPopulation};
-use dcm_workload::profile::ProfileFactory;
+use dcm_workload::profile::{CacheEdge, MeshProfileFactory, NodeDemand, ProfileFactory, WorkloadFactory};
 use dcm_workload::report::{windowed_series, LoadReport, WindowedSeries};
 use dcm_workload::traces::WorkloadTrace;
 
@@ -162,6 +163,10 @@ pub struct TraceRunResult {
     pub planner_evals: u64,
     /// Per-tier VM-seconds consumed (the resource-cost metric).
     pub vm_seconds: Vec<f64>,
+    /// Per-tier dollars consumed. With a homogeneous fleet this is
+    /// VM-seconds times a constant; with mixed VM types it is the metric
+    /// that actually ranks controllers on spend.
+    pub vm_cost: Vec<f64>,
     /// System conservation counters at the end of the run.
     pub counters: SystemCounters,
     /// The configured horizon.
@@ -206,6 +211,54 @@ impl TraceRunResult {
     pub fn total_vm_seconds(&self) -> f64 {
         self.vm_seconds.iter().sum()
     }
+
+    /// Total dollars across tiers.
+    pub fn total_vm_cost(&self) -> f64 {
+        self.vm_cost.iter().sum()
+    }
+}
+
+/// Configuration of a trace-driven scaling experiment on a microservice
+/// mesh (arbitrary tree-shaped call graph, optional warming cache edge,
+/// per-tier VM policies) instead of the paper's fixed chain.
+#[derive(Debug, Clone)]
+pub struct MeshExperimentConfig {
+    /// Everything shared with the chain harness: trace, horizon, think
+    /// time, control period, seed, faults, retries, audit, obs. The
+    /// chain-only `initial_soft` / `initial_counts` fields are ignored —
+    /// a mesh world takes its pools, counts, and VM types from `nodes`.
+    pub run: TraceExperimentConfig,
+    /// One node per tier, in tier order (node 0 is the entry tier).
+    pub nodes: Vec<MeshNode>,
+    /// The per-request call graph (must match `nodes` in tier count).
+    pub graph: TopologyGraph,
+    /// Per-node demand specs, aligned with `nodes`.
+    pub demands: Vec<NodeDemand>,
+    /// Optional cache edge: hits skip the downstream hop, and the hit
+    /// ratio warms over served requests ([`dcm_workload::CacheDynamics`]).
+    pub cache: Option<CacheEdge>,
+}
+
+/// Runs a trace experiment on a mesh topology with the controller
+/// produced by `make`. Identical harness to [`run_trace_experiment`] —
+/// monitor, per-second recorder, controller loop, optional obs/audit —
+/// over a [`MeshBuilder`] world driven by a [`MeshProfileFactory`].
+pub fn run_mesh_trace_experiment<C, F>(config: &MeshExperimentConfig, make: F) -> TraceRunResult
+where
+    C: Controller + 'static,
+    F: FnOnce(MetricsBus) -> C,
+{
+    let mut builder = MeshBuilder::new().seed(config.run.seed);
+    for node in config.nodes.clone() {
+        builder = builder.node(node);
+    }
+    builder.check_graph(&config.graph);
+    let (world, engine) = builder.build();
+    let mut factory = MeshProfileFactory::new(config.graph.clone(), config.demands.clone());
+    if let Some(cache) = config.cache.clone() {
+        factory = factory.with_cache(cache.from, cache.to, cache.dynamics);
+    }
+    run_trace_on_world(&config.run, world, engine, factory.into(), make)
 }
 
 /// Options for a steady-state throughput measurement under think-time
@@ -495,7 +548,7 @@ where
     C: Controller + 'static,
     F: FnOnce(MetricsBus) -> C,
 {
-    let (mut world, mut engine) = ThreeTierBuilder::new()
+    let (world, engine) = ThreeTierBuilder::new()
         .counts(
             config.initial_counts.0,
             config.initial_counts.1,
@@ -504,6 +557,24 @@ where
         .soft(config.initial_soft)
         .seed(config.seed)
         .build();
+    run_trace_on_world(config, world, engine, ProfileFactory::rubbos().into(), make)
+}
+
+/// The shared experiment core: full monitoring/control/obs stack over a
+/// pre-built world (chain or mesh) and workload factory. The config's
+/// `initial_soft` / `initial_counts` are NOT consulted here — topology is
+/// the caller's job; this function owns everything that happens after.
+fn run_trace_on_world<C, F>(
+    config: &TraceExperimentConfig,
+    mut world: World,
+    mut engine: SimEngine,
+    factory: WorkloadFactory,
+    make: F,
+) -> TraceRunResult
+where
+    C: Controller + 'static,
+    F: FnOnce(MetricsBus) -> C,
+{
     world.system.boot_failure_prob = config.boot_failure_prob;
     world.system.inter_tier_retry = config.inter_tier_retry;
     if let Some(plan) = &config.fault_plan {
@@ -548,7 +619,7 @@ where
     let population = UserPopulation::start_trace_driven(
         &mut world,
         &mut engine,
-        ProfileFactory::rubbos(),
+        factory,
         &config.trace,
         config.think_time_secs,
         config.horizon,
@@ -612,6 +683,9 @@ where
     let vm_seconds: Vec<f64> = (0..tier_count)
         .map(|t| world.system.vm_seconds(t, config.horizon))
         .collect();
+    let vm_cost: Vec<f64> = (0..tier_count)
+        .map(|t| world.system.vm_cost(t, config.horizon))
+        .collect();
     engine.run(&mut world);
 
     let mut obs_final = obs_state.map(|state| {
@@ -670,6 +744,7 @@ where
         actions: controller.actions(),
         planner_evals: controller.planner_evals(),
         vm_seconds,
+        vm_cost,
         counters: world.system.counters(),
         horizon: config.horizon,
         obs,
@@ -907,6 +982,60 @@ mod tests {
             Ec2AutoScale::new(bus, ScalingConfig::default())
         });
         assert!(result.obs.is_none());
+    }
+
+    #[test]
+    fn mesh_run_with_cache_and_mixed_vms_conserves_requests() {
+        use dcm_ntier::server::VmType;
+        use dcm_ntier::system::VmPolicy;
+        use dcm_sim::dist::Dist;
+        use dcm_workload::cache::CacheDynamics;
+
+        // Fan-out mesh: web -> app -> {svc, db×2}, a warming cache on the
+        // app -> db edge, and a mixed small/large DB fleet. The full
+        // monitoring/control/audit stack must hold on this topology too.
+        let graph = TopologyGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (1, 3, 2)]);
+        let config = MeshExperimentConfig {
+            run: quick_config(traces::step(20, 200, 30.0)),
+            nodes: vec![
+                MeshNode::new("web", reference::apache(), 1000),
+                MeshNode::new("app", reference::tomcat(), 100).conns(80),
+                MeshNode::new("svc", reference::tomcat(), 50),
+                MeshNode::new("db", reference::mysql(), 800)
+                    .count(2)
+                    .vm_policy(VmPolicy::cycle(vec![VmType::SMALL, VmType::LARGE])),
+            ],
+            graph: graph.clone(),
+            demands: vec![
+                NodeDemand::split(Dist::constant(0.002)),
+                NodeDemand::split(Dist::constant(0.008)),
+                NodeDemand::leaf(Dist::exponential_mean(0.01)).iid_visits(),
+                NodeDemand::leaf(Dist::exponential_mean(0.02)).iid_visits(),
+            ],
+            cache: Some(CacheEdge {
+                from: 1,
+                to: 3,
+                dynamics: CacheDynamics::new(0.5, 200.0),
+            }),
+        };
+        let result = run_mesh_trace_experiment(&config, |bus| {
+            Ec2AutoScale::new(bus, ScalingConfig::default())
+        });
+        assert_eq!(result.counters.in_flight(), 0, "mesh conservation");
+        assert!(result.overall().completed() > 200);
+        assert_eq!(result.vm_seconds.len(), 4);
+        assert_eq!(result.vm_cost.len(), 4);
+        // Two DB servers for the whole horizon, one small + one large:
+        // the dollar metric must price the pair above two smalls.
+        let horizon_h = result.horizon.as_secs_f64() / 3600.0;
+        let two_smalls = 2.0 * VmType::SMALL.price_per_hour * horizon_h;
+        assert!(
+            result.vm_cost[3] > two_smalls * 1.2,
+            "mixed fleet must cost more than homogeneous small: {} vs {}",
+            result.vm_cost[3],
+            two_smalls
+        );
+        assert!(result.total_vm_cost() > result.vm_cost[3]);
     }
 
     #[test]

@@ -192,6 +192,8 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/sim/src/engine.rs",
     "crates/sim/src/queue.rs",
     "crates/ntier/src/flow.rs",
+    "crates/ntier/src/graph.rs",
+    "crates/workload/src/cache.rs",
     "crates/workload/src/cohort.rs",
 ];
 

@@ -68,6 +68,32 @@ pub enum Station {
 }
 
 impl Station {
+    /// A multi-server queueing station for a server whose VM capacity
+    /// multiplier rescales its CPU speed: a burst of `S` work-seconds on a
+    /// capacity-`c` machine finishes in `S/c` wall seconds, so the station
+    /// serves at effective time `service_time / capacity`. This is how
+    /// heterogeneous VM types enter the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive and finite.
+    pub fn queueing_with_capacity(
+        visit_ratio: f64,
+        service_time: f64,
+        servers: u32,
+        capacity: f64,
+    ) -> Station {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        Station::Queueing {
+            visit_ratio,
+            service_time: service_time / capacity,
+            servers,
+        }
+    }
+
     /// The station's visit ratio `V_m`.
     pub fn visit_ratio(&self) -> f64 {
         match self {
@@ -700,6 +726,32 @@ mod tests {
             }],
             1.0,
         );
+    }
+
+    #[test]
+    fn capacity_rescaled_station_matches_faster_service() {
+        // A capacity-2 M/M/1 is exactly an M/M/1 at half the service time.
+        let fast = Station::queueing_with_capacity(1.0, 0.08, 1, 2.0);
+        assert_eq!(
+            fast,
+            Station::Queueing {
+                visit_ratio: 1.0,
+                service_time: 0.04,
+                servers: 1,
+            }
+        );
+        let net = ClosedNetwork::new(vec![fast], 0.5);
+        for n in [1u32, 6, 20] {
+            let sol = net.solve(n);
+            let (x, _, _) = birth_death(n, 0.5, |_| 1.0 / 0.04);
+            assert!((sol.throughput - x).abs() / x < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Station::queueing_with_capacity(1.0, 0.08, 1, 0.0);
     }
 
     #[test]

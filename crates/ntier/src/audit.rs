@@ -13,6 +13,16 @@
 //! * **flow balance** — every submitted request is in exactly one place:
 //!   `submitted = completed + rejected + timed_out + failed + in-flight`,
 //!   with "in-flight" counted from the live request map, not derived;
+//! * **tier flow balance** — every frame pushed at a tier during the window
+//!   either recorded a span there, was abandoned while still waiting for a
+//!   thread, or sits on a live request's stack:
+//!   `Δentries[m] = spans[m] + Δabandoned[m] + Δlive_frames[m]`. On a DAG
+//!   topology this is the per-node generalization of request conservation —
+//!   it catches a dispatch that routes a call without booking the entry, or
+//!   an unwind that drops a frame without an exit record;
+//! * **edge consistency** — the flow ledger's per-edge entry counts must
+//!   re-sum to its per-tier totals (`Σ_parent edge[parent→m] =
+//!   entries[m]`), so per-edge visit-ratio sensing can trust the ledger;
 //! * **span ordering** — every span has
 //!   `arrived_at ≤ started_at ≤ finished_at`;
 //! * **span statuses** — a request unwinds at most once, so all its
@@ -144,6 +154,9 @@ struct ServerMark {
 pub struct ConservationAuditor {
     begin: SimTime,
     marks: BTreeMap<ServerId, ServerMark>,
+    tier_entries0: Vec<u64>,
+    tier_abandoned0: Vec<u64>,
+    live_frames0: Vec<u64>,
 }
 
 impl ConservationAuditor {
@@ -163,7 +176,14 @@ impl ConservationAuditor {
                 )
             })
             .collect();
-        ConservationAuditor { begin: now, marks }
+        let ledger = system.flow_ledger();
+        ConservationAuditor {
+            begin: now,
+            marks,
+            tier_entries0: ledger.tier_entries().to_vec(),
+            tier_abandoned0: ledger.tier_abandoned().to_vec(),
+            live_frames0: system.live_frames_per_tier(),
+        }
     }
 
     /// Cross-checks the window `[begin, now]` and reports every broken
@@ -177,6 +197,38 @@ impl ConservationAuditor {
         }
         violations.extend(check_span_ordering(spans));
         violations.extend(check_span_statuses(spans));
+
+        // Per-tier frame conservation over the window, from the flow ledger.
+        let tiers = system.tier_count();
+        let ledger = system.flow_ledger();
+        let live_now = system.live_frames_per_tier();
+        let mut entries_delta = Vec::with_capacity(tiers);
+        let mut abandoned_delta = Vec::with_capacity(tiers);
+        let mut live_delta = Vec::with_capacity(tiers);
+        let mut spans_at_tier = vec![0i128; tiers];
+        for m in 0..tiers {
+            let e0 = self.tier_entries0.get(m).copied().unwrap_or(0);
+            let a0 = self.tier_abandoned0.get(m).copied().unwrap_or(0);
+            let l0 = self.live_frames0.get(m).copied().unwrap_or(0);
+            entries_delta.push(i128::from(ledger.tier_entries()[m]) - i128::from(e0));
+            abandoned_delta.push(i128::from(ledger.tier_abandoned()[m]) - i128::from(a0));
+            live_delta.push(i128::from(live_now[m]) - i128::from(l0));
+        }
+        for span in spans {
+            if span.tier < tiers {
+                spans_at_tier[span.tier] += 1;
+            }
+        }
+        violations.extend(check_tier_flow_balance(
+            &entries_delta,
+            &spans_at_tier,
+            &abandoned_delta,
+            &live_delta,
+        ));
+        violations.extend(check_edge_consistency(
+            &ledger.edge_entry_sums(),
+            ledger.tier_entries(),
+        ));
 
         // Servers running at both window ends (stopped servers freeze their
         // books mid-crash by design — see module docs).
@@ -279,6 +331,58 @@ pub fn check_flow_balance(counters: &SystemCounters, live_requests: usize) -> Op
             live_requests,
         ),
     })
+}
+
+/// Per-tier frame conservation over a window: every frame pushed at tier
+/// `m` either recorded a span there, was abandoned while still waiting for
+/// a thread, or remains on a live request's stack, so
+/// `Δentries[m] = spans[m] + Δabandoned[m] + Δlive_frames[m]`.
+/// All inputs are per-tier window deltas (live frames may shrink, hence
+/// signed); slices must share one length.
+pub fn check_tier_flow_balance(
+    entries_delta: &[i128],
+    spans_at_tier: &[i128],
+    abandoned_delta: &[i128],
+    live_delta: &[i128],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (m, &entered) in entries_delta.iter().enumerate() {
+        let spans = spans_at_tier.get(m).copied().unwrap_or(0);
+        let abandoned = abandoned_delta.get(m).copied().unwrap_or(0);
+        let live = live_delta.get(m).copied().unwrap_or(0);
+        let imbalance = entered - spans - abandoned - live;
+        if imbalance != 0 {
+            out.push(Violation {
+                check: "tier-flow-balance",
+                subject: format!("tier {m}"),
+                detail: format!(
+                    "Δentries {entered} != spans {spans} + Δabandoned {abandoned} + \
+                     Δlive_frames {live} (imbalance {imbalance})"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Edge consistency: the flow ledger's per-edge entry counts (summed over
+/// every parent, including the client) must reproduce its per-tier entry
+/// totals exactly.
+pub fn check_edge_consistency(edge_sums: &[u64], tier_entries: &[u64]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (m, &total) in tier_entries.iter().enumerate() {
+        let summed = edge_sums.get(m).copied().unwrap_or(0);
+        if summed != total {
+            out.push(Violation {
+                check: "edge-consistency",
+                subject: format!("tier {m}"),
+                detail: format!(
+                    "per-edge entries re-sum to {summed} but the tier total is {total}"
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// Span ordering: every span satisfies `arrived ≤ started ≤ finished`.
@@ -465,6 +569,32 @@ mod tests {
     fn flow_balance_flags_double_count() {
         // More outcomes than submissions.
         assert!(check_flow_balance(&counters(5, 6, 0), 0).is_some());
+    }
+
+    #[test]
+    fn tier_flow_balance_accepts_consistent_window() {
+        // Tier 0: 10 entered, 8 left via spans, 1 abandoned, 1 still live.
+        // Tier 1: drained two frames that were live at window start.
+        assert!(check_tier_flow_balance(&[10, 0], &[8, 2], &[1, 0], &[1, -2]).is_empty());
+    }
+
+    #[test]
+    fn tier_flow_balance_flags_dropped_frame() {
+        // Tier 1 booked 5 entries but only 4 frames are accounted for.
+        let v = check_tier_flow_balance(&[3, 5], &[3, 4], &[0, 0], &[0, 0]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "tier-flow-balance");
+        assert_eq!(v[0].subject, "tier 1");
+        assert!(v[0].detail.contains("imbalance 1"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn edge_consistency_flags_unbooked_edge() {
+        assert!(check_edge_consistency(&[4, 9], &[4, 9]).is_empty());
+        let v = check_edge_consistency(&[4, 7], &[4, 9]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "edge-consistency");
+        assert!(v[0].detail.contains("re-sum to 7"), "{}", v[0].detail);
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn submit_inner(
         timeout_event: None,
         entry_attempts: 0,
         retry_event: None,
+        visit_counts: Vec::new(),
     });
     if let Some(d) = deadline {
         let ev = engine.schedule_in(d, move |w: &mut World, e: &mut SimEngine| {
@@ -192,15 +193,24 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, fid: FlightId, tier: us
         return;
     };
     let now = engine.now();
-    {
+    let parent = {
         let req = world
             .system
             .requests
             .get_mut(fid)
             .expect("routing a live request");
         req.entry_attempts = 0;
-        req.frames.push(Frame::arriving(tier, sid, now));
-    }
+        let parent = req.frames.last().map(|f| f.tier);
+        // Stamp the frame with its global per-tier visit index (frames
+        // pushed so far) — on a chain this equals the old parent
+        // `calls_done` product fold (same-tier visits are sequential), and
+        // it stays well defined on DAG topologies where the fold is not.
+        let visit = u64::from(req.visit_counts[tier]);
+        req.visit_counts[tier] += 1;
+        req.frames.push(Frame::arriving(tier, sid, now, visit));
+        parent
+    };
+    world.system.note_tier_entry(parent, tier);
     let granted = world
         .system
         .server_mut(sid)
@@ -210,19 +220,6 @@ fn enter_tier(world: &mut World, engine: &mut SimEngine, fid: FlightId, tier: us
     if granted {
         thread_granted(world, engine, fid);
     }
-}
-
-/// The global (per-request, call-order) index of the visit the top frame
-/// represents: fold the parent chain's completed-call counters through the
-/// visit ratios. With per-visit demand overrides installed this picks the
-/// independent sample for exactly this visit.
-fn current_visit_index(req: &RequestInFlight) -> u64 {
-    let mut g = 0u64;
-    for f in &req.frames[..req.frames.len().saturating_sub(1)] {
-        let child = f.tier + 1;
-        g = g * u64::from(req.profile.visits_to(child)) + u64::from(f.calls_done);
-    }
-    g
 }
 
 /// A retry timer fired for a request parked on a capacity-less tier.
@@ -244,13 +241,8 @@ fn thread_granted(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
             .requests
             .get_mut(fid)
             .expect("granting thread to live request");
-        let pre = {
-            let tier = req.frames.last().expect("granted frame exists").tier;
-            req.profile
-                .demand_for_visit(tier, current_visit_index(req))
-                .pre
-        };
         let frame = req.frames.last_mut().expect("granted frame exists");
+        let pre = req.profile.demand_for_visit(frame.tier, frame.visit).pre;
         frame.phase = Phase::PreBurst;
         frame.thread_since = now;
         (frame.server, frame.tier, pre)
@@ -334,20 +326,13 @@ fn maybe_call(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
             .requests
             .get_mut(fid)
             .expect("advancing live request");
-        let tiers = req.profile.tiers();
-        let visit = current_visit_index(req);
         let frame = req.frames.last_mut().expect("frame exists");
-        let child = frame.tier + 1;
-        let total_calls = if child < tiers {
-            req.profile.visits_to(child)
-        } else {
-            0
-        };
+        let total_calls = req.profile.total_calls_from(frame.tier);
         if frame.calls_done < total_calls {
             frame.phase = Phase::AwaitConn;
             Next::Call(frame.server)
         } else {
-            let post = req.profile.demand_for_visit(frame.tier, visit).post;
+            let post = req.profile.demand_for_visit(frame.tier, frame.visit).post;
             if post > 0.0 {
                 frame.phase = Phase::PostBurst;
                 Next::Post(frame.server, post)
@@ -379,19 +364,19 @@ fn maybe_call(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
     }
 }
 
-/// The top frame acquired its downstream connection: descend into the child
-/// tier.
+/// The top frame acquired its downstream connection: descend into the
+/// child tier the profile's call graph routes this call to (always the
+/// next tier on a chain; the edge target in call order on a DAG).
 fn conn_granted(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
-    let (sid, tier) = {
-        let frame = world
+    let (sid, child) = {
+        let req = world
             .system
             .requests
             .get(fid)
-            .expect("descending live request")
-            .frames
-            .last()
-            .expect("frame exists");
-        (frame.server, frame.tier)
+            .expect("descending live request");
+        let frame = req.frames.last().expect("frame exists");
+        let child = req.profile.call_target(frame.tier, frame.calls_done);
+        (frame.server, child)
     };
     // Only mark the permit when the server actually lends one (leaf servers
     // grant acquire_conn unconditionally without a pool).
@@ -411,7 +396,7 @@ fn conn_granted(world: &mut World, engine: &mut SimEngine, fid: FlightId) {
         .expect("frame exists");
     frame.phase = Phase::InCall;
     frame.holds_conn = has_pool;
-    enter_tier(world, engine, fid, tier + 1);
+    enter_tier(world, engine, fid, child);
 }
 
 /// The top frame is done at its server: release the thread, reply upstream.
@@ -564,12 +549,15 @@ fn unwind(world: &mut World, engine: &mut SimEngine, fid: FlightId, outcome: Out
                     finished_at: now,
                     status,
                 });
+            } else {
+                world.system.note_abandoned_wait(frame.tier);
             }
             continue;
         }
         match frame.phase {
             Phase::AwaitThread => {
                 server.cancel_thread_waiter(fid);
+                world.system.note_abandoned_wait(frame.tier);
             }
             Phase::AwaitConn => {
                 server.cancel_conn_waiter(fid);

@@ -57,6 +57,7 @@ pub mod balancer;
 pub mod cpu;
 pub mod faults;
 pub mod flow;
+pub mod graph;
 pub mod ids;
 pub mod law;
 pub mod metrics;
@@ -71,14 +72,15 @@ pub mod world;
 
 pub use audit::{AuditReport, ConservationAuditor, Violation};
 pub use balancer::{Balancer, BalancerPolicy};
+pub use graph::{GraphEdge, TopologyGraph};
 pub use ids::{RequestId, ServerId, TierId, VmId};
 pub use law::ServiceLaw;
 pub use metrics::ServerSample;
 pub use pool::Pool;
 pub use request::{Completion, Outcome, RequestProfile, StageDemand};
-pub use server::{Server, ServerSpec, ServerState};
+pub use server::{Server, ServerSpec, ServerState, VmType};
 pub use snapshot::SystemSnapshot;
 pub use spans::{ServerEvent, ServerEventKind, Span, SpanStatus};
-pub use system::{InterTierRetry, System, SystemCounters, TierSpec};
-pub use topology::{SoftConfig, ThreeTierBuilder};
+pub use system::{FlowLedger, InterTierRetry, System, SystemCounters, TierSpec, VmPolicy, VmSelection};
+pub use topology::{MeshBuilder, MeshNode, SoftConfig, ThreeTierBuilder};
 pub use world::{SimEngine, World};

@@ -10,6 +10,7 @@
 use dcm_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::graph::TopologyGraph;
 use crate::ids::{RequestId, ServerId};
 
 /// CPU demand at one tier, split around the downstream calls.
@@ -79,6 +80,10 @@ pub struct RequestProfile {
     /// service times and breaks the product-form model the MVA oracle
     /// checks against).
     per_visit: Vec<Vec<StageDemand>>,
+    /// Call-graph topology. `None` means the linear chain (tier `m` calls
+    /// tier `m + 1` `visits[m + 1]` times); `Some` routes downstream calls
+    /// through an arbitrary DAG instead.
+    graph: Option<TopologyGraph>,
 }
 
 impl RequestProfile {
@@ -115,6 +120,71 @@ impl RequestProfile {
             visits,
             class,
             per_visit: Vec::new(),
+            graph: None,
+        }
+    }
+
+    /// Routes this request's downstream calls through `graph` instead of
+    /// the linear chain. The per-hop `visits` vector is re-derived from the
+    /// graph (sum of in-edge call counts per node) so chain-shaped graphs
+    /// report the same visit counts as before.
+    ///
+    /// Install the graph *before* [`RequestProfile::with_per_visit_demands`]
+    /// — per-visit demand lengths are validated against the graph's visit
+    /// ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's node count differs from the profile's tiers.
+    pub fn with_graph(mut self, graph: TopologyGraph) -> Self {
+        assert_eq!(
+            graph.tiers(),
+            self.demands.len(),
+            "graph nodes must match profile tiers"
+        );
+        for (m, v) in self.visits.iter_mut().enumerate() {
+            *v = graph.in_calls(m);
+        }
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The call graph, when this profile routes through one.
+    pub fn graph(&self) -> Option<&TopologyGraph> {
+        self.graph.as_ref()
+    }
+
+    /// Total downstream calls a frame at tier `m` makes: the chain makes
+    /// `visits[m + 1]` calls into the next tier (0 at the last tier); a
+    /// graph profile sums its out-edge call counts.
+    pub fn total_calls_from(&self, m: usize) -> u32 {
+        match &self.graph {
+            Some(g) => g.total_calls(m),
+            None => {
+                let next = m.saturating_add(1);
+                if next < self.visits.len() {
+                    self.visits[next]
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The tier receiving call number `k` (0-based, in call order) from a
+    /// frame at tier `m`: always `m + 1` on the chain, the graph's edge
+    /// target otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not less than [`RequestProfile::total_calls_from`].
+    pub fn call_target(&self, m: usize, k: u32) -> usize {
+        match &self.graph {
+            Some(g) => g.call_target(m, k),
+            None => {
+                assert!(k < self.total_calls_from(m), "call index out of range");
+                m.saturating_add(1)
+            }
         }
     }
 
@@ -202,9 +272,13 @@ impl RequestProfile {
     }
 
     /// The end-to-end visit ratio `V_m` from the client to tier `m`
-    /// (product of per-hop visits).
+    /// (product of per-hop visits on the chain; the DAG visit-ratio sum
+    /// when a graph is installed).
     pub fn cumulative_visits(&self, m: usize) -> u64 {
-        self.visits[..=m].iter().map(|&v| u64::from(v)).product()
+        match &self.graph {
+            Some(g) => g.visit_ratios()[m],
+            None => self.visits[..=m].iter().map(|&v| u64::from(v)).product(),
+        }
     }
 }
 
@@ -234,6 +308,9 @@ pub struct Frame {
     pub phase: Phase,
     /// Downstream calls completed so far.
     pub calls_done: u32,
+    /// Which global visit (in call order, per tier) of the request this
+    /// frame is — the index into per-visit demand overrides.
+    pub visit: u64,
     /// Whether this frame currently holds a downstream connection.
     pub holds_conn: bool,
     /// When this frame's thread was granted (for dwell-time accounting;
@@ -244,14 +321,15 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// A frame newly arrived at `server` in `tier` at time `now`, not yet
-    /// holding a thread.
-    pub fn arriving(tier: usize, server: ServerId, now: SimTime) -> Self {
+    /// A frame newly arrived at `server` in `tier` at time `now` as the
+    /// request's `visit`-th visit to that tier, not yet holding a thread.
+    pub fn arriving(tier: usize, server: ServerId, now: SimTime, visit: u64) -> Self {
         Frame {
             tier,
             server,
             phase: Phase::AwaitThread,
             calls_done: 0,
+            visit,
             holds_conn: false,
             thread_since: SimTime::ZERO,
             arrived_at: now,
@@ -388,9 +466,10 @@ mod tests {
 
     #[test]
     fn arriving_frame_defaults() {
-        let f = Frame::arriving(2, ServerId::new(5), SimTime::from_secs(3));
+        let f = Frame::arriving(2, ServerId::new(5), SimTime::from_secs(3), 1);
         assert_eq!(f.phase, Phase::AwaitThread);
         assert_eq!(f.calls_done, 0);
+        assert_eq!(f.visit, 1);
         assert!(!f.holds_conn);
         assert_eq!(f.arrived_at, SimTime::from_secs(3));
     }

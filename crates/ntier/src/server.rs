@@ -14,6 +14,60 @@ use crate::law::ServiceLaw;
 use crate::metrics::{ServerSample, TimeWeighted};
 use crate::pool::Pool;
 
+/// A purchasable VM flavor: how fast it runs CPU bursts and what it costs.
+///
+/// `capacity` is a speed multiplier relative to the baseline instance the
+/// concurrency laws were calibrated on: a capacity-2 VM finishes the same
+/// nominal work in half the time (per-burst work is divided by capacity on
+/// entry to the CPU, so the concurrency law itself — a property of the
+/// software stack — is unchanged). `price_per_hour` feeds the resource-cost
+/// comparison: heterogeneous controllers trade capacity against dollars,
+/// not just VM counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmType {
+    /// Display name, e.g. `m1.small`.
+    pub name: &'static str,
+    /// CPU-speed multiplier (baseline = 1.0).
+    pub capacity: f64,
+    /// Price in dollars per VM-hour.
+    pub price_per_hour: f64,
+}
+
+impl VmType {
+    /// The baseline flavor every pre-existing scenario runs on.
+    pub const SMALL: VmType = VmType {
+        name: "m1.small",
+        capacity: 1.0,
+        price_per_hour: 0.10,
+    };
+
+    /// Twice the CPU speed at slightly worse price per unit capacity.
+    pub const LARGE: VmType = VmType {
+        name: "m1.large",
+        capacity: 2.0,
+        price_per_hour: 0.24,
+    };
+
+    /// Four times the CPU speed, worse still per unit capacity.
+    pub const XLARGE: VmType = VmType {
+        name: "m1.xlarge",
+        capacity: 4.0,
+        price_per_hour: 0.56,
+    };
+
+    /// Dollars per hour per unit of capacity — the figure of merit a
+    /// cost-aware selection policy minimizes.
+    pub fn price_per_capacity(&self) -> f64 {
+        self.price_per_hour / self.capacity
+    }
+}
+
+impl Default for VmType {
+    fn default() -> Self {
+        VmType::SMALL
+    }
+}
+
 /// Static configuration for launching a server.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerSpec {
@@ -26,6 +80,8 @@ pub struct ServerSpec {
     /// Downstream connection-pool capacity (application servers have one
     /// toward the database; leaf tiers have `None`).
     pub conns: Option<u32>,
+    /// The VM flavor this server runs on.
+    pub vm: VmType,
 }
 
 /// Lifecycle of a server/VM.
@@ -74,6 +130,9 @@ pub struct Server {
     /// Service-time multiplier for new CPU bursts (1.0 = healthy;
     /// > 1.0 while the server straggles under an injected slowdown).
     slowdown: f64,
+    /// The VM flavor this server runs on (capacity divides burst work;
+    /// price accrues with VM-seconds).
+    vm: VmType,
 }
 
 impl Server {
@@ -108,6 +167,7 @@ impl Server {
             launched_at: now,
             stopped_at: None,
             slowdown: 1.0,
+            vm: spec.vm,
         }
     }
 
@@ -205,6 +265,16 @@ impl Server {
         end.saturating_since(self.launched_at).as_secs_f64()
     }
 
+    /// The VM flavor this server runs on.
+    pub fn vm_type(&self) -> VmType {
+        self.vm
+    }
+
+    /// Dollar cost accrued from launch to `now` (or to stop time).
+    pub fn vm_cost(&self, now: SimTime) -> f64 {
+        self.vm_seconds(now) / 3600.0 * self.vm.price_per_hour
+    }
+
     fn sync_threads(&mut self, now: SimTime) {
         let n = self.thread_pool.in_use();
         // CPU contention tracks *running* bursts, not pooled threads: a
@@ -299,9 +369,12 @@ impl Server {
     }
 
     /// Starts a CPU burst for `req`. While the server straggles, new
-    /// bursts cost `slowdown ×` their nominal work.
+    /// bursts cost `slowdown ×` their nominal work; the VM flavor's
+    /// capacity divides it (a faster box finishes the same nominal work
+    /// sooner). At the baseline capacity of 1.0 the division is an exact
+    /// bitwise no-op.
     pub fn start_burst(&mut self, now: SimTime, req: FlightId, work: f64) {
-        self.cpu.add_burst(now, req, work * self.slowdown);
+        self.cpu.add_burst(now, req, work * self.slowdown / self.vm.capacity);
     }
 
     /// The current straggler multiplier (1.0 = healthy).
@@ -436,6 +509,7 @@ mod tests {
             law: reference::tomcat(),
             threads: 2,
             conns: Some(1),
+            vm: VmType::SMALL,
         }
     }
 
@@ -564,5 +638,29 @@ mod tests {
     fn vm_seconds_accrue_until_stop() {
         let s = server();
         assert_eq!(s.vm_seconds(t(30.0)), 30.0);
+    }
+
+    #[test]
+    fn capacity_divides_burst_work_and_price_accrues() {
+        let big_spec = ServerSpec {
+            vm: VmType::LARGE,
+            ..spec()
+        };
+        let mut s = Server::new(ServerId::new(2), 1, &big_spec, t(0.0), ServerState::Running);
+        assert!(s.acquire_thread(t(0.0), r(1)));
+        s.start_burst(t(0.0), r(1), 0.5);
+        // Capacity 2 ⇒ 0.5 nominal work runs as 0.25 scaled work.
+        assert_eq!(s.cpu_mut().pop_completed(t(0.25)), Some(r(1)));
+        // One hour on an m1.large costs its hourly price.
+        assert!((s.vm_cost(t(3600.0)) - VmType::LARGE.price_per_hour).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_capacity_is_a_bitwise_noop() {
+        let small = VmType::SMALL;
+        let work = 0.123_456_789_f64;
+        assert_eq!((work * 1.0 / small.capacity).to_bits(), work.to_bits());
+        assert!(small.price_per_capacity() < VmType::LARGE.price_per_capacity());
+        assert!(VmType::LARGE.price_per_capacity() < VmType::XLARGE.price_per_capacity());
     }
 }

@@ -12,7 +12,98 @@ use crate::ids::{FlightId, IdAllocator, RequestId, ServerId, TierId};
 use crate::law::ServiceLaw;
 use crate::metrics::ServerSample;
 use crate::request::{Completion, Frame, RequestProfile};
-use crate::server::{Server, ServerSpec, ServerState};
+use crate::server::{Server, ServerSpec, ServerState, VmType};
+
+/// How a tier picks the VM flavor for its next server launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmSelection {
+    /// Always launch the catalog entry at this index.
+    Fixed(usize),
+    /// Launch the catalog entry with the lowest price per unit capacity
+    /// (first entry wins ties) — the cost-aware heterogeneous policy.
+    CheapestPerCapacity,
+    /// Cycle through the catalog by launch ordinal (`i % len`), giving a
+    /// deterministically mixed fleet within one tier.
+    Cycle,
+}
+
+/// A tier's VM purchasing policy: the catalog of flavors it may launch and
+/// the selection rule choosing among them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmPolicy {
+    /// Launchable flavors (non-empty).
+    pub types: Vec<VmType>,
+    /// Selection rule.
+    pub selection: VmSelection,
+}
+
+impl Default for VmPolicy {
+    /// The homogeneous baseline: every launch is an [`VmType::SMALL`].
+    fn default() -> Self {
+        VmPolicy {
+            types: vec![VmType::SMALL],
+            selection: VmSelection::Fixed(0),
+        }
+    }
+}
+
+impl VmPolicy {
+    /// A fixed single-flavor policy.
+    pub fn fixed(vm: VmType) -> Self {
+        VmPolicy {
+            types: vec![vm],
+            selection: VmSelection::Fixed(0),
+        }
+    }
+
+    /// A policy cycling through `types` by launch ordinal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty.
+    pub fn cycle(types: Vec<VmType>) -> Self {
+        assert!(!types.is_empty(), "VM catalog must be non-empty");
+        VmPolicy {
+            types,
+            selection: VmSelection::Cycle,
+        }
+    }
+
+    /// The flavor the tier's `ordinal`-th launch (0-based) uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or a fixed index is out of range.
+    pub fn choose_at(&self, ordinal: u64) -> VmType {
+        assert!(!self.types.is_empty(), "VM catalog must be non-empty");
+        match self.selection {
+            VmSelection::Fixed(i) => self.types[i],
+            VmSelection::CheapestPerCapacity => {
+                let mut best = self.types[0];
+                for t in &self.types {
+                    if t.price_per_capacity() < best.price_per_capacity() {
+                        best = *t;
+                    }
+                }
+                best
+            }
+            VmSelection::Cycle => {
+                let idx = usize::try_from(ordinal % self.types.len() as u64)
+                    .expect("catalog index fits usize");
+                self.types[idx]
+            }
+        }
+    }
+
+    /// The flavor a first launch uses (see [`VmPolicy::choose_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or a fixed index is out of range.
+    pub fn choose(&self) -> VmType {
+        self.choose_at(0)
+    }
+}
 
 /// Static description of one tier.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,15 +122,18 @@ pub struct TierSpec {
     /// VM preparation period before a new server becomes routable (the
     /// paper uses 15 s).
     pub boot_delay: SimDuration,
+    /// The VM flavors this tier launches and how it chooses among them.
+    pub vm_policy: VmPolicy,
 }
 
 impl TierSpec {
-    fn server_spec(&self, name: String) -> ServerSpec {
+    fn server_spec(&self, name: String, launch_ordinal: u64) -> ServerSpec {
         ServerSpec {
             name,
             law: self.law,
             threads: self.default_threads,
             conns: self.default_conns,
+            vm: self.vm_policy.choose_at(launch_ordinal),
         }
     }
 }
@@ -60,6 +154,8 @@ pub struct Tier {
     launched_count: u64,
     /// VM-seconds already paid by stopped servers of this tier.
     retired_vm_seconds: f64,
+    /// Dollars already paid by stopped servers of this tier.
+    retired_vm_cost: f64,
 }
 
 impl Tier {
@@ -163,6 +259,12 @@ pub struct RequestInFlight {
     /// A pending inter-tier retry timer, if the request is parked waiting
     /// for capacity to come back.
     pub(crate) retry_event: Option<dcm_sim::engine::EventId>,
+    /// Per-tier count of frames this request has pushed so far — the global
+    /// visit index (in call order) each new frame is stamped with. Indexing
+    /// per-visit demands this way generalizes from chains to DAGs; on a
+    /// chain it equals the old parent-`calls_done` product fold because
+    /// same-tier visits are strictly sequential.
+    pub(crate) visit_counts: Vec<u32>,
 }
 
 impl std::fmt::Debug for RequestInFlight {
@@ -196,6 +298,8 @@ pub(crate) struct RequestSlab {
     reused: u64,
     /// Emptied `frames` buffers awaiting reuse.
     spare_frames: Vec<Vec<Frame>>,
+    /// Retired `visit_counts` buffers awaiting reuse.
+    spare_counts: Vec<Vec<u32>>,
 }
 
 impl RequestSlab {
@@ -205,6 +309,15 @@ impl RequestSlab {
                 req.frames = spare;
             }
         }
+        // Stamp the request with a zeroed per-tier visit counter, reusing a
+        // retired buffer's capacity when one is available.
+        if req.visit_counts.is_empty() {
+            if let Some(mut spare) = self.spare_counts.pop() {
+                spare.clear();
+                req.visit_counts = spare;
+            }
+        }
+        req.visit_counts.resize(req.profile.tiers(), 0);
         self.live += 1;
         match self.free.pop() {
             Some(slot) => {
@@ -253,6 +366,11 @@ impl RequestSlab {
         if req.frames.is_empty() && req.frames.capacity() > 0 {
             self.spare_frames.push(std::mem::take(&mut req.frames));
         }
+        if req.visit_counts.capacity() > 0 {
+            let mut counts = std::mem::take(&mut req.visit_counts);
+            counts.clear();
+            self.spare_counts.push(counts);
+        }
         Some(req)
     }
 
@@ -272,6 +390,75 @@ impl RequestSlab {
     /// `(fresh slot allocations, free-list reuses)` since construction.
     pub(crate) fn stats(&self) -> (u64, u64) {
         (self.allocated, self.reused)
+    }
+}
+
+/// Per-tier and per-edge traffic ledger maintained by the flow layer.
+///
+/// Every frame push is booked twice — once against its tier, once against
+/// the `(parent tier → tier)` edge it arrived over (the client counts as
+/// the virtual parent of tier 0) — and every frame that is unwound while
+/// still waiting for a thread (and therefore records no span) is booked as
+/// abandoned. The [`ConservationAuditor`](crate::audit::ConservationAuditor)
+/// closes the loop: per tier, entries over a window must equal spans plus
+/// abandoned waits plus the change in live frames, and the edge ledger must
+/// re-sum to the tier ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowLedger {
+    tiers: usize,
+    tier_entries: Vec<u64>,
+    tier_abandoned: Vec<u64>,
+    /// Dense `(parent + 1) × tiers + child` matrix; row 0 is the client.
+    edge_entries: Vec<u64>,
+}
+
+impl FlowLedger {
+    fn new(tiers: usize) -> Self {
+        FlowLedger {
+            tiers,
+            tier_entries: vec![0; tiers],
+            tier_abandoned: vec![0; tiers],
+            edge_entries: vec![0; (tiers + 1) * tiers],
+        }
+    }
+
+    fn note_entry(&mut self, parent: Option<usize>, child: usize) {
+        self.tier_entries[child] += 1;
+        let row = parent.map_or(0, |p| p + 1);
+        let idx = row * self.tiers + child;
+        self.edge_entries[idx] += 1;
+    }
+
+    fn note_abandoned(&mut self, tier: usize) {
+        self.tier_abandoned[tier] += 1;
+    }
+
+    /// Frames pushed per tier since system start.
+    pub fn tier_entries(&self) -> &[u64] {
+        &self.tier_entries
+    }
+
+    /// Frames unwound per tier while still awaiting a thread (no span).
+    pub fn tier_abandoned(&self) -> &[u64] {
+        &self.tier_abandoned
+    }
+
+    /// Frames pushed into `child` over the edge from `parent` (`None` =
+    /// the client).
+    pub fn edge_entries(&self, parent: Option<usize>, child: usize) -> u64 {
+        let row = parent.map_or(0, |p| p + 1);
+        let idx = row * self.tiers + child;
+        self.edge_entries[idx]
+    }
+
+    /// Re-sums the edge matrix per child tier — must equal
+    /// [`FlowLedger::tier_entries`] exactly.
+    pub fn edge_entry_sums(&self) -> Vec<u64> {
+        let mut sums = vec![0u64; self.tiers];
+        for (idx, &n) in self.edge_entries.iter().enumerate() {
+            sums[idx % self.tiers] += n;
+        }
+        sums
     }
 }
 
@@ -297,6 +484,8 @@ pub struct System {
     pub inter_tier_retry: Option<InterTierRetry>,
     pub(crate) span_log: Option<Vec<crate::spans::Span>>,
     pub(crate) event_log: Option<Vec<crate::spans::ServerEvent>>,
+    /// Per-tier / per-edge traffic counts for the flow-balance audit.
+    flow_ledger: FlowLedger,
 }
 
 impl System {
@@ -313,6 +502,7 @@ impl System {
             initial.iter().all(|&c| c > 0),
             "every tier needs at least one initial server"
         );
+        let tier_count = tiers.len();
         let mut system = System {
             tiers: tiers
                 .into_iter()
@@ -323,6 +513,7 @@ impl System {
                     routable: Vec::new(),
                     launched_count: 0,
                     retired_vm_seconds: 0.0,
+                    retired_vm_cost: 0.0,
                 })
                 .collect(),
             servers: Vec::new(),
@@ -334,6 +525,7 @@ impl System {
             inter_tier_retry: None,
             span_log: None,
             event_log: None,
+            flow_ledger: FlowLedger::new(tier_count),
         };
         for (m, &count) in initial.iter().enumerate() {
             for _ in 0..count {
@@ -426,6 +618,35 @@ impl System {
         self.requests.len()
     }
 
+    /// The per-tier / per-edge traffic ledger.
+    pub fn flow_ledger(&self) -> &FlowLedger {
+        &self.flow_ledger
+    }
+
+    /// Books a frame push into `child` arriving over the edge from
+    /// `parent` (`None` = the client).
+    pub(crate) fn note_tier_entry(&mut self, parent: Option<usize>, child: usize) {
+        self.flow_ledger.note_entry(parent, child);
+    }
+
+    /// Books a frame unwound while still awaiting a thread (records no
+    /// span, so the flow-balance audit must not expect one).
+    pub(crate) fn note_abandoned_wait(&mut self, tier: usize) {
+        self.flow_ledger.note_abandoned(tier);
+    }
+
+    /// Live call-stack frames per tier across all in-flight requests — the
+    /// instantaneous side of the per-tier flow-balance identity.
+    pub fn live_frames_per_tier(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.tiers.len()];
+        for (_, req) in self.requests.iter() {
+            for f in &req.frames {
+                counts[f.tier] += 1;
+            }
+        }
+        counts
+    }
+
     /// In-flight requests sorted by public id — a stable iteration order
     /// for auditors accumulating floats, independent of slab slot reuse.
     pub(crate) fn requests_by_id(&self) -> Vec<&RequestInFlight> {
@@ -514,7 +735,7 @@ impl System {
         let t = &mut self.tiers[tier.index()];
         t.launched_count += 1;
         let name = format!("{}-{}", t.spec.name, t.launched_count);
-        let spec = t.spec.server_spec(name);
+        let spec = t.spec.server_spec(name, t.launched_count - 1);
         let server = Server::new(id, tier.index(), &spec, now, state);
         t.members.push(id);
         if server.is_routable() {
@@ -578,10 +799,12 @@ impl System {
         if let Some(server) = self.server(id) {
             let tier = server.tier();
             let vm_secs = server.vm_seconds(now);
+            let vm_cost = server.vm_cost(now);
             let t = &mut self.tiers[tier];
             t.members.retain(|&m| m != id);
             t.routable.retain(|&m| m != id);
             t.retired_vm_seconds += vm_secs;
+            t.retired_vm_cost += vm_cost;
         }
     }
 
@@ -594,6 +817,18 @@ impl System {
             .map(|id| self.servers[id.raw() as usize].vm_seconds(now))
             .sum();
         live + self.tiers[tier].retired_vm_seconds
+    }
+
+    /// Total dollars consumed by a tier so far (running + retired) — the
+    /// heterogeneous-fleet cost metric: with mixed VM flavors, equal
+    /// VM-seconds no longer imply equal spend.
+    pub fn vm_cost(&self, tier: usize, now: SimTime) -> f64 {
+        let live: f64 = self.tiers[tier]
+            .members
+            .iter()
+            .map(|id| self.servers[id.raw() as usize].vm_cost(now))
+            .sum();
+        live + self.tiers[tier].retired_vm_cost
     }
 
     /// Takes a monitoring sample from every non-stopped server.
@@ -627,6 +862,7 @@ mod tests {
                 default_conns: None,
                 balancer: BalancerPolicy::RoundRobin,
                 boot_delay: SimDuration::from_secs(15),
+                vm_policy: VmPolicy::default(),
             },
             TierSpec {
                 name: "app".into(),
@@ -635,6 +871,7 @@ mod tests {
                 default_conns: Some(80),
                 balancer: BalancerPolicy::RoundRobin,
                 boot_delay: SimDuration::from_secs(15),
+                vm_policy: VmPolicy::default(),
             },
             TierSpec {
                 name: "db".into(),
@@ -643,6 +880,7 @@ mod tests {
                 default_conns: None,
                 balancer: BalancerPolicy::RoundRobin,
                 boot_delay: SimDuration::from_secs(15),
+                vm_policy: VmPolicy::default(),
             },
         ]
     }
@@ -734,6 +972,7 @@ mod tests {
             timeout_event: None,
             entry_attempts: 0,
             retry_event: None,
+            visit_counts: Vec::new(),
         }
     }
 

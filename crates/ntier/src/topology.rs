@@ -5,8 +5,9 @@
 use dcm_sim::time::SimDuration;
 
 use crate::balancer::BalancerPolicy;
+use crate::graph::TopologyGraph;
 use crate::law::{reference, ServiceLaw};
-use crate::system::{System, TierSpec};
+use crate::system::{System, TierSpec, VmPolicy};
 use crate::world::{SimEngine, World};
 
 /// The paper's soft-resource triple: Apache thread pool, Tomcat thread
@@ -203,6 +204,7 @@ impl ThreeTierBuilder {
                 default_conns: None,
                 balancer: self.balancer,
                 boot_delay: self.boot_delay,
+                vm_policy: VmPolicy::default(),
             },
             TierSpec {
                 name: "app".into(),
@@ -211,6 +213,7 @@ impl ThreeTierBuilder {
                 default_conns: Some(self.soft.db_conns),
                 balancer: self.balancer,
                 boot_delay: self.boot_delay,
+                vm_policy: VmPolicy::default(),
             },
         ];
         if self.db_load_balancer {
@@ -222,6 +225,7 @@ impl ThreeTierBuilder {
                 default_conns: None,
                 balancer: self.balancer,
                 boot_delay: self.boot_delay,
+                vm_policy: VmPolicy::default(),
             });
         }
         specs.push(TierSpec {
@@ -231,6 +235,7 @@ impl ThreeTierBuilder {
             default_conns: None,
             balancer: self.balancer,
             boot_delay: self.boot_delay,
+            vm_policy: VmPolicy::default(),
         });
         specs
     }
@@ -242,6 +247,186 @@ impl ThreeTierBuilder {
         } else {
             vec![self.web, self.app, self.db]
         };
+        let system = System::new(self.tier_specs(), &counts, dcm_sim::time::SimTime::ZERO);
+        (World::new(system, self.seed), SimEngine::new())
+    }
+}
+
+/// One tier of a [`MeshBuilder`] deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshNode {
+    /// Display name (e.g. `"svc-a"`, `"cache"`).
+    pub name: String,
+    /// Multi-threading law for the node's servers.
+    pub law: ServiceLaw,
+    /// Thread-pool size per server.
+    pub threads: u32,
+    /// Downstream connection-pool size per server, if the node pools its
+    /// outbound calls.
+    pub conns: Option<u32>,
+    /// Initial server count.
+    pub count: u32,
+    /// VM catalogue and selection rule for servers of this tier.
+    pub vm_policy: VmPolicy,
+}
+
+impl MeshNode {
+    /// A node with the given name, law, thread pool, and one server on the
+    /// default (homogeneous `m1.small`) VM policy.
+    pub fn new(name: impl Into<String>, law: ServiceLaw, threads: u32) -> Self {
+        assert!(threads > 0, "pool sizes must be positive");
+        MeshNode {
+            name: name.into(),
+            law,
+            threads,
+            conns: None,
+            count: 1,
+            vm_policy: VmPolicy::default(),
+        }
+    }
+
+    /// Sets the outbound connection-pool size.
+    pub fn conns(mut self, conns: u32) -> Self {
+        assert!(conns > 0, "pool sizes must be positive");
+        self.conns = Some(conns);
+        self
+    }
+
+    /// Sets the initial server count.
+    pub fn count(mut self, count: u32) -> Self {
+        assert!(count > 0, "tier counts must be positive");
+        self.count = count;
+        self
+    }
+
+    /// Sets the VM policy (catalogue + selection rule) for this tier.
+    pub fn vm_policy(mut self, policy: VmPolicy) -> Self {
+        self.vm_policy = policy;
+        self
+    }
+}
+
+/// Builder for an arbitrary microservice-DAG world: one [`MeshNode`] per
+/// tier, with the call structure supplied per-request via
+/// [`crate::request::RequestProfile::with_graph`].
+///
+/// [`ThreeTierBuilder`] remains the chain special case; `MeshBuilder` is
+/// the general form used by the `repro mesh` scenarios (fan-out services,
+/// cache tiers, heterogeneous VM types).
+///
+/// # Examples
+///
+/// ```
+/// use dcm_ntier::law::reference;
+/// use dcm_ntier::topology::{MeshBuilder, MeshNode};
+///
+/// let (world, engine) = MeshBuilder::new()
+///     .node(MeshNode::new("web", reference::apache(), 1000))
+///     .node(MeshNode::new("app", reference::tomcat(), 100).conns(80).count(2))
+///     .node(MeshNode::new("db", reference::mysql(), 800))
+///     .seed(42)
+///     .build();
+/// assert_eq!(world.system.tier_count(), 3);
+/// assert_eq!(world.system.running_count(1), 2);
+/// drop((world, engine));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshBuilder {
+    nodes: Vec<MeshNode>,
+    balancer: BalancerPolicy,
+    boot_delay: SimDuration,
+    seed: u64,
+}
+
+impl Default for MeshBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeshBuilder {
+    /// Starts an empty mesh with round-robin balancing and the 15-second
+    /// VM preparation delay.
+    pub fn new() -> Self {
+        MeshBuilder {
+            nodes: Vec::new(),
+            balancer: BalancerPolicy::RoundRobin,
+            boot_delay: SimDuration::from_secs(15),
+            seed: 1,
+        }
+    }
+
+    /// Appends a tier. Tier indices follow insertion order; the entry tier
+    /// is the first node added.
+    pub fn node(mut self, node: MeshNode) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Sets the balancing policy for every tier.
+    pub fn balancer(mut self, policy: BalancerPolicy) -> Self {
+        self.balancer = policy;
+        self
+    }
+
+    /// Sets the VM preparation period.
+    pub fn boot_delay(mut self, delay: SimDuration) -> Self {
+        self.boot_delay = delay;
+        self
+    }
+
+    /// Sets the world RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of tiers added so far.
+    pub fn tier_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Asserts that `graph` is shaped for this mesh (same tier count).
+    /// Call structure itself lives on request profiles, so this is a
+    /// construction-time sanity check, not a stored field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's tier count differs from the node count.
+    pub fn check_graph(&self, graph: &TopologyGraph) -> &Self {
+        assert_eq!(
+            graph.tiers(),
+            self.nodes.len(),
+            "topology graph tier count must match mesh node count"
+        );
+        self
+    }
+
+    /// The tier specs this builder would install.
+    pub fn tier_specs(&self) -> Vec<TierSpec> {
+        let mut specs = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            specs.push(TierSpec {
+                name: node.name.clone(),
+                law: node.law,
+                default_threads: node.threads,
+                default_conns: node.conns,
+                balancer: self.balancer,
+                boot_delay: self.boot_delay,
+                vm_policy: node.vm_policy.clone(),
+            });
+        }
+        specs
+    }
+
+    /// Builds the world and a fresh engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nodes were added.
+    pub fn build(&self) -> (World, SimEngine) {
+        assert!(!self.nodes.is_empty(), "mesh needs at least one node");
+        let counts: Vec<u32> = self.nodes.iter().map(|n| n.count).collect();
         let system = System::new(self.tier_specs(), &counts, dcm_sim::time::SimTime::ZERO);
         (World::new(system, self.seed), SimEngine::new())
     }
@@ -303,5 +488,74 @@ mod tests {
     #[should_panic(expected = "tier counts must be positive")]
     fn zero_counts_rejected() {
         let _ = ThreeTierBuilder::new().counts(1, 0, 1);
+    }
+
+    fn chain_mesh(three: &ThreeTierBuilder) -> MeshBuilder {
+        MeshBuilder::new()
+            .node(MeshNode::new("web", reference::apache(), 1000))
+            .node(MeshNode::new("app", reference::tomcat(), 100).conns(80).count(2))
+            .node(MeshNode::new("db", reference::mysql(), 800))
+            .seed(7)
+            .balancer(three.balancer)
+            .boot_delay(three.boot_delay)
+    }
+
+    #[test]
+    fn chain_shaped_mesh_specs_match_three_tier_builder() {
+        // Degeneracy: a mesh configured as the paper's chain must install
+        // the *same* tier specs as the dedicated chain builder.
+        let three = ThreeTierBuilder::new().counts(1, 2, 1).seed(7);
+        let mesh = chain_mesh(&three);
+        assert_eq!(mesh.tier_specs(), three.tier_specs());
+        let (mw, _me) = mesh.build();
+        let (tw, _te) = three.build();
+        assert_eq!(mw.system.tier_count(), tw.system.tier_count());
+        for m in 0..3 {
+            assert_eq!(mw.system.running_count(m), tw.system.running_count(m));
+        }
+    }
+
+    #[test]
+    fn mesh_check_graph_accepts_matching_shape() {
+        let mesh = MeshBuilder::new()
+            .node(MeshNode::new("web", reference::apache(), 1000))
+            .node(MeshNode::new("svc", reference::tomcat(), 100).conns(80))
+            .node(MeshNode::new("db", reference::mysql(), 800));
+        let g = TopologyGraph::chain(&[1, 1, 2]);
+        mesh.check_graph(&g);
+        assert_eq!(mesh.tier_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology graph tier count must match")]
+    fn mesh_check_graph_rejects_shape_mismatch() {
+        let mesh = MeshBuilder::new().node(MeshNode::new("web", reference::apache(), 10));
+        let g = TopologyGraph::chain(&[1, 1]);
+        mesh.check_graph(&g);
+    }
+
+    #[test]
+    fn mesh_heterogeneous_vm_policies_take_effect() {
+        use crate::server::VmType;
+        let (world, _engine) = MeshBuilder::new()
+            .node(MeshNode::new("web", reference::apache(), 1000))
+            .node(
+                MeshNode::new("db", reference::mysql(), 800)
+                    .count(2)
+                    .vm_policy(VmPolicy::fixed(VmType::LARGE)),
+            )
+            .build();
+        for &sid in world.system.tier(1).members() {
+            let s = world.system.server(sid).unwrap();
+            assert_eq!(s.vm_type(), VmType::LARGE);
+        }
+        let web = world.system.tier(0).members()[0];
+        assert_eq!(world.system.server(web).unwrap().vm_type(), VmType::SMALL);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh needs at least one node")]
+    fn empty_mesh_rejected() {
+        let _ = MeshBuilder::new().build();
     }
 }

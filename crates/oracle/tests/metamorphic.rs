@@ -3,12 +3,16 @@
 //! oracle in the loop (the simulator is checked against itself).
 
 use dcm_ntier::balancer::BalancerPolicy;
-use dcm_ntier::law::ServiceLaw;
-use dcm_ntier::topology::{SoftConfig, ThreeTierBuilder};
+use dcm_ntier::law::{reference, ServiceLaw};
+use dcm_ntier::server::VmType;
+use dcm_ntier::system::VmPolicy;
+use dcm_ntier::topology::{MeshBuilder, MeshNode, SoftConfig, ThreeTierBuilder};
 use dcm_oracle::{run_scenario, Scenario, ScenarioKind};
+use dcm_sim::dist::Dist;
 use dcm_sim::time::SimTime;
 use dcm_workload::generator::UserPopulation;
-use dcm_workload::profile::ProfileFactory;
+use dcm_ntier::graph::TopologyGraph;
+use dcm_workload::profile::{MeshProfileFactory, NodeDemand, ProfileFactory};
 
 /// Doubling every tier's server count AND the client population in a
 /// zero-overhead configuration leaves per-server utilization and mean
@@ -114,5 +118,114 @@ fn permuting_identical_tier_configuration_is_bit_identical() {
     assert_eq!(
         finishes_a, finishes_b,
         "per-request finish timestamps must be bit-identical"
+    );
+}
+
+/// The chain is the degenerate DAG: attaching the explicit chain graph to
+/// the request profiles (which routes every request through the
+/// DAG-dispatch path instead of the fixed-chain path) must reproduce the
+/// plain chain simulation bit for bit — same counters, same per-request
+/// finish timestamps.
+#[test]
+fn chain_graph_dispatch_is_bit_identical_to_plain_chain() {
+    let run = |chain_graph: bool| {
+        let (mut world, mut engine) = ThreeTierBuilder::new()
+            .counts(1, 2, 1)
+            .soft(SoftConfig::new(1000, 60, 24))
+            .seed(8080)
+            .build();
+        let factory = if chain_graph {
+            ProfileFactory::rubbos().with_chain_graph()
+        } else {
+            ProfileFactory::rubbos()
+        };
+        let pop = UserPopulation::start_think_time(
+            &mut world,
+            &mut engine,
+            factory,
+            40,
+            1.0,
+            SimTime::from_secs(120),
+        );
+        engine.run(&mut world);
+        let counters = world.system.counters();
+        let finishes =
+            pop.with_completions(|log| log.iter().map(|c| c.finished).collect::<Vec<_>>());
+        (counters, finishes)
+    };
+    let (counters_plain, finishes_plain) = run(false);
+    let (counters_dag, finishes_dag) = run(true);
+    assert_eq!(
+        counters_plain, counters_dag,
+        "DAG dispatch of the chain graph must not change outcomes"
+    );
+    assert!(counters_plain.completed > 1000, "sanity: the run did work");
+    assert_eq!(
+        finishes_plain, finishes_dag,
+        "per-request finish timestamps must be bit-identical"
+    );
+}
+
+/// A heterogeneous VM policy whose catalog holds only the small flavor is
+/// the degenerate fleet: it must be bit-identical to the homogeneous
+/// default — same completions, same per-tier VM-seconds and dollars.
+#[test]
+fn single_flavor_vm_policy_is_bit_identical_to_homogeneous_default() {
+    let horizon = SimTime::from_secs(120);
+    let run = |explicit: bool| {
+        let graph = TopologyGraph::from_edges(3, &[(0, 1, 1), (1, 2, 2)]);
+        let node = |name: &str, law, threads: u32| {
+            let n = MeshNode::new(name, law, threads);
+            if explicit {
+                n.vm_policy(VmPolicy::fixed(VmType::SMALL))
+            } else {
+                n
+            }
+        };
+        let (mut world, mut engine) = MeshBuilder::new()
+            .node(node("web", reference::apache(), 1000))
+            .node(node("app", reference::tomcat(), 100).conns(40).count(2))
+            .node(node("db", reference::mysql(), 800))
+            .seed(6060)
+            .build();
+        let factory = MeshProfileFactory::new(
+            graph,
+            vec![
+                NodeDemand::split(Dist::constant(0.002)),
+                NodeDemand::split(Dist::constant(0.008)),
+                NodeDemand::leaf(Dist::exponential_mean(0.02)).iid_visits(),
+            ],
+        );
+        let pop = UserPopulation::start_think_time(
+            &mut world,
+            &mut engine,
+            factory,
+            30,
+            1.0,
+            horizon,
+        );
+        engine.run(&mut world);
+        let counters = world.system.counters();
+        let finishes =
+            pop.with_completions(|log| log.iter().map(|c| c.finished).collect::<Vec<_>>());
+        let now = engine.now();
+        let accounting: Vec<(u64, u64)> = (0..world.system.tier_count())
+            .map(|m| {
+                (
+                    world.system.vm_seconds(m, now).to_bits(),
+                    world.system.vm_cost(m, now).to_bits(),
+                )
+            })
+            .collect();
+        (counters, finishes, accounting)
+    };
+    let (counters_default, finishes_default, accounting_default) = run(false);
+    let (counters_explicit, finishes_explicit, accounting_explicit) = run(true);
+    assert_eq!(counters_default, counters_explicit);
+    assert!(counters_default.completed > 500, "sanity: the run did work");
+    assert_eq!(finishes_default, finishes_explicit);
+    assert_eq!(
+        accounting_default, accounting_explicit,
+        "single-small catalog must price exactly like the default fleet"
     );
 }

@@ -1,0 +1,184 @@
+//! Cache-tier warm-up dynamics: a hit ratio that rises as the cache fills.
+//!
+//! The mesh scenarios put a cache tier in front of the database. A *hit*
+//! serves the request from the cache and skips the DB hop entirely; a
+//! *miss* falls through. A cold cache misses almost always, so the DB is
+//! the bottleneck early on; as the working set loads, the hit ratio climbs
+//! toward its steady-state maximum and the bottleneck migrates upstream —
+//! the dynamic the `repro mesh` experiment exercises controllers against.
+//!
+//! The warm-up curve is exponential in requests served:
+//! `h(k) = h_max · (1 − exp(−k / k₀))`, with `k₀` the warm-up scale (the
+//! request count at which the cache reaches ≈63% of `h_max`). A zero scale
+//! gives the steady-state cache `h(k) = h_max`, which maps exactly onto the
+//! product-form MVA oracle: a Bernoulli miss is Markovian routing, so the
+//! downstream visit ratio rescales by `1 − h_max`.
+//!
+//! Hit decisions are drawn through [`CacheDynamics::decide`] on the
+//! workload RNG stream, so runs stay bit-identical across `--jobs` counts.
+//! A `h_max = 0` cache returns *miss* without consuming a draw, making the
+//! degenerate no-cache configuration bit-identical to having no cache at
+//! all.
+
+use std::cell::Cell;
+
+use dcm_sim::rng::SimRng;
+
+/// Warm-up hit-ratio state for one cache tier.
+///
+/// Holds interior-mutable served-request state so workload factories can
+/// keep their `&self` sampling signatures.
+///
+/// # Examples
+///
+/// ```
+/// use dcm_workload::cache::CacheDynamics;
+///
+/// let cache = CacheDynamics::new(0.8, 1000.0);
+/// assert_eq!(cache.hit_ratio(), 0.0); // cold
+/// let steady = CacheDynamics::steady(0.8);
+/// assert_eq!(steady.hit_ratio(), 0.8); // no warm-up
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheDynamics {
+    max_hit_ratio: f64,
+    warmup_requests: f64,
+    served: Cell<u64>,
+}
+
+impl CacheDynamics {
+    /// A cache warming toward `max_hit_ratio` with scale `warmup_requests`
+    /// (`k₀` in the module formula). A non-positive scale means no warm-up:
+    /// the hit ratio is `max_hit_ratio` from the first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_hit_ratio` is outside `[0, 1]` or `warmup_requests`
+    /// is not finite.
+    pub fn new(max_hit_ratio: f64, warmup_requests: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_hit_ratio),
+            "hit ratio must be in [0,1]"
+        );
+        assert!(warmup_requests.is_finite(), "warm-up scale must be finite");
+        CacheDynamics {
+            max_hit_ratio,
+            warmup_requests,
+            served: Cell::new(0),
+        }
+    }
+
+    /// A steady-state cache: hit ratio `max_hit_ratio` with no warm-up.
+    pub fn steady(max_hit_ratio: f64) -> Self {
+        Self::new(max_hit_ratio, 0.0)
+    }
+
+    /// The steady-state maximum hit ratio.
+    pub fn max_hit_ratio(&self) -> f64 {
+        self.max_hit_ratio
+    }
+
+    /// Requests routed through the cache so far.
+    pub fn served(&self) -> u64 {
+        self.served.get()
+    }
+
+    /// The current hit ratio `h(served)`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.warmup_requests <= 0.0 {
+            return self.max_hit_ratio;
+        }
+        let k = self.served.get() as f64;
+        self.max_hit_ratio * (1.0 - (-k / self.warmup_requests).exp())
+    }
+
+    /// Draws one hit/miss decision at the current warm-up state and counts
+    /// the request as served.
+    ///
+    /// A `max_hit_ratio` of zero returns *miss* without consuming an RNG
+    /// draw, so the degenerate configuration is bit-identical to having no
+    /// cache installed.
+    pub fn decide(&self, rng: &mut SimRng) -> bool {
+        if self.max_hit_ratio <= 0.0 {
+            return false;
+        }
+        let h = self.hit_ratio();
+        self.served.set(self.served.get().saturating_add(1));
+        rng.next_f64() < h
+    }
+
+    /// Resets the warm-up state to cold (e.g. between experiment repeats).
+    pub fn reset(&self) {
+        self.served.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_curve_rises_toward_max() {
+        let cache = CacheDynamics::new(0.8, 100.0);
+        assert_eq!(cache.hit_ratio(), 0.0);
+        cache.served.set(100);
+        let at_scale = cache.hit_ratio();
+        assert!(
+            (at_scale - 0.8 * (1.0 - (-1.0f64).exp())).abs() < 1e-12,
+            "{at_scale}"
+        );
+        cache.served.set(10_000);
+        assert!((cache.hit_ratio() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_cache_hits_at_max_from_the_start() {
+        let cache = CacheDynamics::steady(1.0);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..50 {
+            assert!(cache.decide(&mut rng));
+        }
+        assert_eq!(cache.served(), 50);
+    }
+
+    #[test]
+    fn empirical_hit_rate_matches_steady_ratio() {
+        let cache = CacheDynamics::steady(0.6);
+        let mut rng = SimRng::seed_from(9);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| cache.decide(&mut rng)).count();
+        let rate = hits as f64 / f64::from(n);
+        assert!((rate - 0.6).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn zero_ratio_cache_consumes_no_randomness() {
+        let cache = CacheDynamics::new(0.0, 50.0);
+        let mut with_cache = SimRng::seed_from(7);
+        let mut without = SimRng::seed_from(7);
+        for _ in 0..10 {
+            assert!(!cache.decide(&mut with_cache));
+        }
+        assert_eq!(with_cache.next_f64(), without.next_f64());
+        assert_eq!(cache.served(), 0);
+    }
+
+    #[test]
+    fn reset_returns_to_cold() {
+        let cache = CacheDynamics::new(0.5, 10.0);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..100 {
+            let _ = cache.decide(&mut rng);
+        }
+        assert!(cache.hit_ratio() > 0.4);
+        cache.reset();
+        assert_eq!(cache.hit_ratio(), 0.0);
+        assert_eq!(cache.served(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit ratio must be in [0,1]")]
+    fn out_of_range_ratio_rejected() {
+        let _ = CacheDynamics::new(1.5, 0.0);
+    }
+}

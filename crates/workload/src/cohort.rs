@@ -44,7 +44,7 @@ use dcm_sim::dist::{Dist, Sample};
 use dcm_sim::engine::EventId;
 use dcm_sim::time::{SimDuration, SimTime};
 
-use crate::profile::ProfileFactory;
+use crate::profile::WorkloadFactory;
 
 /// One cohort: a min-heap of member wake-up times and the single engine
 /// timer armed for the earliest of them. The `seq` tie-breaker keeps
@@ -104,7 +104,7 @@ impl CohortStats {
 /// Shared state behind a [`CohortPopulation`].
 #[derive(Debug)]
 struct CohortState {
-    factory: ProfileFactory,
+    factory: WorkloadFactory,
     think: Option<Dist>,
     stop_at: SimTime,
     target: u32,
@@ -163,7 +163,7 @@ impl CohortPopulation {
     pub fn start_with_think_dist(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         users: u32,
         cohort_size: u32,
         think: Option<Dist>,
@@ -197,7 +197,7 @@ impl CohortPopulation {
     pub fn start_staggered(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         users: u32,
         cohort_size: u32,
         think: Dist,
@@ -227,7 +227,7 @@ impl CohortPopulation {
     }
 
     fn build(
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         think: Option<Dist>,
         users: u32,
         cohort_size: u32,
@@ -237,7 +237,7 @@ impl CohortPopulation {
         let cohorts = users.div_ceil(cohort_size) as usize;
         CohortPopulation {
             inner: Rc::new(RefCell::new(CohortState {
-                factory,
+                factory: factory.into(),
                 think,
                 stop_at,
                 target: users,
@@ -402,6 +402,8 @@ fn rearm(state: &Rc<RefCell<CohortState>>, engine: &mut SimEngine, cohort: usize
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::profile::ProfileFactory;
     use crate::generator::UserPopulation;
     use dcm_ntier::topology::ThreeTierBuilder;
 

@@ -27,7 +27,7 @@ use dcm_sim::dist::{Dist, Sample};
 use dcm_sim::stats::TimeSeries;
 use dcm_sim::time::{SimDuration, SimTime};
 
-use crate::profile::ProfileFactory;
+use crate::profile::WorkloadFactory;
 use crate::traces::WorkloadTrace;
 
 /// Client-side retry policy: a failed request (rejected, timed out, or
@@ -62,7 +62,7 @@ impl Default for RetryPolicy {
 /// Shared state behind a [`UserPopulation`].
 #[derive(Debug)]
 struct PopState {
-    factory: ProfileFactory,
+    factory: WorkloadFactory,
     think: Option<Dist>,
     think_multiplier: Option<Rc<Cell<f64>>>,
     stop_at: SimTime,
@@ -111,7 +111,7 @@ impl UserPopulation {
     pub fn start_closed_loop(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         users: u32,
         stop_at: SimTime,
     ) -> Self {
@@ -127,7 +127,7 @@ impl UserPopulation {
     pub fn start_think_time(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         users: u32,
         mean_think_secs: f64,
         stop_at: SimTime,
@@ -150,7 +150,7 @@ impl UserPopulation {
     pub fn start_with_think_dist(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         users: u32,
         think: Option<Dist>,
         stop_at: SimTime,
@@ -170,7 +170,7 @@ impl UserPopulation {
     pub fn start_think_time_modulated(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         users: u32,
         mean_think_secs: f64,
         think_multiplier: Option<Rc<Cell<f64>>>,
@@ -193,7 +193,7 @@ impl UserPopulation {
     pub fn start_trace_driven(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         trace: &WorkloadTrace,
         mean_think_secs: f64,
         stop_at: SimTime,
@@ -222,7 +222,7 @@ impl UserPopulation {
     fn start(
         world: &mut World,
         engine: &mut SimEngine,
-        factory: ProfileFactory,
+        factory: impl Into<WorkloadFactory>,
         think: Option<Dist>,
         users: u32,
         stop_at: SimTime,
@@ -231,7 +231,7 @@ impl UserPopulation {
         offered.push(engine.now(), f64::from(users));
         let pop = UserPopulation {
             inner: Rc::new(RefCell::new(PopState {
-                factory,
+                factory: factory.into(),
                 think,
                 think_multiplier: None,
                 stop_at,
@@ -446,6 +446,8 @@ fn submit_attempt(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::profile::ProfileFactory;
     use crate::traces;
     use dcm_ntier::topology::ThreeTierBuilder;
 

@@ -16,6 +16,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod burstiness;
+pub mod cache;
 pub mod cohort;
 pub mod generator;
 pub mod profile;
@@ -24,9 +25,10 @@ pub mod servlets;
 pub mod traces;
 
 pub use burstiness::{index_of_dispersion, MmppConfig, MmppModulator};
+pub use cache::CacheDynamics;
 pub use cohort::{CohortPopulation, CohortStats};
 pub use generator::{RetryPolicy, UserPopulation};
-pub use profile::ProfileFactory;
+pub use profile::{CacheEdge, MeshProfileFactory, NodeDemand, ProfileFactory, WorkloadFactory};
 pub use report::{class_breakdown, shared_log, ClassStats, LoadReport, WindowedSeries};
 pub use servlets::{Servlet, ServletMix};
 pub use traces::{TraceError, WorkloadTrace};
